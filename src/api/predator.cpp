@@ -1,0 +1,52 @@
+#include "api/predator.hpp"
+
+namespace pred {
+
+Session::Session(SessionOptions options) : options_(options) {
+  runtime_ = std::make_unique<Runtime>(options_.runtime);
+  predictor_ = std::make_unique<Predictor>(options_.predictor);
+  predictor_->attach(*runtime_);
+  allocator_ =
+      std::make_unique<PredatorAllocator>(*runtime_, options_.heap_size);
+}
+
+Session::~Session() = default;
+
+void* Session::alloc(std::size_t size,
+                     std::vector<std::string> callsite_frames) {
+  return allocator_->allocate(size, std::move(callsite_frames));
+}
+
+void Session::free(void* p) { allocator_->deallocate(p); }
+
+void Session::register_global(void* addr, std::size_t size,
+                              std::string name) {
+  const Address a = reinterpret_cast<Address>(addr);
+  if (runtime_->find_region(a) == nullptr) {
+    runtime_->register_region(a, size);
+  }
+  ObjectInfo info;
+  info.start = a;
+  info.size = size;
+  info.name = std::move(name);
+  info.is_global = true;
+  runtime_->objects().add(std::move(info));
+}
+
+namespace {
+struct TlsBinding {
+  Session* session = nullptr;
+  ThreadId tid = kInvalidThread;
+};
+thread_local TlsBinding tls_binding;
+}  // namespace
+
+void ThreadContext::bind(Session* session, ThreadId tid) {
+  tls_binding.session = session;
+  tls_binding.tid = tid;
+}
+void ThreadContext::unbind() { tls_binding = TlsBinding{}; }
+Session* ThreadContext::session() { return tls_binding.session; }
+ThreadId ThreadContext::tid() { return tls_binding.tid; }
+
+}  // namespace pred

@@ -1,0 +1,106 @@
+// Public facade of the PREDATOR library.
+//
+// A Session bundles everything a user needs: the detection runtime
+// (Section 2), the prediction engine (Section 3), and the custom allocator
+// (Section 2.3.2), pre-wired. Typical use:
+//
+//   pred::Session session;
+//   auto* data = static_cast<T*>(session.alloc(sizeof(T), {"myfile.c:42"}));
+//   ... in each thread: pred::ScopedThread guard(session);
+//       pred::store(x) / pred::load(x) on tracked data ...
+//   std::cout << session.report_text();
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/predator_allocator.hpp"
+#include "predict/predictor.hpp"
+#include "runtime/report.hpp"
+#include "runtime/runtime.hpp"
+
+namespace pred {
+
+struct SessionOptions {
+  RuntimeConfig runtime{};
+  PredictorConfig predictor{};
+  std::size_t heap_size = 256 * 1024 * 1024;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- component access ---
+  Runtime& runtime() { return *runtime_; }
+  const Runtime& runtime() const { return *runtime_; }
+  PredatorAllocator& allocator() { return *allocator_; }
+  Predictor& predictor() { return *predictor_; }
+  const SessionOptions& options() const { return options_; }
+
+  // --- memory ---
+  void* alloc(std::size_t size, std::vector<std::string> callsite_frames);
+  void free(void* p);
+
+  /// Starts tracking an existing object (e.g. a global variable). The
+  /// object's memory itself is registered as a tracked region.
+  void register_global(void* addr, std::size_t size, std::string name);
+
+  // --- threads & accesses ---
+  ThreadId register_thread() { return runtime_->register_thread(); }
+  void on_read(const void* p, ThreadId tid, std::size_t size = 8) {
+    runtime_->handle_access(reinterpret_cast<Address>(p), AccessType::kRead,
+                            tid, size);
+  }
+  void on_write(const void* p, ThreadId tid, std::size_t size = 8) {
+    runtime_->handle_access(reinterpret_cast<Address>(p), AccessType::kWrite,
+                            tid, size);
+  }
+
+  // --- results ---
+  Report report() const { return build_report(*runtime_); }
+  std::string report_text() const {
+    return format_report(report(), runtime_->callsites());
+  }
+
+  /// Bytes of analysis metadata currently held (Figures 8/9 accounting).
+  std::size_t metadata_bytes() const { return runtime_->metadata_bytes(); }
+
+ private:
+  SessionOptions options_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<Predictor> predictor_;
+  std::unique_ptr<PredatorAllocator> allocator_;
+};
+
+/// Thread-local binding of (session, thread id) used by the access shims in
+/// instrument/access.hpp, so instrumented code does not need to thread a
+/// session reference through every call.
+class ThreadContext {
+ public:
+  static void bind(Session* session, ThreadId tid);
+  static void unbind();
+  static Session* session();
+  static ThreadId tid();
+};
+
+/// RAII registration of the calling thread with a session.
+class ScopedThread {
+ public:
+  explicit ScopedThread(Session& session)
+      : ScopedThread(session, session.register_thread()) {}
+  ScopedThread(Session& session, ThreadId tid) {
+    ThreadContext::bind(&session, tid);
+  }
+  ~ScopedThread() { ThreadContext::unbind(); }
+  ScopedThread(const ScopedThread&) = delete;
+  ScopedThread& operator=(const ScopedThread&) = delete;
+};
+
+}  // namespace pred

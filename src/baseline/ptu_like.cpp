@@ -1,0 +1,38 @@
+#include "baseline/ptu_like.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace pred {
+
+void PtuLikeDetector::on_access(Address addr, AccessType type, ThreadId tid) {
+  const std::size_t line = geometry_.line_index(addr);
+  std::lock_guard<Spinlock> g(lock_);
+  LineInfo& info = lines_[line];
+  ++info.accesses;
+  if (type == AccessType::kWrite) ++info.writes;
+  ++info.per_thread[tid];
+}
+
+std::vector<PtuLikeDetector::LineReport> PtuLikeDetector::report(
+    std::uint64_t min_accesses) const {
+  std::vector<LineReport> out;
+  std::lock_guard<Spinlock> g(lock_);
+  for (const auto& [line, info] : lines_) {
+    if (info.accesses < min_accesses) continue;
+    LineReport r;
+    r.line = line;
+    r.accesses = info.accesses;
+    r.writes = info.writes;
+    r.threads = static_cast<std::uint32_t>(info.per_thread.size());
+    r.flagged = r.threads >= 2 && r.writes > 0;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LineReport& a, const LineReport& b) {
+              return a.accesses > b.accesses;
+            });
+  return out;
+}
+
+}  // namespace pred

@@ -1,0 +1,48 @@
+// PTU-style baseline (Intel Performance Tuning Utility, Section 7.1 of the
+// paper): aggregates per-line access counts by thread with *no* interleaving
+// or memory-reuse awareness and cannot separate true from false sharing.
+// Any line with multiple accessing threads and at least one write is
+// flagged. The Table 1 bench uses it to demonstrate the false positives
+// PREDATOR's word histograms and reuse rules avoid.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/spinlock.hpp"
+
+namespace pred {
+
+class PtuLikeDetector {
+ public:
+  explicit PtuLikeDetector(LineGeometry geometry = {})
+      : geometry_(geometry) {}
+
+  void on_access(Address addr, AccessType type, ThreadId tid);
+
+  struct LineReport {
+    std::size_t line = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t writes = 0;
+    std::uint32_t threads = 0;
+    bool flagged = false;  ///< >=2 threads and >=1 write: "sharing problem"
+  };
+
+  std::vector<LineReport> report(std::uint64_t min_accesses) const;
+
+ private:
+  struct LineInfo {
+    std::uint64_t accesses = 0;
+    std::uint64_t writes = 0;
+    std::map<ThreadId, std::uint64_t> per_thread;
+  };
+
+  LineGeometry geometry_;
+  mutable Spinlock lock_;
+  std::unordered_map<std::size_t, LineInfo> lines_;
+};
+
+}  // namespace pred

@@ -1,0 +1,62 @@
+#include "baseline/sheriff_like.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+
+namespace pred {
+
+void SheriffLikeDetector::on_write(Address addr, ThreadId tid) {
+  const std::size_t line = geometry_.line_index(addr);
+  const std::size_t word = geometry_.word_in_line(addr);
+  std::lock_guard<Spinlock> g(lock_);
+  LineInfo& info = lines_[line];
+  ++info.writes;
+  if (info.last_writer != kInvalidThread && info.last_writer != tid) {
+    ++info.interleavings;
+  }
+  info.last_writer = tid;
+  if (word < 32 && tid < 64) {
+    info.word_writer_mask[word] |= 1ull << tid;
+  }
+}
+
+std::vector<SheriffLikeDetector::LineReport> SheriffLikeDetector::report(
+    std::uint64_t min_interleavings) const {
+  std::vector<LineReport> out;
+  std::lock_guard<Spinlock> g(lock_);
+  for (const auto& [line, info] : lines_) {
+    if (info.interleavings < min_interleavings) continue;
+    LineReport r;
+    r.line = line;
+    r.writes = info.writes;
+    r.interleavings = info.interleavings;
+
+    std::uint64_t all_writers = 0;
+    // Write-write false sharing: two words written by disjoint writers.
+    for (std::size_t i = 0; i < 32; ++i) {
+      const std::uint64_t wi = info.word_writer_mask[i];
+      if (!wi) continue;
+      all_writers |= wi;
+      for (std::size_t j = i + 1; j < 32; ++j) {
+        const std::uint64_t wj = info.word_writer_mask[j];
+        if (!wj) continue;
+        // False sharing between words i and j iff their combined writer set
+        // has two distinct threads (some thread writes one word while a
+        // different thread writes the other).
+        if (std::popcount(wi | wj) >= 2) {
+          r.write_write_false_sharing = true;
+        }
+      }
+    }
+    r.writer_threads = static_cast<std::uint32_t>(std::popcount(all_writers));
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LineReport& a, const LineReport& b) {
+              return a.interleavings > b.interleavings;
+            });
+  return out;
+}
+
+}  // namespace pred

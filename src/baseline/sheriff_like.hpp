@@ -1,0 +1,56 @@
+// SHERIFF-style baseline (Liu & Berger, OOPSLA '11; Section 7.3 of the
+// PREDATOR paper): an *observed-only*, *write-write-only* false sharing
+// detector. It sees the same access stream as PREDATOR but
+//   * ignores reads entirely (so read-write false sharing is invisible),
+//   * considers only the physical lines of the current layout (so latent
+//     placements and larger line sizes are invisible).
+// Used by the Table 1 bench to populate the "Without Prediction" column and
+// to show which problems only PREDATOR finds.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/spinlock.hpp"
+
+namespace pred {
+
+class SheriffLikeDetector {
+ public:
+  explicit SheriffLikeDetector(LineGeometry geometry = {})
+      : geometry_(geometry) {}
+
+  void on_write(Address addr, ThreadId tid);
+  void on_read(Address /*addr*/, ThreadId /*tid*/) {}  // not tracked
+  void on_access(Address addr, AccessType type, ThreadId tid) {
+    if (type == AccessType::kWrite) on_write(addr, tid);
+  }
+
+  struct LineReport {
+    std::size_t line = 0;            ///< global line index
+    std::uint64_t writes = 0;
+    std::uint64_t interleavings = 0; ///< writer changed between writes
+    std::uint32_t writer_threads = 0;
+    bool write_write_false_sharing = false;  ///< distinct words, distinct writers
+  };
+
+  /// Lines with at least `min_interleavings` observed writer switches,
+  /// most-interleaved first.
+  std::vector<LineReport> report(std::uint64_t min_interleavings) const;
+
+ private:
+  struct LineInfo {
+    std::uint64_t writes = 0;
+    std::uint64_t interleavings = 0;
+    ThreadId last_writer = kInvalidThread;
+    std::uint64_t word_writer_mask[32] = {};  ///< per word, bitmask of writers
+  };
+
+  LineGeometry geometry_;
+  mutable Spinlock lock_;
+  std::unordered_map<std::size_t, LineInfo> lines_;
+};
+
+}  // namespace pred

@@ -1,0 +1,20 @@
+// Internal invariant checking. PRED_CHECK stays on in release builds: the
+// runtime's correctness claims (no false positives) rest on these holding.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pred::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "PREDATOR check failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+}  // namespace pred::detail
+
+#define PRED_CHECK(expr)                                          \
+  do {                                                            \
+    if (!(expr)) ::pred::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)

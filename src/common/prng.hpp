@@ -1,0 +1,38 @@
+// Small deterministic PRNG used by workload generators and property tests.
+// xoshiro-style; fast enough to sit inside instrumented inner loops without
+// distorting overhead measurements.
+#pragma once
+
+#include <cstdint>
+
+namespace pred {
+
+class Xorshift64 {
+ public:
+  explicit constexpr Xorshift64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed ? seed : 1) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pred

@@ -1,0 +1,29 @@
+// Minimal test-and-test-and-set spinlock. Used where the runtime must avoid
+// pthread mutexes on hot paths (the paper's runtime relies on atomics for the
+// same reason, Section 2.4.1). Satisfies Lockable so it composes with
+// std::lock_guard.
+#pragma once
+
+#include <atomic>
+
+namespace pred {
+
+class Spinlock {
+ public:
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin; single-word payload keeps this line private to the lock
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace pred

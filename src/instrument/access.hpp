@@ -1,0 +1,74 @@
+// Access shims: the stand-in for the paper's LLVM instrumentation pass when
+// building ordinary C++ workloads (see DESIGN.md, substitution table).
+//
+// Where the paper's pass rewrites every surviving load/store of global and
+// heap data into a runtime call, here the programmer (or our workload suite)
+// writes accesses through pred::load / pred::store / pred::tracked<T>, which
+// invoke the identical HandleAccess entry point. The thread binding comes
+// from pred::ScopedThread, so instrumented code needs no extra plumbing.
+#pragma once
+
+#include <cstddef>
+
+#include "api/predator.hpp"
+
+namespace pred {
+
+/// Instrumented load of any trivially copyable lvalue.
+template <typename T>
+inline T load(const T& x) {
+  if (Session* s = ThreadContext::session()) {
+    s->on_read(&x, ThreadContext::tid(), sizeof(T));
+  }
+  return x;
+}
+
+/// Instrumented store.
+template <typename T>
+inline void store(T& x, T v) {
+  if (Session* s = ThreadContext::session()) {
+    s->on_write(&x, ThreadContext::tid(), sizeof(T));
+  }
+  x = v;
+}
+
+/// Instrumented read-modify-write (x = f(x)); counts one read + one write,
+/// matching what compiled code would issue.
+template <typename T, typename F>
+inline void update(T& x, F&& f) {
+  store(x, f(load(x)));
+}
+
+/// A value wrapper whose every access is instrumented. Useful for struct
+/// fields: declaring `tracked<long> counter;` mirrors the paper's
+/// instrumentation of every field access.
+template <typename T>
+class tracked {
+ public:
+  tracked() = default;
+  tracked(T v) : value_(v) {}  // NOLINT(google-explicit-constructor)
+
+  operator T() const { return load(value_); }  // NOLINT
+  tracked& operator=(T v) {
+    store(value_, v);
+    return *this;
+  }
+  tracked& operator+=(T v) {
+    store(value_, static_cast<T>(load(value_) + v));
+    return *this;
+  }
+  tracked& operator-=(T v) {
+    store(value_, static_cast<T>(load(value_) - v));
+    return *this;
+  }
+  tracked& operator++() { return *this += T{1}; }
+
+  /// Raw (uninstrumented) access, e.g. for result verification.
+  T raw() const { return value_; }
+  T* raw_ptr() { return &value_; }
+
+ private:
+  T value_{};
+};
+
+}  // namespace pred

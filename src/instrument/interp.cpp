@@ -1,0 +1,214 @@
+#include "instrument/interp.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pred::ir {
+
+namespace {
+
+std::int64_t load_sized(Address addr, std::uint32_t size) {
+  switch (size) {
+    case 1: {
+      std::int8_t v;
+      std::memcpy(&v, reinterpret_cast<void*>(addr), 1);
+      return v;
+    }
+    case 2: {
+      std::int16_t v;
+      std::memcpy(&v, reinterpret_cast<void*>(addr), 2);
+      return v;
+    }
+    case 4: {
+      std::int32_t v;
+      std::memcpy(&v, reinterpret_cast<void*>(addr), 4);
+      return v;
+    }
+    default: {
+      std::int64_t v;
+      std::memcpy(&v, reinterpret_cast<void*>(addr), 8);
+      return v;
+    }
+  }
+}
+
+void store_sized(Address addr, std::int64_t value, std::uint32_t size) {
+  switch (size) {
+    case 1: {
+      auto v = static_cast<std::int8_t>(value);
+      std::memcpy(reinterpret_cast<void*>(addr), &v, 1);
+      break;
+    }
+    case 2: {
+      auto v = static_cast<std::int16_t>(value);
+      std::memcpy(reinterpret_cast<void*>(addr), &v, 2);
+      break;
+    }
+    case 4: {
+      auto v = static_cast<std::int32_t>(value);
+      std::memcpy(reinterpret_cast<void*>(addr), &v, 4);
+      break;
+    }
+    default:
+      std::memcpy(reinterpret_cast<void*>(addr), &value, 8);
+      break;
+  }
+}
+
+}  // namespace
+
+ExecResult Interpreter::run(const Function& fn,
+                            std::span<const std::int64_t> args,
+                            ThreadId tid) {
+  ExecResult result;
+  result.return_value = execute(nullptr, fn, args, tid, 0, result);
+  return result;
+}
+
+ExecResult Interpreter::run(const Module& module, const Function& fn,
+                            std::span<const std::int64_t> args,
+                            ThreadId tid) {
+  ExecResult result;
+  result.return_value = execute(&module, fn, args, tid, 0, result);
+  return result;
+}
+
+std::int64_t Interpreter::execute(const Module* module, const Function& fn,
+                                  std::span<const std::int64_t> args,
+                                  ThreadId tid, int depth,
+                                  ExecResult& result) {
+  PRED_CHECK(args.size() == fn.num_args);
+  PRED_CHECK(!fn.blocks.empty());
+  PRED_CHECK(depth < kMaxCallDepth);
+
+  std::vector<std::int64_t> regs(fn.num_regs, 0);
+  for (std::size_t i = 0; i < args.size(); ++i) regs[i] = args[i];
+
+  std::uint32_t block = 0;
+  std::size_t pc = 0;
+
+  auto instrument = [&](Address addr, AccessType type, std::uint32_t size) {
+    if (session_) {
+      if (type == AccessType::kRead) {
+        session_->on_read(reinterpret_cast<void*>(addr), tid, size);
+      } else {
+        session_->on_write(reinterpret_cast<void*>(addr), tid, size);
+      }
+      ++result.runtime_calls;
+    }
+  };
+
+  while (true) {
+    if (result.steps >= step_limit_) {
+      result.step_limit_exceeded = true;
+      return 0;
+    }
+    ++result.steps;
+    PRED_CHECK(block < fn.blocks.size());
+    const auto& instrs = fn.blocks[block].instrs;
+    PRED_CHECK(pc < instrs.size());  // blocks must end in a terminator
+    const Instr& in = instrs[pc];
+
+    switch (in.op) {
+      case Opcode::kConst:
+        regs[in.dst] = in.imm;
+        break;
+      case Opcode::kMove:
+        regs[in.dst] = regs[in.a];
+        break;
+      case Opcode::kAdd:
+        regs[in.dst] = regs[in.a] + regs[in.b];
+        break;
+      case Opcode::kSub:
+        regs[in.dst] = regs[in.a] - regs[in.b];
+        break;
+      case Opcode::kMul:
+        regs[in.dst] = regs[in.a] * regs[in.b];
+        break;
+      case Opcode::kDiv:
+        PRED_CHECK(regs[in.b] != 0);
+        regs[in.dst] = regs[in.a] / regs[in.b];
+        break;
+      case Opcode::kRem:
+        PRED_CHECK(regs[in.b] != 0);
+        regs[in.dst] = regs[in.a] % regs[in.b];
+        break;
+      case Opcode::kCmpLt:
+        regs[in.dst] = regs[in.a] < regs[in.b] ? 1 : 0;
+        break;
+      case Opcode::kCmpEq:
+        regs[in.dst] = regs[in.a] == regs[in.b] ? 1 : 0;
+        break;
+      case Opcode::kLoad: {
+        const Address addr = static_cast<Address>(regs[in.a] + in.imm);
+        if (in.instrumented) instrument(addr, AccessType::kRead, in.size);
+        regs[in.dst] = load_sized(addr, in.size);
+        break;
+      }
+      case Opcode::kStore: {
+        const Address addr = static_cast<Address>(regs[in.a] + in.imm);
+        if (in.instrumented) instrument(addr, AccessType::kWrite, in.size);
+        store_sized(addr, regs[in.b], in.size);
+        break;
+      }
+      case Opcode::kCall: {
+        PRED_CHECK(module != nullptr);
+        const auto callee_index = static_cast<std::size_t>(in.imm);
+        PRED_CHECK(callee_index < module->functions.size());
+        const Function& callee = module->functions[callee_index];
+        std::span<const std::int64_t> call_args(regs.data() + in.a, in.b);
+        regs[in.dst] =
+            execute(module, callee, call_args, tid, depth + 1, result);
+        if (result.step_limit_exceeded) return 0;
+        break;
+      }
+      case Opcode::kMemSet: {
+        const Address base = static_cast<Address>(regs[in.a]);
+        const auto len = static_cast<std::uint64_t>(regs[in.b]);
+        const auto value = static_cast<unsigned char>(in.imm);
+        // Word-wise so the instrumentation granularity matches compiled
+        // memset loops.
+        for (std::uint64_t off = 0; off < len; off += 8) {
+          const std::uint32_t chunk =
+              static_cast<std::uint32_t>(std::min<std::uint64_t>(8, len - off));
+          if (in.instrumented) {
+            instrument(base + off, AccessType::kWrite, chunk);
+          }
+          std::memset(reinterpret_cast<void*>(base + off), value, chunk);
+        }
+        break;
+      }
+      case Opcode::kMemCopy: {
+        const Address dst = static_cast<Address>(regs[in.a]);
+        const Address src = static_cast<Address>(regs[in.b]);
+        const auto len = static_cast<std::uint64_t>(regs[in.dst]);
+        for (std::uint64_t off = 0; off < len; off += 8) {
+          const std::uint32_t chunk =
+              static_cast<std::uint32_t>(std::min<std::uint64_t>(8, len - off));
+          if (in.instrumented) {
+            instrument(src + off, AccessType::kRead, chunk);
+            instrument(dst + off, AccessType::kWrite, chunk);
+          }
+          std::memmove(reinterpret_cast<void*>(dst + off),
+                       reinterpret_cast<void*>(src + off), chunk);
+        }
+        break;
+      }
+      case Opcode::kBr:
+        block = in.target;
+        pc = 0;
+        continue;
+      case Opcode::kCondBr:
+        block = regs[in.a] != 0 ? in.target : in.target2;
+        pc = 0;
+        continue;
+      case Opcode::kRet:
+        return regs[in.a];
+    }
+    ++pc;
+  }
+}
+
+}  // namespace pred::ir

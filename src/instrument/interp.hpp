@@ -1,0 +1,54 @@
+// Mini-IR interpreter: "executes the compiled program". Loads and stores hit
+// real process memory (typically buffers from the PREDATOR allocator); the
+// instructions the pass marked call into the runtime exactly like the
+// paper's inserted function calls do. Multiple interpreter instances may run
+// the same Function concurrently on different threads — the Function is
+// read-only during execution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "api/predator.hpp"
+#include "instrument/ir.hpp"
+
+namespace pred::ir {
+
+struct ExecResult {
+  std::int64_t return_value = 0;
+  std::uint64_t steps = 0;              ///< instructions retired
+  std::uint64_t runtime_calls = 0;      ///< instrumentation calls issued
+  bool step_limit_exceeded = false;
+};
+
+class Interpreter {
+ public:
+  static constexpr int kMaxCallDepth = 64;
+
+  /// `session` may be null (uninstrumented run: the "Original" bars of
+  /// Figure 7).
+  explicit Interpreter(Session* session = nullptr,
+                       std::uint64_t step_limit = 500'000'000)
+      : session_(session), step_limit_(step_limit) {}
+
+  /// Runs `fn` with arguments in r0..; `tid` is this logical thread's id for
+  /// instrumentation purposes. The function must not contain kCall (use the
+  /// module overload for that).
+  ExecResult run(const Function& fn, std::span<const std::int64_t> args,
+                 ThreadId tid = 0);
+
+  /// Runs a function within `module`, resolving kCall targets. Steps and
+  /// runtime calls aggregate across the whole call tree.
+  ExecResult run(const Module& module, const Function& fn,
+                 std::span<const std::int64_t> args, ThreadId tid = 0);
+
+ private:
+  std::int64_t execute(const Module* module, const Function& fn,
+                       std::span<const std::int64_t> args, ThreadId tid,
+                       int depth, ExecResult& result);
+
+  Session* session_;
+  std::uint64_t step_limit_;
+};
+
+}  // namespace pred::ir

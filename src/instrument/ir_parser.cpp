@@ -1,0 +1,289 @@
+#include "instrument/ir_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace pred::ir {
+
+namespace {
+
+/// Cursor over one line of text with tiny combinators.
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& line) : s_(line) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(
+                                   s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(const std::string& token) {
+    skip_ws();
+    if (s_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(const std::string& token) {
+    skip_ws();
+    return s_.compare(pos_, token.size(), token) == 0;
+  }
+
+  bool reg(Reg* out) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != 'r') return false;
+    ++pos_;
+    return number_u32(out);
+  }
+
+  bool number_u32(std::uint32_t* out) {
+    std::int64_t v = 0;
+    if (!number_i64(&v) || v < 0) return false;
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+  }
+
+  bool number_i64(std::int64_t* out) {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    std::size_t digits = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      pos_ = start;
+      return false;
+    }
+    *out = std::stoll(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool identifier(std::string* out) {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '_' || s_[pos_] == '.' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = s_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size() || s_[pos_] == '#';
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses "[rA]" or "[rA + OFF]" (also accepts negative offsets).
+bool parse_address(LineScanner& sc, Reg* base, std::int64_t* offset) {
+  *offset = 0;
+  if (!sc.eat("[")) return false;
+  if (!sc.reg(base)) return false;
+  if (sc.eat("+")) {
+    if (!sc.number_i64(offset)) return false;
+  } else if (sc.peek("-")) {
+    if (!sc.number_i64(offset)) return false;
+  }
+  return sc.eat("]");
+}
+
+/// "load.SZ" / "store.SZ" suffix.
+bool parse_size_suffix(LineScanner& sc, std::uint32_t* size) {
+  if (!sc.eat(".")) return false;
+  return sc.number_u32(size) && *size >= 1 && *size <= 8;
+}
+
+bool parse_block_ref(LineScanner& sc, std::uint32_t* out) {
+  if (!sc.eat("bb")) return false;
+  return sc.number_u32(out);
+}
+
+/// Parses the right-hand side of "rD = ..." forms.
+bool parse_assignment_rhs(LineScanner& sc, Reg dst, Instr* out) {
+  out->dst = dst;
+  if (sc.eat("const")) {
+    out->op = Opcode::kConst;
+    return sc.number_i64(&out->imm);
+  }
+  if (sc.eat("load")) {
+    out->op = Opcode::kLoad;
+    return parse_size_suffix(sc, &out->size) &&
+           parse_address(sc, &out->a, &out->imm);
+  }
+  if (sc.eat("call")) {
+    out->op = Opcode::kCall;
+    if (!sc.eat("@")) return false;
+    std::uint32_t callee = 0;
+    if (!sc.number_u32(&callee)) return false;
+    out->imm = callee;
+    if (!sc.eat("(") || !sc.reg(&out->a) || !sc.eat("..")) return false;
+    std::uint32_t nargs = 0;
+    if (!sc.number_u32(&nargs)) return false;
+    out->b = nargs;
+    return sc.eat("args") && sc.eat(")");
+  }
+  // Binary or move: "rA" optionally followed by an operator and "rB".
+  if (!sc.reg(&out->a)) return false;
+  struct OpToken {
+    const char* token;
+    Opcode op;
+  };
+  // Two-character operator first so '==' is not parsed as two moves.
+  static const OpToken kOps[] = {
+      {"==", Opcode::kCmpEq}, {"+", Opcode::kAdd}, {"-", Opcode::kSub},
+      {"*", Opcode::kMul},    {"/", Opcode::kDiv}, {"%", Opcode::kRem},
+      {"<", Opcode::kCmpLt},
+  };
+  for (const OpToken& t : kOps) {
+    if (sc.eat(t.token)) {
+      out->op = t.op;
+      return sc.reg(&out->b);
+    }
+  }
+  out->op = Opcode::kMove;
+  return true;
+}
+
+bool parse_instruction(LineScanner& sc, Instr* out) {
+  out->instrumented = sc.eat("*");
+
+  if (sc.eat("store")) {
+    out->op = Opcode::kStore;
+    return parse_size_suffix(sc, &out->size) &&
+           parse_address(sc, &out->a, &out->imm) && sc.eat(",") &&
+           sc.reg(&out->b);
+  }
+  if (sc.eat("memset")) {
+    out->op = Opcode::kMemSet;
+    Reg addr = 0;
+    std::int64_t zero_off = 0;
+    return parse_address(sc, &addr, &zero_off) && (out->a = addr, true) &&
+           sc.eat(",") && sc.number_i64(&out->imm) && sc.eat(",") &&
+           sc.eat("len") && sc.reg(&out->b);
+  }
+  if (sc.eat("memcpy")) {
+    out->op = Opcode::kMemCopy;
+    std::int64_t zero_off = 0;
+    Reg dst_addr = 0;
+    Reg src_addr = 0;
+    if (!parse_address(sc, &dst_addr, &zero_off)) return false;
+    if (!sc.eat("<-")) return false;
+    if (!parse_address(sc, &src_addr, &zero_off)) return false;
+    out->a = dst_addr;
+    out->b = src_addr;
+    return sc.eat(",") && sc.eat("len") && sc.reg(&out->dst);
+  }
+  if (sc.eat("br")) {
+    // "br bbK" or "br rA ? bbK : bbJ".
+    if (sc.peek("bb")) {
+      out->op = Opcode::kBr;
+      return parse_block_ref(sc, &out->target);
+    }
+    out->op = Opcode::kCondBr;
+    return sc.reg(&out->a) && sc.eat("?") &&
+           parse_block_ref(sc, &out->target) && sc.eat(":") &&
+           parse_block_ref(sc, &out->target2);
+  }
+  if (sc.eat("ret")) {
+    out->op = Opcode::kRet;
+    return sc.reg(&out->a);
+  }
+  // Assignment form: "rD = ...".
+  Reg dst = 0;
+  if (!sc.reg(&dst)) return false;
+  if (!sc.eat("=")) return false;
+  return parse_assignment_rhs(sc, dst, out);
+}
+
+}  // namespace
+
+ParseResult parse_module(const std::string& text) {
+  ParseResult result;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  Function* fn = nullptr;
+  BasicBlock* block = nullptr;
+
+  auto fail = [&](const std::string& msg) {
+    result.ok = false;
+    result.error = "line " + std::to_string(line_no) + ": " + msg;
+    return result;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    LineScanner sc(line);
+    if (sc.at_end()) continue;
+
+    if (sc.eat("func")) {
+      Function f;
+      std::string name;
+      std::uint32_t args = 0;
+      std::uint32_t regs = 0;
+      if (!sc.identifier(&name) || !sc.eat("(") || !sc.number_u32(&args) ||
+          !sc.eat("args") || !sc.eat(",") || !sc.number_u32(&regs) ||
+          !sc.eat("regs") || !sc.eat(")") || !sc.eat(":")) {
+        return fail("malformed function header");
+      }
+      f.name = std::move(name);
+      f.num_args = args;
+      f.num_regs = regs;
+      result.module.functions.push_back(std::move(f));
+      fn = &result.module.functions.back();
+      block = nullptr;
+      continue;
+    }
+
+    if (sc.peek("bb")) {
+      // Could be a block label "bbK:" — try it; otherwise fall through to
+      // instruction parsing (no instruction starts with "bb").
+      std::uint32_t index = 0;
+      LineScanner label(line);
+      if (label.eat("bb") && label.number_u32(&index) && label.eat(":") &&
+          label.at_end()) {
+        if (fn == nullptr) return fail("block label outside a function");
+        if (index != fn->blocks.size()) {
+          return fail("block labels must be dense and in order");
+        }
+        fn->blocks.emplace_back();
+        block = &fn->blocks.back();
+        continue;
+      }
+    }
+
+    if (fn == nullptr) return fail("instruction outside a function");
+    if (block == nullptr) return fail("instruction outside a block");
+    Instr instr;
+    LineScanner body(line);
+    if (!parse_instruction(body, &instr) || !body.at_end()) {
+      return fail("cannot parse instruction: '" + line + "'");
+    }
+    block->instrs.push_back(instr);
+  }
+
+  const std::string err = verify(result.module);
+  if (!err.empty()) {
+    result.ok = false;
+    result.error = "verification: " + err;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pred::ir

@@ -1,0 +1,40 @@
+// Textual IR parser (assembler): the inverse of ir.hpp's to_string()
+// disassembler. Lets IR programs be written, versioned, and shipped as
+// plain text, then instrumented and executed — and enables round-trip
+// property tests (parse(print(m)) == m).
+//
+// Grammar (one construct per line; '#' starts a comment):
+//
+//   func NAME(N args, M regs):
+//   bbK:
+//     rD = const IMM
+//     rD = rA
+//     rD = rA (+|-|*|/|%|<|==) rB
+//     rD = load.SZ [rA (+ OFF)?]
+//     store.SZ [rA (+ OFF)?], rB
+//     rD = call @F(rA .. N args)
+//     memset [rA], VAL, len rB
+//     memcpy [rA] <- [rB], len rC
+//     br bbK
+//     br rA ? bbK : bbJ
+//     ret rA
+//
+// A leading '*' before any instruction marks it instrumented (as the
+// disassembler prints).
+#pragma once
+
+#include <string>
+
+#include "instrument/ir.hpp"
+
+namespace pred::ir {
+
+struct ParseResult {
+  Module module;
+  bool ok = false;
+  std::string error;  ///< "line N: message" on failure
+};
+
+ParseResult parse_module(const std::string& text);
+
+}  // namespace pred::ir

@@ -1,0 +1,87 @@
+#include "instrument/pass.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pred::ir {
+
+namespace {
+
+bool contains(const std::vector<std::string>& names, const std::string& n) {
+  return std::find(names.begin(), names.end(), n) != names.end();
+}
+
+/// Key identifying "the same address, same access type" within one block:
+/// the address register, the constant offset, the access width, and whether
+/// it is a load or a store.
+struct AccessKey {
+  Reg base;
+  std::int64_t offset;
+  std::uint32_t size;
+  bool is_store;
+  auto operator<=>(const AccessKey&) const = default;
+};
+
+void instrument_function(Function& fn, const PassOptions& options,
+                         PassStats& stats) {
+  for (BasicBlock& bb : fn.blocks) {
+    std::set<AccessKey> seen;  // reset at block boundaries
+    for (Instr& instr : bb.instrs) {
+      if (is_memory_intrinsic(instr.op)) {
+        // memset/memcpy touch a dynamic range: always instrumented (the
+        // per-address dedup cannot apply), subject to writes-only mode for
+        // the pure-read half handled at runtime.
+        ++stats.candidate_accesses;
+        instr.instrumented = true;
+        ++stats.instrumented_accesses;
+        continue;
+      }
+      if (is_memory_access(instr.op)) {
+        ++stats.candidate_accesses;
+        const bool is_store = instr.op == Opcode::kStore;
+        if (!is_store && options.mode == InstrumentMode::kWritesOnly) {
+          ++stats.skipped_reads;
+        } else {
+          const AccessKey key{instr.a, instr.imm, instr.size, is_store};
+          if (options.selective && !seen.insert(key).second) {
+            ++stats.skipped_duplicates;
+          } else {
+            instr.instrumented = true;
+            ++stats.instrumented_accesses;
+          }
+        }
+      }
+      // A redefinition of a register invalidates remembered address
+      // expressions built on it: "the same address" must mean the same
+      // value, not merely the same register name.
+      const bool defines =
+          instr.op != Opcode::kStore && instr.op != Opcode::kBr &&
+          instr.op != Opcode::kCondBr && instr.op != Opcode::kRet;
+      if (defines) {
+        for (auto it = seen.begin(); it != seen.end();) {
+          it = it->base == instr.dst ? seen.erase(it) : std::next(it);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PassStats run_instrumentation_pass(Module& module,
+                                   const PassOptions& options) {
+  PassStats stats;
+  for (Function& fn : module.functions) {
+    const bool allowed =
+        (options.whitelist.empty() || contains(options.whitelist, fn.name)) &&
+        !contains(options.blacklist, fn.name);
+    if (!allowed) {
+      ++stats.skipped_functions;
+      continue;
+    }
+    instrument_function(fn, options, stats);
+  }
+  return stats;
+}
+
+}  // namespace pred::ir

@@ -1,0 +1,44 @@
+// The instrumentation pass (Sections 2.2 and 2.4.2): decides which loads and
+// stores get a runtime call. It runs after any IR "optimization" the program
+// author did (our mini-IR programs are written post-optimization, mirroring
+// the paper's placement of the pass at the very end of LLVM's pipeline) and
+// applies:
+//   * selective per-block dedup — at most one instrumentation per (address
+//     expression, access type) per basic block, with correct invalidation
+//     when the address register is redefined mid-block;
+//   * writes-only mode (detects only write-write false sharing, as SHERIFF);
+//   * function black/whitelists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instrument/ir.hpp"
+#include "runtime/config.hpp"
+
+namespace pred::ir {
+
+struct PassOptions {
+  InstrumentMode mode = InstrumentMode::kReadsAndWrites;
+  /// If non-empty, only these functions are instrumented.
+  std::vector<std::string> whitelist;
+  /// Functions never instrumented (applied after the whitelist).
+  std::vector<std::string> blacklist;
+  /// Per-block (address, type) dedup of Section 2.4.2. Disable to measure
+  /// its effect (ablation bench).
+  bool selective = true;
+};
+
+struct PassStats {
+  std::uint64_t candidate_accesses = 0;    ///< loads/stores seen
+  std::uint64_t instrumented_accesses = 0; ///< marked for runtime calls
+  std::uint64_t skipped_duplicates = 0;    ///< removed by per-block dedup
+  std::uint64_t skipped_reads = 0;         ///< removed by writes-only mode
+  std::uint64_t skipped_functions = 0;     ///< functions excluded by lists
+};
+
+/// Marks Instr::instrumented across the module and returns statistics.
+PassStats run_instrumentation_pass(Module& module, const PassOptions& options);
+
+}  // namespace pred::ir

@@ -1,0 +1,59 @@
+#include "predict/hot_access.hpp"
+
+#include <algorithm>
+
+namespace pred {
+
+std::uint64_t average_word_accesses(const std::vector<WordAccess>& words,
+                                    std::size_t words_per_line) {
+  if (words_per_line == 0) return 0;
+  std::uint64_t total = 0;
+  for (const WordAccess& w : words) total += w.total();
+  return total / words_per_line;
+}
+
+std::vector<HotWord> hot_words(const std::vector<WordAccess>& words,
+                               Address line_start, const LineGeometry& geo,
+                               std::uint64_t threshold) {
+  std::vector<HotWord> out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const WordAccess& w = words[i];
+    if (!w.touched() || w.total() <= threshold) continue;
+    HotWord hw;
+    hw.address = line_start + i * geo.word_size;
+    hw.reads = w.reads;
+    hw.writes = w.writes;
+    hw.owner = w.owner;
+    hw.shared = w.shared();
+    out.push_back(hw);
+  }
+  return out;
+}
+
+bool pair_eligible(const HotWord& a, const HotWord& b) {
+  if (a.writes == 0 && b.writes == 0) return false;           // condition (2)
+  if (a.shared || b.shared) return true;                       // condition (3)
+  return a.owner != b.owner;
+}
+
+std::uint64_t estimate_pair_invalidations(const HotWord& x, const HotWord& y) {
+  return std::min(x.writes, y.total()) + std::min(y.writes, x.total());
+}
+
+std::vector<HotPair> find_hot_pairs(const std::vector<HotWord>& line_words,
+                                    const std::vector<HotWord>& adj_words) {
+  std::vector<HotPair> pairs;
+  for (const HotWord& a : line_words) {
+    for (const HotWord& b : adj_words) {
+      if (!pair_eligible(a, b)) continue;
+      HotPair p;
+      p.x = a.address <= b.address ? a : b;
+      p.y = a.address <= b.address ? b : a;
+      p.estimated_invalidations = estimate_pair_invalidations(a, b);
+      pairs.push_back(p);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace pred

@@ -1,0 +1,65 @@
+// Hot-access extraction and hot-pair search (Section 3.3).
+//
+// A *hot access* on line L is a word whose access count exceeds the average
+// per-word access count of L. Prediction looks for a pair (X, Y) with X hot
+// in L and Y hot (by L's average) in an adjacent line such that:
+//   (1) X and Y can land on the same virtual line,
+//   (2) at least one of them is written,
+//   (3) they are touched by different threads,
+// and the invalidations the pair could cause under the paper's conservative
+// interleaved-schedule assumption exceed L's per-word average access count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "runtime/word_access.hpp"
+
+namespace pred {
+
+/// One hot word, with its absolute address restored.
+struct HotWord {
+  Address address = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  ThreadId owner = kInvalidThread;
+  bool shared = false;
+
+  std::uint64_t total() const { return reads + writes; }
+};
+
+/// A candidate pair straddling a line boundary.
+struct HotPair {
+  HotWord x;  ///< the lower-addressed word
+  HotWord y;  ///< the higher-addressed word
+  std::uint64_t estimated_invalidations = 0;
+};
+
+/// Average sampled accesses per word of a line: the hotness bar.
+std::uint64_t average_word_accesses(const std::vector<WordAccess>& words,
+                                    std::size_t words_per_line);
+
+/// Words of `words` (a line starting at `line_start`) hotter than
+/// `threshold`.
+std::vector<HotWord> hot_words(const std::vector<WordAccess>& words,
+                               Address line_start, const LineGeometry& geo,
+                               std::uint64_t threshold);
+
+/// True when the two words satisfy the paper's write + different-thread
+/// conditions ((2) and (3) above). Shared words count as "different thread"
+/// against any owner because a shared word is touched by >= 2 threads.
+bool pair_eligible(const HotWord& a, const HotWord& b);
+
+/// Invalidations (X, Y) could cause under conservative interleaving: each
+/// write of one word can follow an access of the other, so the estimate is
+/// min(writes_x, acc_y) + min(writes_y, acc_x).
+std::uint64_t estimate_pair_invalidations(const HotWord& x, const HotWord& y);
+
+/// Full pair search between a line's hot words and an adjacent line's hot
+/// words; returns pairs passing eligibility with their estimates (the caller
+/// applies the acceptance threshold).
+std::vector<HotPair> find_hot_pairs(const std::vector<HotWord>& line_words,
+                                    const std::vector<HotWord>& adj_words);
+
+}  // namespace pred

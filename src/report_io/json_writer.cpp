@@ -1,0 +1,128 @@
+#include "report_io/json_writer.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace pred {
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the comma was handled when the key was written
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  ++depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PRED_CHECK(depth_ > 0);
+  out_ += '}';
+  needs_comma_.pop_back();
+  --depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  ++depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PRED_CHECK(depth_ > 0);
+  out_ += ']';
+  needs_comma_.pop_back();
+  --depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  PRED_CHECK(!needs_comma_.empty());
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  before_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace pred

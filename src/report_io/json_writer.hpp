@@ -1,0 +1,52 @@
+// Minimal streaming JSON writer: enough structure for the report exporter
+// (objects, arrays, string/number/bool fields) with correct escaping and
+// comma management, no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pred {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits a key inside an object; must be followed by a value call.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null_value();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The document so far. Valid once every container is closed.
+  const std::string& str() const { return out_; }
+  bool complete() const { return depth_ == 0 && !out_.empty(); }
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  void before_value();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open container
+  int depth_ = 0;
+  bool pending_key_ = false;
+};
+
+}  // namespace pred

@@ -1,0 +1,64 @@
+// Report diffing: compare two detection reports — typically before and
+// after a fix, or across two revisions in CI — matching findings by their
+// stable identity (allocation callsite or global name, not addresses, which
+// change run to run). Classifies each finding as fixed, new, improved,
+// regressed, or unchanged, with the invalidation deltas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/callsite.hpp"
+#include "runtime/report.hpp"
+
+namespace pred {
+
+enum class DiffStatus : std::uint8_t {
+  kFixed,      ///< present before, gone after
+  kNew,        ///< absent before, present after
+  kImproved,   ///< impact dropped by more than the noise band
+  kRegressed,  ///< impact grew by more than the noise band
+  kUnchanged,
+};
+
+const char* to_string(DiffStatus status);
+
+struct FindingDiff {
+  std::string identity;  ///< callsite frames joined, or global name
+  DiffStatus status = DiffStatus::kUnchanged;
+  SharingKind kind = SharingKind::kNone;
+  std::uint64_t impact_before = 0;
+  std::uint64_t impact_after = 0;
+  bool was_observed = false;
+  bool now_observed = false;
+};
+
+struct ReportDiff {
+  std::vector<FindingDiff> entries;  ///< ordered: regressions/new first
+  std::size_t fixed = 0;
+  std::size_t fresh = 0;
+  std::size_t regressed = 0;
+
+  bool clean() const { return fresh == 0 && regressed == 0; }
+};
+
+struct DiffOptions {
+  /// Relative impact change below this fraction counts as unchanged
+  /// (sampling and interleaving jitter).
+  double noise_fraction = 0.25;
+  /// Only false-sharing findings participate by default.
+  bool include_true_sharing = false;
+};
+
+/// The identity key used for matching (exposed for tests).
+std::string finding_identity(const ObjectFinding& finding,
+                             const CallsiteTable& callsites);
+
+ReportDiff diff_reports(const Report& before, const CallsiteTable& cs_before,
+                        const Report& after, const CallsiteTable& cs_after,
+                        const DiffOptions& options = {});
+
+std::string format_diff(const ReportDiff& diff);
+
+}  // namespace pred

@@ -1,0 +1,125 @@
+#include "report_io/report_json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "report_io/json_writer.hpp"
+
+namespace pred {
+
+namespace {
+
+std::string hex(Address a) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIxPTR, a);
+  return buf;
+}
+
+void write_object_info(JsonWriter& w, const ObjectFinding& f,
+                       const CallsiteTable& callsites) {
+  w.key("object").begin_object();
+  w.field("start", hex(f.object.start));
+  w.field("size", static_cast<std::uint64_t>(f.object.size));
+  w.field("global", f.object.is_global);
+  w.field("attributed", f.attributed);
+  if (f.object.is_global) {
+    w.field("name", f.object.name);
+  } else if (f.object.callsite != kNoCallsite) {
+    w.key("callsite").begin_array();
+    for (const auto& frame : callsites.get(f.object.callsite).frames) {
+      w.value(frame);
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void write_words(JsonWriter& w, const ObjectFinding& f) {
+  w.key("words").begin_array();
+  for (const LineFinding& lf : f.lines) {
+    for (const WordReport& word : lf.words) {
+      w.begin_object();
+      w.field("address", hex(word.address));
+      w.field("reads", word.reads);
+      w.field("writes", word.writes);
+      if (word.shared) {
+        w.field("owner", "shared");
+      } else {
+        w.field("owner", static_cast<std::uint64_t>(word.owner));
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+}
+
+void write_virtual_lines(JsonWriter& w, const ObjectFinding& f) {
+  w.key("virtual_lines").begin_array();
+  for (const PredictedFinding& p : f.predictions) {
+    w.begin_object();
+    w.field("start", hex(p.start));
+    w.field("size", static_cast<std::uint64_t>(p.size));
+    w.field("kind", p.kind == VirtualLineTracker::Kind::kDoubleLine
+                        ? "double_line"
+                        : "shifted");
+    w.field("invalidations", p.invalidations);
+    w.field("hot_x", hex(p.hot_x));
+    w.field("hot_y", hex(p.hot_y));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_suggestion(JsonWriter& w, const FixSuggestion& s) {
+  w.begin_object();
+  w.field("kind", to_string(s.kind));
+  w.field("object_start", hex(s.object.start));
+  w.field("object_size", static_cast<std::uint64_t>(s.object.size));
+  w.field("eliminated_invalidations", s.eliminated_invalidations);
+  w.field("threads_involved",
+          static_cast<std::uint64_t>(s.threads_involved));
+  w.field("slot_stride", static_cast<std::uint64_t>(s.slot_stride));
+  w.field("prescription", s.prescription);
+  w.field("rationale", s.rationale);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string report_to_json(const Report& report,
+                           const CallsiteTable& callsites,
+                           const std::vector<FixSuggestion>* suggestions) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("total_invalidations", report.total_invalidations);
+  w.field("finding_count",
+          static_cast<std::uint64_t>(report.findings.size()));
+  w.key("findings").begin_array();
+  std::uint64_t rank = 1;
+  for (const ObjectFinding& f : report.findings) {
+    w.begin_object();
+    w.field("rank", rank++);
+    w.field("kind", to_string(f.kind));
+    w.field("false_sharing", f.is_false_sharing());
+    w.field("observed", f.observed);
+    w.field("predicted", f.predicted);
+    w.field("invalidations", f.invalidations);
+    w.field("predicted_invalidations", f.predicted_invalidations);
+    w.field("accesses", f.total_accesses);
+    w.field("writes", f.total_writes);
+    write_object_info(w, f, callsites);
+    write_words(w, f);
+    write_virtual_lines(w, f);
+    w.end_object();
+  }
+  w.end_array();
+  if (suggestions != nullptr) {
+    w.key("suggestions").begin_array();
+    for (const FixSuggestion& s : *suggestions) write_suggestion(w, s);
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace pred

@@ -1,0 +1,37 @@
+// Report export: serializes a PREDATOR report (and optionally the fix
+// advisor's suggestions) to JSON for CI gates, dashboards, and diffing
+// across runs. Schema:
+//
+// {
+//   "total_invalidations": N,
+//   "findings": [{
+//     "rank": 1, "kind": "FALSE SHARING", "observed": true,
+//     "predicted": false,
+//     "object": {"start": "0x...", "size": N, "global": false,
+//                "name": "...", "callsite": ["frame", ...]},
+//     "invalidations": N, "predicted_invalidations": N,
+//     "accesses": N, "writes": N,
+//     "words": [{"address": "0x...", "reads": N, "writes": N,
+//                "owner": T | "shared"}, ...],
+//     "virtual_lines": [{"start": "0x...", "size": N, "kind": "...",
+//                        "invalidations": N}, ...]
+//   }, ...],
+//   "suggestions": [...]   // only when advice is supplied
+// }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "advice/fix_advisor.hpp"
+#include "runtime/callsite.hpp"
+#include "runtime/report.hpp"
+
+namespace pred {
+
+std::string report_to_json(
+    const Report& report, const CallsiteTable& callsites,
+    const std::vector<FixSuggestion>* suggestions = nullptr);
+
+}  // namespace pred

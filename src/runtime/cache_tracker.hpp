@@ -1,0 +1,151 @@
+// Detailed per-cache-line tracking, allocated lazily once a line's write
+// count crosses TrackingThreshold (Section 2.4.1). Stores the two-entry
+// history table, the invalidation counter, the per-word access histogram,
+// and the per-line sampling state of Section 2.4.3.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/check.hpp"
+#include "common/spinlock.hpp"
+#include "runtime/config.hpp"
+#include "runtime/history_table.hpp"
+#include "runtime/virtual_line.hpp"
+#include "runtime/word_access.hpp"
+
+namespace pred {
+
+class CacheTracker {
+ public:
+  /// Upper bound on words per line we support inline (covers line sizes up to
+  /// 256 bytes at 8-byte words without a secondary allocation).
+  static constexpr std::size_t kMaxWords = 32;
+
+  CacheTracker(std::size_t line_index, const LineGeometry& geometry)
+      : line_index_(line_index), geometry_(geometry) {
+    PRED_CHECK(geometry.words_per_line() <= kMaxWords);
+  }
+
+  /// Records one access that already passed the runtime's fast path.
+  /// Returns true when the access was inside the sampling window (and was
+  /// therefore recorded in detail) — the runtime uses this to decide whether
+  /// to also update covering virtual lines.
+  bool handle_access(Address addr, AccessType type, ThreadId tid,
+                     std::uint64_t sample_window,
+                     std::uint64_t sample_interval) {
+    const std::uint64_t n =
+        access_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (n % sample_interval >= sample_window) {
+      return false;  // outside the sampling window: count only
+    }
+    std::lock_guard<Spinlock> g(lock_);
+    ++sampled_accesses_;
+    if (type == AccessType::kWrite) {
+      ++sampled_writes_;
+    } else {
+      ++sampled_reads_;
+    }
+    words_[geometry_.word_in_line(addr)].record(tid, type);
+    if (history_.access(tid, type) == HistoryOutcome::kInvalidation) {
+      ++invalidations_;
+    }
+    return true;
+  }
+
+  std::size_t line_index() const { return line_index_; }
+
+  // --- snapshot accessors (thread-safe; used by reporting/prediction) ---
+
+  std::uint64_t invalidations() const {
+    std::lock_guard<Spinlock> g(lock_);
+    return invalidations_;
+  }
+  std::uint64_t total_accesses() const {
+    return access_counter_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sampled_accesses() const {
+    std::lock_guard<Spinlock> g(lock_);
+    return sampled_accesses_;
+  }
+  std::uint64_t sampled_writes() const {
+    std::lock_guard<Spinlock> g(lock_);
+    return sampled_writes_;
+  }
+  std::uint64_t sampled_reads() const {
+    std::lock_guard<Spinlock> g(lock_);
+    return sampled_reads_;
+  }
+
+  /// Copy of the word histogram (size = words_per_line).
+  std::vector<WordAccess> words_snapshot() const {
+    std::lock_guard<Spinlock> g(lock_);
+    return std::vector<WordAccess>(
+        words_.begin(), words_.begin() + geometry_.words_per_line());
+  }
+
+  // --- virtual line coverage (prediction verification, Section 3.4) ---
+
+  /// Registers a virtual line whose range overlaps this physical line. The
+  /// tracker does not own the virtual line; the runtime does.
+  void add_virtual_line(VirtualLineTracker* vl) {
+    std::lock_guard<Spinlock> g(vl_lock_);
+    virtual_lines_.push_back(vl);
+    has_virtual_lines_.store(true, std::memory_order_release);
+  }
+
+  bool has_virtual_lines() const {
+    return has_virtual_lines_.load(std::memory_order_acquire);
+  }
+
+  /// Forwards a sampled access to every covering virtual line.
+  void update_virtual_lines(Address addr, AccessType type, ThreadId tid) {
+    std::lock_guard<Spinlock> g(vl_lock_);
+    for (VirtualLineTracker* vl : virtual_lines_) {
+      vl->access(addr, type, tid);
+    }
+  }
+
+  /// Clears the word histogram and history table so a recycled object
+  /// starting on this line is not blamed for its predecessor's accesses
+  /// (the "updates recording information at memory de-allocations" rule of
+  /// Section 2.3.2). Only called for lines with zero invalidations.
+  void reset_for_reuse() {
+    std::lock_guard<Spinlock> g(lock_);
+    history_.reset();
+    invalidations_ = 0;
+    sampled_accesses_ = sampled_reads_ = sampled_writes_ = 0;
+    words_.fill(WordAccess{});
+  }
+
+  /// Marks that the predictor already analyzed this line (step 3 of the
+  /// Section 3.2 workflow runs once per line). Returns true for the caller
+  /// that wins the transition.
+  bool try_begin_prediction() {
+    return !prediction_done_.exchange(true, std::memory_order_acq_rel);
+  }
+
+ private:
+  mutable Spinlock lock_;
+  HistoryTable history_;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t sampled_accesses_ = 0;
+  std::uint64_t sampled_reads_ = 0;
+  std::uint64_t sampled_writes_ = 0;
+  std::array<WordAccess, kMaxWords> words_{};
+
+  std::atomic<std::uint64_t> access_counter_{0};
+
+  mutable Spinlock vl_lock_;
+  std::vector<VirtualLineTracker*> virtual_lines_;
+  std::atomic<bool> has_virtual_lines_{false};
+  std::atomic<bool> prediction_done_{false};
+
+  const std::size_t line_index_;
+  const LineGeometry geometry_;
+};
+
+}  // namespace pred

@@ -1,0 +1,55 @@
+#include "runtime/callsite.hpp"
+
+#include <execinfo.h>
+
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace pred {
+
+CallsiteId CallsiteTable::intern(std::vector<std::string> frames) {
+  std::lock_guard<Spinlock> g(lock_);
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (table_[i].frames == frames) return static_cast<CallsiteId>(i);
+  }
+  table_.push_back(Callsite{std::move(frames)});
+  return static_cast<CallsiteId>(table_.size() - 1);
+}
+
+CallsiteId CallsiteTable::capture_native(int skip) {
+  void* raw[32];
+  int depth = ::backtrace(raw, 32);
+  std::vector<std::string> frames;
+  if (depth > skip) {
+    char** symbols = ::backtrace_symbols(raw + skip, depth - skip);
+    if (symbols) {
+      for (int i = 0; i < depth - skip; ++i) frames.emplace_back(symbols[i]);
+      ::free(symbols);
+    }
+  }
+  return intern(std::move(frames));
+}
+
+const Callsite& CallsiteTable::get(CallsiteId id) const {
+  std::lock_guard<Spinlock> g(lock_);
+  PRED_CHECK(id < table_.size());
+  return table_[id];
+}
+
+std::size_t CallsiteTable::size() const {
+  std::lock_guard<Spinlock> g(lock_);
+  return table_.size();
+}
+
+std::string format_callsite(const Callsite& cs, const std::string& indent) {
+  std::string out;
+  for (const auto& frame : cs.frames) {
+    out += indent;
+    out += frame;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pred

@@ -1,0 +1,48 @@
+// Allocation callsite capture and interning (Section 2.3.2, "Callsite
+// Tracking for Heap Objects").
+//
+// The paper uses glibc backtrace() to record the allocation stack of every
+// heap object. We support that (capture_native), and additionally an
+// explicit symbolic-frame API that workloads use so reports are byte-stable
+// across runs and machines — the content (a stack of source locations) is
+// the same either way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/spinlock.hpp"
+
+namespace pred {
+
+using CallsiteId = std::uint32_t;
+inline constexpr CallsiteId kNoCallsite = ~CallsiteId{0};
+
+struct Callsite {
+  /// Outermost-last stack of symbolic frames, e.g.
+  /// {"stddefines.h:53", "linear_regression-pthread.c:133"}.
+  std::vector<std::string> frames;
+};
+
+class CallsiteTable {
+ public:
+  /// Interns a symbolic stack; equal stacks get equal ids.
+  CallsiteId intern(std::vector<std::string> frames);
+
+  /// Captures the live native stack via backtrace()/backtrace_symbols(),
+  /// skipping `skip` innermost frames, and interns it.
+  CallsiteId capture_native(int skip = 1);
+
+  const Callsite& get(CallsiteId id) const;
+  std::size_t size() const;
+
+ private:
+  mutable Spinlock lock_;
+  std::vector<Callsite> table_;
+};
+
+/// Formats a callsite as an indented multi-line block for reports.
+std::string format_callsite(const Callsite& cs, const std::string& indent);
+
+}  // namespace pred

@@ -1,0 +1,91 @@
+// Cache history table: the invalidation-counting automaton of
+// Section 2.3.1. One instance exists per tracked physical line, and one per
+// tracked *virtual* line during prediction verification (Section 3.4) — the
+// rules are identical, which is why this is a standalone value type.
+//
+// The paper fixes the table at two entries; BoundedHistoryTable generalizes
+// the same rules to K entries so the design point can be ablated
+// (bench/ablation_history_depth). HistoryTable is the paper's K = 2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace pred {
+
+/// Outcome of feeding one access into the table.
+enum class HistoryOutcome : std::uint8_t {
+  kNoEvent,       ///< access recorded (or ignored), no coherence event
+  kInvalidation,  ///< this write invalidated another thread's cached copy
+};
+
+template <int K>
+class BoundedHistoryTable {
+  static_assert(K >= 1 && K <= 64);
+
+ public:
+  /// Applies the paper's update rules for one access and reports whether it
+  /// counts as a cache invalidation.
+  ///
+  /// Writes: a write is an invalidation iff any resident entry belongs to a
+  /// *different* thread (entries are distinct by thread, so a full table
+  /// always qualifies). Every invalidation resets the table to just the
+  /// invalidating write.
+  ///
+  /// Reads: recorded only when they add a *new* thread to a non-full table;
+  /// reads never invalidate. The paper leaves the pre-first-write (empty)
+  /// state unspecified; we record reads into an empty table so that the
+  /// sequence "T2 reads, T1 writes" counts the invalidation of T2's copy,
+  /// matching what real coherence hardware does.
+  HistoryOutcome access(ThreadId tid, AccessType type) {
+    if (type == AccessType::kRead) {
+      if (size_ < K && !contains(tid)) {
+        entries_[size_++] = Entry{tid, AccessType::kRead};
+      }
+      return HistoryOutcome::kNoEvent;
+    }
+    // Write access.
+    if (contains_other(tid)) {
+      entries_[0] = Entry{tid, AccessType::kWrite};
+      size_ = 1;
+      return HistoryOutcome::kInvalidation;
+    }
+    entries_[0] = Entry{tid, AccessType::kWrite};
+    size_ = 1;
+    return HistoryOutcome::kNoEvent;
+  }
+
+  void reset() { size_ = 0; }
+
+  int size() const { return size_; }
+  ThreadId thread_at(int i) const { return entries_[i].tid; }
+  AccessType type_at(int i) const { return entries_[i].type; }
+
+ private:
+  struct Entry {
+    ThreadId tid = kInvalidThread;
+    AccessType type = AccessType::kRead;
+  };
+
+  bool contains(ThreadId tid) const {
+    for (int i = 0; i < size_; ++i) {
+      if (entries_[i].tid == tid) return true;
+    }
+    return false;
+  }
+  bool contains_other(ThreadId tid) const {
+    for (int i = 0; i < size_; ++i) {
+      if (entries_[i].tid != tid) return true;
+    }
+    return false;
+  }
+
+  Entry entries_[K];
+  int size_ = 0;
+};
+
+/// The paper's design point: two entries.
+using HistoryTable = BoundedHistoryTable<2>;
+
+}  // namespace pred

@@ -1,0 +1,80 @@
+// Maps tracked addresses back to the program object they belong to, so a hot
+// cache line can be reported as "heap object allocated at <callsite>" or
+// "global <name>" (Section 2.3). The allocator registers heap objects here;
+// workloads register their falsely-shareable globals directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/cacheline.hpp"
+#include "common/spinlock.hpp"
+#include "runtime/callsite.hpp"
+
+namespace pred {
+
+struct ObjectInfo {
+  Address start = 0;
+  std::size_t size = 0;
+  CallsiteId callsite = kNoCallsite;
+  std::string name;        ///< global variable name; empty for heap objects
+  bool is_global = false;
+  bool live = true;        ///< false once freed (kept if flagged, see below)
+  std::uint64_t alloc_seq = 0;  ///< allocation order, for stable report sorting
+};
+
+class ObjectRegistry {
+ public:
+  void add(ObjectInfo info) {
+    std::lock_guard<Spinlock> g(lock_);
+    info.alloc_seq = next_seq_++;
+    objects_[info.start] = std::move(info);
+  }
+
+  /// Removes the record for the object starting at `start` (used when a
+  /// freed object's memory is recycled; objects involved in false sharing
+  /// are never removed — Section 2.3.2's memory-reuse rule).
+  void remove(Address start) {
+    std::lock_guard<Spinlock> g(lock_);
+    objects_.erase(start);
+  }
+
+  /// Marks the object dead but keeps its record for reporting.
+  void mark_dead(Address start) {
+    std::lock_guard<Spinlock> g(lock_);
+    auto it = objects_.find(start);
+    if (it != objects_.end()) it->second.live = false;
+  }
+
+  /// Returns a copy of the object record containing `addr`, if any.
+  std::optional<ObjectInfo> find(Address addr) const {
+    std::lock_guard<Spinlock> g(lock_);
+    auto it = objects_.upper_bound(addr);
+    if (it == objects_.begin()) return std::nullopt;
+    --it;
+    const ObjectInfo& o = it->second;
+    if (addr >= o.start && addr < o.start + o.size) return o;
+    return std::nullopt;
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    std::lock_guard<Spinlock> g(lock_);
+    for (const auto& [start, info] : objects_) fn(info);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<Spinlock> g(lock_);
+    return objects_.size();
+  }
+
+ private:
+  mutable Spinlock lock_;
+  std::map<Address, ObjectInfo> objects_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pred

@@ -1,0 +1,159 @@
+#include "runtime/runtime.hpp"
+
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace pred {
+
+Runtime::Runtime(RuntimeConfig config) : config_(config) {
+  PRED_CHECK(config_.tracking_threshold >= 1);
+  PRED_CHECK(config_.prediction_threshold >= config_.tracking_threshold);
+  PRED_CHECK(config_.sample_window >= 1);
+  PRED_CHECK(config_.sample_interval >= config_.sample_window);
+  PRED_CHECK(config_.geometry.line_size % config_.geometry.word_size == 0);
+}
+
+Runtime::~Runtime() = default;
+
+ShadowSpace* Runtime::register_region(Address base, std::size_t size) {
+  std::size_t slot = num_regions_.load(std::memory_order_acquire);
+  PRED_CHECK(slot < kMaxRegions);
+  regions_[slot] =
+      std::make_unique<ShadowSpace>(base, size, config_.geometry);
+  ShadowSpace* region = regions_[slot].get();
+  num_regions_.store(slot + 1, std::memory_order_release);
+  return region;
+}
+
+ShadowSpace* Runtime::find_region(Address addr) const {
+  const std::size_t n = num_regions_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (regions_[i]->contains(addr)) return regions_[i].get();
+  }
+  return nullptr;
+}
+
+ThreadId Runtime::register_thread() {
+  return next_thread_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::handle_access(Address addr, AccessType type, ThreadId tid,
+                            std::size_t size) {
+  if (config_.instrument_mode == InstrumentMode::kWritesOnly &&
+      type == AccessType::kRead) {
+    return;
+  }
+  ShadowSpace* region = find_region(addr);
+  if (!region) return;
+
+  const std::size_t ws = config_.geometry.word_size;
+  const std::size_t first_word = addr / ws;
+  const std::size_t last_word = (addr + (size ? size : 1) - 1) / ws;
+  if (first_word == last_word) [[likely]] {
+    handle_access_one_word(*region, addr, type, tid);
+    return;
+  }
+  // Rare: an access spanning words (e.g. an unaligned 8-byte store) is split
+  // so each touched word's histogram entry is updated.
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    Address piece = (w == first_word) ? addr : w * ws;
+    if (region->contains(piece)) {
+      handle_access_one_word(*region, piece, type, tid);
+    }
+  }
+}
+
+void Runtime::handle_access_one_word(ShadowSpace& region, Address addr,
+                                     AccessType type, ThreadId tid) {
+  const std::size_t idx = region.line_index(addr);
+  CacheTracker* track = region.tracker(idx);
+  if (!track) {
+    // Fast path of Figure 1: count writes only, no detailed tracking until
+    // the line crosses TrackingThreshold.
+    if (type == AccessType::kWrite) {
+      const std::uint64_t w =
+          region.writes(idx).fetch_add(1, std::memory_order_relaxed) + 1;
+      if (w >= config_.tracking_threshold) escalate(region, idx);
+    }
+    return;
+  }
+
+  const bool sampled = track->handle_access(
+      addr, type, tid, config_.sample_window, config_.sample_interval);
+  if (sampled && track->has_virtual_lines()) {
+    track->update_virtual_lines(addr, type, tid);
+  }
+  if (type == AccessType::kWrite) {
+    const std::uint64_t w =
+        region.writes(idx).fetch_add(1, std::memory_order_relaxed) + 1;
+    if (w == config_.prediction_threshold && config_.prediction_enabled &&
+        hook_ && track->try_begin_prediction()) {
+      hook_(*this, region, idx);
+    }
+  }
+}
+
+void Runtime::escalate(ShadowSpace& region, std::size_t line_index) {
+  // Step 2 of the Section 3.2 workflow: once line L becomes interesting,
+  // track word-level detail for L *and its adjacent lines*, since only
+  // adjacent-line accesses can turn into false sharing under a different
+  // placement or a larger line size.
+  region.ensure_tracker(line_index);
+  if (config_.prediction_enabled) {
+    if (line_index > 0) region.ensure_tracker(line_index - 1);
+    if (line_index + 1 < region.num_lines()) {
+      region.ensure_tracker(line_index + 1);
+    }
+  }
+}
+
+VirtualLineTracker* Runtime::add_virtual_line(ShadowSpace& region,
+                                              Address start, std::size_t size,
+                                              VirtualLineTracker::Kind kind,
+                                              std::size_t origin_line,
+                                              Address hot_x, Address hot_y) {
+  VirtualLineTracker* vl = nullptr;
+  {
+    std::lock_guard<Spinlock> g(vl_lock_);
+    virtual_lines_.emplace_back(start, size, kind, origin_line, hot_x, hot_y);
+    vl = &virtual_lines_.back();
+  }
+  // Register coverage with every physical line the range overlaps, creating
+  // trackers where needed so future accesses are seen at all.
+  const std::size_t first = region.line_index(start);
+  const std::size_t last = region.line_index(start + size - 1);
+  for (std::size_t i = first; i <= last && i < region.num_lines(); ++i) {
+    region.ensure_tracker(i)->add_virtual_line(vl);
+  }
+  return vl;
+}
+
+std::size_t Runtime::touched_metadata_bytes(
+    std::size_t used_heap_bytes) const {
+  const std::size_t lines_touched =
+      used_heap_bytes / config_.geometry.line_size;
+  std::size_t bytes = lines_touched * (sizeof(std::atomic<std::uint64_t>) +
+                                       sizeof(std::atomic<CacheTracker*>));
+  for_each_region([&](const ShadowSpace& region) {
+    bytes += region.tracker_count() * sizeof(CacheTracker);
+  });
+  {
+    std::lock_guard<Spinlock> g(const_cast<Spinlock&>(vl_lock_));
+    bytes += virtual_lines_.size() * sizeof(VirtualLineTracker);
+  }
+  return bytes;
+}
+
+std::size_t Runtime::metadata_bytes() const {
+  std::size_t bytes = 0;
+  for_each_region(
+      [&](const ShadowSpace& region) { bytes += region.metadata_bytes(); });
+  {
+    std::lock_guard<Spinlock> g(const_cast<Spinlock&>(vl_lock_));
+    bytes += virtual_lines_.size() * sizeof(VirtualLineTracker);
+  }
+  return bytes;
+}
+
+}  // namespace pred

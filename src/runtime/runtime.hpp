@@ -1,0 +1,124 @@
+// The PREDATOR runtime: the component every instrumented access funnels into
+// (Figure 1 of the paper). Owns the shadow spaces, the object registry, the
+// callsite table, and — when prediction is enabled — the virtual cache lines
+// nominated by the prediction engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "runtime/callsite.hpp"
+#include "runtime/config.hpp"
+#include "runtime/object_registry.hpp"
+#include "runtime/shadow.hpp"
+
+namespace pred {
+
+class Runtime {
+ public:
+  /// Upper bound on simultaneously tracked regions (the allocator heap plus
+  /// a handful of global segments).
+  static constexpr std::size_t kMaxRegions = 16;
+
+  explicit Runtime(RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- region management ---
+
+  /// Starts tracking [base, base+size). Returns the region, which remains
+  /// owned by the runtime. The base is rounded down to a line boundary.
+  ShadowSpace* register_region(Address base, std::size_t size);
+
+  /// Region containing `addr`, or nullptr when the address is untracked.
+  ShadowSpace* find_region(Address addr) const;
+
+  // --- the hot path (Figure 1) ---
+
+  /// Records one memory access of `size` bytes issued by thread `tid`.
+  /// Accesses that straddle a word boundary are split so the word histogram
+  /// stays exact; accesses to untracked memory are ignored.
+  void handle_access(Address addr, AccessType type, ThreadId tid,
+                     std::size_t size = 8);
+
+  // --- threads ---
+
+  /// Hands out dense thread ids in registration order.
+  ThreadId register_thread();
+  std::uint32_t thread_count() const {
+    return next_thread_.load(std::memory_order_relaxed);
+  }
+
+  // --- prediction plumbing ---
+
+  /// Callback invoked (once per line) when a line's write count crosses
+  /// PredictionThreshold: step 3 of the Section 3.2 workflow. Installed by
+  /// the prediction engine; the runtime stays ignorant of the analysis.
+  using PredictionHook =
+      std::function<void(Runtime&, ShadowSpace&, std::size_t line_index)>;
+  void set_prediction_hook(PredictionHook hook) { hook_ = std::move(hook); }
+
+  /// Creates a virtual line tracker, registers it with every physical line
+  /// it overlaps (so subsequent sampled accesses feed it), and retains
+  /// ownership. Returns the tracker for inspection.
+  VirtualLineTracker* add_virtual_line(ShadowSpace& region, Address start,
+                                       std::size_t size,
+                                       VirtualLineTracker::Kind kind,
+                                       std::size_t origin_line, Address hot_x,
+                                       Address hot_y);
+
+  const std::deque<VirtualLineTracker>& virtual_lines() const {
+    return virtual_lines_;
+  }
+
+  // --- shared services ---
+
+  ObjectRegistry& objects() { return objects_; }
+  const ObjectRegistry& objects() const { return objects_; }
+  CallsiteTable& callsites() { return callsites_; }
+  const CallsiteTable& callsites() const { return callsites_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  template <typename F>
+  void for_each_region(F&& fn) const {
+    const std::size_t n = num_regions_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) fn(*regions_[i]);
+  }
+
+  /// Total shadow/tracker/virtual-line metadata bytes (Figure 8/9 input).
+  std::size_t metadata_bytes() const;
+
+  /// Metadata bytes excluding untouched reservation: per-line shadow slots
+  /// for `used_heap_bytes` of carved heap, plus live trackers and virtual
+  /// lines. This mirrors the paper's proportional-set-size measurement,
+  /// which only counts pages the run actually touched.
+  std::size_t touched_metadata_bytes(std::size_t used_heap_bytes) const;
+
+ private:
+  void escalate(ShadowSpace& region, std::size_t line_index);
+  void handle_access_one_word(ShadowSpace& region, Address addr,
+                              AccessType type, ThreadId tid);
+
+  RuntimeConfig config_;
+  std::unique_ptr<ShadowSpace> regions_[kMaxRegions];
+  std::atomic<std::size_t> num_regions_{0};
+
+  std::atomic<ThreadId> next_thread_{0};
+
+  ObjectRegistry objects_;
+  CallsiteTable callsites_;
+
+  Spinlock vl_lock_;
+  std::deque<VirtualLineTracker> virtual_lines_;  // stable addresses
+
+  PredictionHook hook_;
+};
+
+}  // namespace pred

@@ -1,0 +1,109 @@
+// Shadow memory for one tracked region (Section 2.3.2, "Optimizing Metadata
+// Lookup"): metadata for an address is found by pure address arithmetic.
+// Two side arrays exist per region, exactly as in the paper's Section 2.4.1:
+//   CacheWrites   — per-line write counters driving TrackingThreshold,
+//   CacheTracking — per-line pointers to lazily allocated CacheTrackers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/check.hpp"
+#include "common/spinlock.hpp"
+#include "runtime/cache_tracker.hpp"
+
+namespace pred {
+
+class ShadowSpace {
+ public:
+  ShadowSpace(Address base, std::size_t size, const LineGeometry& geometry)
+      : base_(geometry.line_base(base)),
+        geometry_(geometry),
+        num_lines_((base + size - base_ + geometry.line_size - 1) /
+                   geometry.line_size),
+        writes_(num_lines_),
+        tracking_(num_lines_) {
+    PRED_CHECK(size > 0);
+    for (auto& w : writes_) w.store(0, std::memory_order_relaxed);
+    for (auto& t : tracking_) t.store(nullptr, std::memory_order_relaxed);
+  }
+
+  bool contains(Address a) const {
+    return a >= base_ && a < base_ + num_lines_ * geometry_.line_size;
+  }
+
+  std::size_t line_index(Address a) const {
+    return (a - base_) / geometry_.line_size;
+  }
+  Address line_start(std::size_t idx) const {
+    return base_ + idx * geometry_.line_size;
+  }
+  std::size_t num_lines() const { return num_lines_; }
+  Address base() const { return base_; }
+  const LineGeometry& geometry() const { return geometry_; }
+
+  std::atomic<std::uint64_t>& writes(std::size_t idx) { return writes_[idx]; }
+  std::uint64_t writes_count(std::size_t idx) const {
+    return writes_[idx].load(std::memory_order_relaxed);
+  }
+
+  CacheTracker* tracker(std::size_t idx) const {
+    return tracking_[idx].load(std::memory_order_acquire);
+  }
+
+  /// Allocates (or returns the existing) tracker for a line. Mirrors the
+  /// allocCacheTrack + ATOMIC_CAS sequence of Figure 1.
+  CacheTracker* ensure_tracker(std::size_t idx) {
+    CacheTracker* existing = tracking_[idx].load(std::memory_order_acquire);
+    if (existing) return existing;
+    auto fresh = std::make_unique<CacheTracker>(idx, geometry_);
+    CacheTracker* raw = fresh.get();
+    CacheTracker* expected = nullptr;
+    if (tracking_[idx].compare_exchange_strong(expected, raw,
+                                               std::memory_order_acq_rel)) {
+      std::lock_guard<Spinlock> g(arena_lock_);
+      arena_.push_back(std::move(fresh));
+      return raw;
+    }
+    return expected;  // another thread won the race; ours is freed here
+  }
+
+  /// Invokes fn(line_index, tracker) for every escalated line.
+  template <typename F>
+  void for_each_tracker(F&& fn) const {
+    for (std::size_t i = 0; i < num_lines_; ++i) {
+      if (CacheTracker* t = tracking_[i].load(std::memory_order_acquire)) {
+        fn(i, t);
+      }
+    }
+  }
+
+  std::size_t tracker_count() const {
+    std::lock_guard<Spinlock> g(arena_lock_);
+    return arena_.size();
+  }
+
+  /// Bytes of shadow metadata attributable to this region (the two side
+  /// arrays plus allocated trackers). Feeds the Figure 8/9 accounting.
+  std::size_t metadata_bytes() const {
+    std::size_t bytes = num_lines_ * (sizeof(std::atomic<std::uint64_t>) +
+                                      sizeof(std::atomic<CacheTracker*>));
+    std::lock_guard<Spinlock> g(arena_lock_);
+    bytes += arena_.size() * sizeof(CacheTracker);
+    return bytes;
+  }
+
+ private:
+  const Address base_;
+  const LineGeometry geometry_;
+  const std::size_t num_lines_;
+  std::vector<std::atomic<std::uint64_t>> writes_;
+  std::vector<std::atomic<CacheTracker*>> tracking_;
+  mutable Spinlock arena_lock_;
+  std::vector<std::unique_ptr<CacheTracker>> arena_;
+};
+
+}  // namespace pred

@@ -1,0 +1,42 @@
+// Per-word access histogram (Section 2.3.2): for every word of a tracked
+// cache line, how many reads and writes it received and by which thread.
+// Once a second thread touches a word the word is marked *shared* and thread
+// attribution stops — this is exactly how the paper separates true sharing
+// (hot shared words) from false sharing (hot words owned by different
+// threads).
+#pragma once
+
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace pred {
+
+struct WordAccess {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Owning thread, or kSharedWord once >1 thread has touched this word, or
+  /// kInvalidThread while untouched.
+  ThreadId owner = kInvalidThread;
+
+  static constexpr ThreadId kSharedWord = kInvalidThread - 1;
+
+  bool touched() const { return reads + writes != 0; }
+  bool shared() const { return owner == kSharedWord; }
+  std::uint64_t total() const { return reads + writes; }
+
+  void record(ThreadId tid, AccessType type) {
+    if (type == AccessType::kWrite) {
+      ++writes;
+    } else {
+      ++reads;
+    }
+    if (owner == kInvalidThread) {
+      owner = tid;
+    } else if (owner != tid && owner != kSharedWord) {
+      owner = kSharedWord;
+    }
+  }
+};
+
+}  // namespace pred

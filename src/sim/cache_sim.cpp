@@ -1,0 +1,77 @@
+#include "sim/cache_sim.hpp"
+
+#include <bit>
+
+namespace pred {
+
+std::uint64_t CacheSim::on_access(std::uint32_t core, Address addr,
+                                  AccessType type) {
+  PRED_CHECK(core < config_.num_cores);
+  const std::size_t line = addr / config_.line_size;
+  LineState& st = lines_[line];
+  const std::uint64_t me = 1ull << core;
+
+  ++stats_.accesses;
+  std::uint64_t cost = 0;
+
+  if (type == AccessType::kRead) {
+    if (st.owner == static_cast<std::int32_t>(core) || (st.sharers & me)) {
+      ++stats_.hits;
+      cost = config_.hit_cost;
+    } else if (st.owner >= 0) {
+      // Dirty in another core's cache: ownership downgrade + transfer.
+      ++stats_.coherence_misses;
+      cost = config_.coherence_miss_cost;
+      st.sharers |= (1ull << st.owner) | me;
+      st.owner = -1;
+    } else if (!st.touched) {
+      ++stats_.cold_misses;
+      cost = config_.cold_miss_cost;
+      st.sharers |= me;
+    } else {
+      ++stats_.shared_fetches;
+      cost = config_.shared_fetch_cost;
+      st.sharers |= me;
+    }
+  } else {  // write
+    if (st.owner == static_cast<std::int32_t>(core)) {
+      ++stats_.hits;
+      cost = config_.hit_cost;
+    } else {
+      const bool remote_dirty =
+          st.owner >= 0 && st.owner != static_cast<std::int32_t>(core);
+      const std::uint64_t remote_sharers = st.sharers & ~me;
+      const int killed =
+          std::popcount(remote_sharers) + (remote_dirty ? 1 : 0);
+      stats_.invalidations_sent += static_cast<std::uint64_t>(killed);
+
+      if (remote_dirty) {
+        ++stats_.coherence_misses;
+        cost = config_.coherence_miss_cost;
+      } else if (!st.touched) {
+        ++stats_.cold_misses;
+        cost = config_.cold_miss_cost;
+      } else if (killed > 0) {
+        // Upgrade: line present somewhere clean; pay invalidation traffic.
+        ++stats_.shared_fetches;
+        cost = config_.shared_fetch_cost;
+      } else if (st.sharers & me) {
+        ++stats_.hits;  // exclusive upgrade of our own clean copy
+        cost = config_.hit_cost;
+      } else {
+        ++stats_.cold_misses;
+        cost = config_.cold_miss_cost;
+      }
+      cost += static_cast<std::uint64_t>(killed) * config_.invalidation_cost;
+      st.sharers = 0;
+      st.owner = static_cast<std::int32_t>(core);
+    }
+  }
+
+  st.touched = true;
+  core_cycles_[core] += cost;
+  stats_.total_cycles += cost;
+  return cost;
+}
+
+}  // namespace pred

@@ -1,0 +1,57 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+
+namespace pred {
+
+ConcurrentResult simulate_concurrent(CacheSim& sim,
+                                     std::span<const ThreadTrace> traces) {
+  const std::size_t n = traces.size();
+  std::vector<std::size_t> cursor(n, 0);
+  std::vector<std::uint64_t> clock(n, 0);
+
+  ConcurrentResult result;
+  while (true) {
+    // Pick the earliest thread that still has work.
+    std::size_t best = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (cursor[t] >= traces[t].size()) continue;
+      if (best == n || clock[t] < clock[best]) best = t;
+    }
+    if (best == n) break;
+    const TraceEvent& ev = traces[best][cursor[best]++];
+    const std::uint32_t core =
+        static_cast<std::uint32_t>(best % sim.config().num_cores);
+    const std::uint64_t cost = sim.on_access(core, ev.addr, ev.type);
+    clock[best] += ev.think_cycles + cost;
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    result.finish_cycles = std::max(result.finish_cycles, clock[t]);
+  }
+  result.stats = sim.stats();
+  return result;
+}
+
+SimStats simulate_interleaved(CacheSim& sim,
+                              std::span<const ThreadTrace> traces,
+                              std::size_t quantum) {
+  if (quantum == 0) quantum = 1;
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const ThreadTrace& trace = traces[t];
+      const std::uint32_t core =
+          static_cast<std::uint32_t>(t % sim.config().num_cores);
+      for (std::size_t q = 0; q < quantum && cursor[t] < trace.size(); ++q) {
+        const TraceEvent& ev = trace[cursor[t]++];
+        sim.on_access(core, ev.addr, ev.type);
+        progressed = true;
+      }
+    }
+  }
+  return sim.stats();
+}
+
+}  // namespace pred

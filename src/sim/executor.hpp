@@ -1,0 +1,84 @@
+// Trace capture and deterministic interleaved execution.
+//
+// Workload kernels are generic over an access sink (see
+// workloads/workload.hpp). Recording each logical thread's accesses into a
+// TraceRecorder and replaying them round-robin through the CacheSim gives a
+// deterministic model of the paper's parallel hardware runs — this is how
+// Figure 2's offset-sensitivity curve and Table 1's "Improvement" column are
+// produced on a machine where real false sharing cannot manifest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "sim/cache_sim.hpp"
+
+namespace pred {
+
+struct TraceEvent {
+  Address addr = 0;
+  /// Modeled cycles of *uninstrumented compute* preceding this access
+  /// (hashing, arithmetic, branching). Only the simulator's timing model
+  /// consumes this; detection replay ignores it.
+  std::uint32_t think_cycles = 0;
+  AccessType type = AccessType::kRead;
+  std::uint8_t size = 8;  ///< access width in bytes
+};
+
+using ThreadTrace = std::vector<TraceEvent>;
+
+/// Sink that records accesses (one logical thread's view).
+class TraceRecorder {
+ public:
+  void on_read(const void* p, std::size_t size = 8) {
+    trace_.push_back({reinterpret_cast<Address>(p), take_think(),
+                      AccessType::kRead, static_cast<std::uint8_t>(size)});
+  }
+  void on_write(const void* p, std::size_t size = 8) {
+    trace_.push_back({reinterpret_cast<Address>(p), take_think(),
+                      AccessType::kWrite, static_cast<std::uint8_t>(size)});
+  }
+  /// Declares `cycles` of uninstrumented compute preceding the next access.
+  void think(std::uint32_t cycles) { pending_think_ += cycles; }
+
+  ThreadTrace take() { return std::move(trace_); }
+  const ThreadTrace& trace() const { return trace_; }
+  void reserve(std::size_t n) { trace_.reserve(n); }
+
+ private:
+  std::uint32_t take_think() {
+    const std::uint32_t t = pending_think_;
+    pending_think_ = 0;
+    return t;
+  }
+  ThreadTrace trace_;
+  std::uint32_t pending_think_ = 0;
+};
+
+/// Replays per-thread traces through the simulator, round-robin with the
+/// given quantum (thread i runs on core i % num_cores). Returns the
+/// simulator's stats; timing comes from sim.max_core_cycles(). Ignores
+/// think_cycles (pure coherence counting).
+SimStats simulate_interleaved(CacheSim& sim,
+                              std::span<const ThreadTrace> traces,
+                              std::size_t quantum = 1);
+
+/// Event-driven concurrent execution: each thread owns a clock; at every
+/// step the globally-earliest thread issues its next access and advances by
+/// its think time plus the access's modeled cost. This is the timing model
+/// used for the paper's runtime figures — threads suffering coherence
+/// misses fall behind exactly as real cores do. Returns the stats; modeled
+/// runtime is the maximum finishing clock, exposed via `finish_time`.
+struct ConcurrentResult {
+  SimStats stats;
+  std::uint64_t finish_cycles = 0;
+  double seconds(double clock_ghz = 2.33) const {
+    return static_cast<double>(finish_cycles) / (clock_ghz * 1e9);
+  }
+};
+ConcurrentResult simulate_concurrent(CacheSim& sim,
+                                     std::span<const ThreadTrace> traces);
+
+}  // namespace pred

@@ -1,0 +1,84 @@
+#include "tasking/fiber_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace pred {
+
+namespace {
+// The pool currently executing on this OS thread (cooperative, single
+// threaded by construction).
+thread_local FiberPool* g_active_pool = nullptr;
+}  // namespace
+
+FiberPool::FiberPool(std::size_t stack_size) : stack_size_(stack_size) {
+  PRED_CHECK(stack_size_ >= 16 * 1024);
+}
+
+FiberPool::~FiberPool() = default;
+
+void FiberPool::spawn(std::function<void()> body) {
+  auto fiber = std::make_unique<Fiber>();
+  fiber->body = std::move(body);
+  fiber->stack.resize(stack_size_);
+  fibers_.push_back(std::move(fiber));
+}
+
+void FiberPool::trampoline() {
+  FiberPool* pool = g_active_pool;
+  PRED_CHECK(pool != nullptr);
+  Fiber& fiber = *pool->fibers_[pool->running_];
+  fiber.body();
+  fiber.finished = true;
+  // Return to the scheduler; this context is never resumed again.
+  swapcontext(&fiber.context, &pool->scheduler_context_);
+}
+
+void FiberPool::switch_to(std::size_t index) {
+  running_ = index;
+  Fiber& fiber = *fibers_[index];
+  swapcontext(&scheduler_context_, &fiber.context);
+  running_ = static_cast<std::size_t>(-1);
+}
+
+void FiberPool::run() {
+  PRED_CHECK(g_active_pool == nullptr);  // no nested pools
+  g_active_pool = this;
+
+  // Prepare every fiber's initial context.
+  for (auto& fiber : fibers_) {
+    PRED_CHECK(getcontext(&fiber->context) == 0);
+    fiber->context.uc_stack.ss_sp = fiber->stack.data();
+    fiber->context.uc_stack.ss_size = fiber->stack.size();
+    fiber->context.uc_link = &scheduler_context_;
+    makecontext(&fiber->context, reinterpret_cast<void (*)()>(&trampoline),
+                0);
+  }
+
+  bool any_running = true;
+  while (any_running) {
+    any_running = false;
+    for (std::size_t i = 0; i < fibers_.size(); ++i) {
+      if (fibers_[i]->finished) continue;
+      any_running = true;
+      switch_to(i);
+    }
+  }
+  g_active_pool = nullptr;
+}
+
+void FiberPool::yield() {
+  FiberPool* pool = g_active_pool;
+  if (pool == nullptr || pool->running_ == static_cast<std::size_t>(-1)) {
+    return;
+  }
+  Fiber& fiber = *pool->fibers_[pool->running_];
+  swapcontext(&fiber.context, &pool->scheduler_context_);
+}
+
+std::size_t FiberPool::current_fiber() {
+  FiberPool* pool = g_active_pool;
+  if (pool == nullptr) return static_cast<std::size_t>(-1);
+  return pool->running_;
+}
+
+}  // namespace pred

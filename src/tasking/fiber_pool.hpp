@@ -1,0 +1,64 @@
+// Cooperative fiber pool: a user-level threading library with no pthreads
+// underneath. Exists to demonstrate the paper's Section 6 claim that
+// PREDATOR's architecture works "across the software stack ... applications
+// using different threading libraries": detection only needs logical thread
+// identities and an access stream, so fibers multiplexed on one OS thread
+// are detected exactly like kernel threads.
+//
+// Implementation: ucontext_t coroutines, round-robin scheduled, explicit
+// yield(). Single OS thread; no locking needed.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pred {
+
+class FiberPool {
+ public:
+  explicit FiberPool(std::size_t stack_size = 256 * 1024);
+  ~FiberPool();
+
+  FiberPool(const FiberPool&) = delete;
+  FiberPool& operator=(const FiberPool&) = delete;
+
+  /// Queues a fiber. Must be called before run().
+  void spawn(std::function<void()> body);
+
+  /// Runs all fibers round-robin until every one has finished. Fibers call
+  /// FiberPool::yield() to hand the processor to the next fiber.
+  void run();
+
+  /// Yields from inside a fiber back to the scheduler. No-op if called
+  /// outside a running pool.
+  static void yield();
+
+  /// Index of the currently running fiber, or SIZE_MAX outside a fiber.
+  /// Usable as a logical ThreadId for instrumentation.
+  static std::size_t current_fiber();
+
+  std::size_t fiber_count() const { return fibers_.size(); }
+
+ private:
+  struct Fiber {
+    ucontext_t context{};
+    std::vector<char> stack;
+    std::function<void()> body;
+    bool finished = false;
+  };
+
+  static void trampoline();
+
+  void switch_to(std::size_t index);
+
+  std::size_t stack_size_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  ucontext_t scheduler_context_{};
+  std::size_t running_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace pred

@@ -1,0 +1,97 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace pred {
+
+namespace {
+
+struct WireEvent {
+  std::uint64_t addr;
+  std::uint32_t think;
+  std::uint8_t type;
+  std::uint8_t size;
+  std::uint16_t pad;
+};
+static_assert(sizeof(WireEvent) == 16);
+
+template <typename T>
+bool write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return out.good();
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+bool save_traces(std::ostream& out, const std::vector<ThreadTrace>& traces) {
+  if (!write_pod(out, kTraceMagic)) return false;
+  if (!write_pod(out, kTraceVersion)) return false;
+  if (!write_pod(out, static_cast<std::uint32_t>(traces.size()))) return false;
+  for (const ThreadTrace& trace : traces) {
+    if (!write_pod(out, static_cast<std::uint64_t>(trace.size()))) {
+      return false;
+    }
+    for (const TraceEvent& ev : trace) {
+      WireEvent wire{static_cast<std::uint64_t>(ev.addr), ev.think_cycles,
+                     static_cast<std::uint8_t>(ev.type), ev.size, 0};
+      if (!write_pod(out, wire)) return false;
+    }
+  }
+  return out.good();
+}
+
+bool save_traces_file(const std::string& path,
+                      const std::vector<ThreadTrace>& traces) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out.is_open() && save_traces(out, traces);
+}
+
+bool load_traces(std::istream& in, std::vector<ThreadTrace>* traces) {
+  traces->clear();
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t threads = 0;
+  if (!read_pod(in, &magic) || magic != kTraceMagic) return false;
+  if (!read_pod(in, &version) || version != kTraceVersion) return false;
+  if (!read_pod(in, &threads)) return false;
+  std::vector<ThreadTrace> loaded;
+  loaded.resize(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    std::uint64_t count = 0;
+    if (!read_pod(in, &count)) return false;
+    loaded[t].reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      WireEvent wire;
+      if (!read_pod(in, &wire)) return false;
+      TraceEvent ev;
+      ev.addr = static_cast<Address>(wire.addr);
+      ev.think_cycles = wire.think;
+      ev.type = wire.type == 0 ? AccessType::kRead : AccessType::kWrite;
+      ev.size = wire.size;
+      loaded[t].push_back(ev);
+    }
+  }
+  *traces = std::move(loaded);
+  return true;
+}
+
+bool load_traces_file(const std::string& path,
+                      std::vector<ThreadTrace>* traces) {
+  std::ifstream in(path, std::ios::binary);
+  return in.is_open() && load_traces(in, traces);
+}
+
+std::size_t total_events(const std::vector<ThreadTrace>& traces) {
+  std::size_t n = 0;
+  for (const auto& t : traces) n += t.size();
+  return n;
+}
+
+}  // namespace pred

@@ -1,0 +1,43 @@
+// Trace persistence: serialize per-thread access traces to a compact binary
+// file and load them back. This enables the record-once / analyze-many
+// workflow: capture an execution a single time, then re-run detection under
+// different thresholds, sampling rates, line sizes, or predictor settings
+// without re-executing the program — the offline analogue of the paper's
+// runtime pipeline (and the representation its prediction machinery really
+// consumes).
+//
+// Format (little-endian):
+//   magic   u32 = 0x50525452 ("PRTR")
+//   version u32 = 1
+//   threads u32
+//   per thread: count u64, then count * { addr u64, think u32, type u8,
+//                                         size u8, pad u16 }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/executor.hpp"
+
+namespace pred {
+
+inline constexpr std::uint32_t kTraceMagic = 0x50525452u;
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Writes traces to a stream/file. Returns false on I/O failure.
+bool save_traces(std::ostream& out, const std::vector<ThreadTrace>& traces);
+bool save_traces_file(const std::string& path,
+                      const std::vector<ThreadTrace>& traces);
+
+/// Reads traces back. Returns false on I/O failure, bad magic/version, or a
+/// truncated stream; `traces` is cleared first and left empty on failure.
+bool load_traces(std::istream& in, std::vector<ThreadTrace>* traces);
+bool load_traces_file(const std::string& path,
+                      std::vector<ThreadTrace>* traces);
+
+/// Total event count across threads (reporting convenience).
+std::size_t total_events(const std::vector<ThreadTrace>& traces);
+
+}  // namespace pred

@@ -1,0 +1,68 @@
+// aget (modeled): a download accelerator — each thread writes a disjoint,
+// line-aligned region of the output buffer as its "segment" downloads. No
+// false sharing; I/O-bound in the paper, so instrumented traffic is light.
+// Its sub-megabyte footprint is why Figure 9 shows a large *relative*
+// memory overhead.
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class AgetLike final : public WorkloadImpl<AgetLike> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "aget", .suite = "real", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t segment = 8192 * p.scale;  // bytes per thread
+
+    char* file = static_cast<char*>(
+        h.alloc(segment * n, {"aget/Download.c:buffer"}));
+    PRED_CHECK(file != nullptr);
+
+    // Per-thread progress counters, individually allocated.
+    std::vector<std::uint64_t*> progress(n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      progress[t] = static_cast<std::uint64_t*>(
+          h.alloc(128, {"aget/Download.c:bwritten"}));
+      PRED_CHECK(progress[t] != nullptr);
+      *progress[t] = 0;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      Xorshift64 local(p.seed + t);
+      char* seg = file + segment * t;
+      // "Receive" 1 KB packets and append them to the segment.
+      for (std::uint64_t off = 0; off < segment; off += 1024) {
+        for (std::uint64_t i = 0; i < 1024; i += 64) {
+          sink.write(&seg[off + i], 8);
+          std::uint64_t v = local.next();
+          std::memcpy(&seg[off + i], &v, 8);
+        }
+        sink.read(progress[t], 8);
+        *progress[t] += 1024;
+        sink.write(progress[t], 8);
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) r.checksum += *progress[t];
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_aget_like() {
+  return std::make_unique<AgetLike>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,68 @@
+// PARSEC bodytrack (modeled): no false sharing, but one of Figure 7's
+// costliest rows — its particle-weight accumulators are written so heavily
+// that many lines cross the TrackingThreshold and incur detailed tracking
+// even though every line is single-owner.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class BodytrackLike final : public WorkloadImpl<BodytrackLike> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "bodytrack", .suite = "parsec", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t particles = 64;
+    const std::uint64_t frames = 120 * p.scale;
+
+    std::vector<std::int64_t*> weights(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      // Dense per-thread weight vector (+guard line for heap separation).
+      weights[t] = static_cast<std::int64_t*>(
+          h.alloc(particles * 8 + 64, {"TrackingModel.cpp:weights"}));
+      PRED_CHECK(weights[t] != nullptr);
+      for (std::uint64_t i = 0; i < particles; ++i) {
+        weights[t][i] = static_cast<std::int64_t>(rng.next_below(100));
+      }
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      Xorshift64 local(p.seed + t);
+      for (std::uint64_t f = 0; f < frames; ++f) {
+        for (std::uint64_t i = 0; i < particles; ++i) {
+          // Likelihood update: dense RMW over the whole weight vector.
+          sink.read(&weights[t][i], 8);
+          const std::int64_t w = weights[t][i];
+          const std::int64_t obs =
+              static_cast<std::int64_t>(local.next_below(16));
+          weights[t][i] = (w * 7 + obs) % 1000003;
+          sink.write(&weights[t][i], 8);
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (std::uint64_t i = 0; i < particles; ++i) {
+        r.checksum += static_cast<std::uint64_t>(weights[t][i]);
+      }
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bodytrack_like() {
+  return std::make_unique<BodytrackLike>();
+}
+
+}  // namespace pred::wl

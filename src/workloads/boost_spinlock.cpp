@@ -1,0 +1,92 @@
+// Boost (modeled): false sharing inside boost::detail::spinlock_pool
+// (Section 4.1.2). The pool is a static array of 41 four-byte spinlocks;
+// shared_ptr operations hash the object address to pick a lock, so
+// different threads constantly acquire different locks that live on the
+// same cache line. The fix pads each lock to a line (paper: 40%).
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+constexpr std::size_t kPoolSize = 41;
+
+class BoostSpinlock final : public WorkloadImpl<BoostSpinlock> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "boost",
+        .suite = "real",
+        .sites = {{.where = "boost/smart_ptr/detail/spinlock_pool.hpp:pool_",
+                   .needs_prediction = false,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 40.0}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t operations = 6000 * p.scale;
+    const std::size_t stride = p.site_fixed(0) ? 64 : 4;
+
+    // The spinlock pool is a static global in Boost; we register it as a
+    // tracked global rather than a heap object.
+    char* pool = static_cast<char*>(
+        h.alloc(stride * kPoolSize,
+                {"boost/smart_ptr/detail/spinlock_pool.hpp:pool_"}));
+    PRED_CHECK(pool != nullptr);
+    std::memset(pool, 0, stride * kPoolSize);
+
+    std::vector<std::uint64_t*> refcounts(n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      refcounts[t] = static_cast<std::uint64_t*>(
+          h.alloc(64 * 8 + 64, {"app.cpp:shared_ptrs"}));
+      PRED_CHECK(refcounts[t] != nullptr);
+      for (int i = 0; i < 64; ++i) refcounts[t][i] = 1;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      Xorshift64 local(p.seed + 101 * t);
+      for (std::uint64_t op = 0; op < operations; ++op) {
+        // spinlock_pool<2>::spinlock_for(ptr): the address hash. Each
+        // thread's shared_ptr control blocks are thread-local addresses, so
+        // each thread lands on its own small subset of pool slots — distinct
+        // locks for distinct threads, many on the same cache line.
+        sink.think(2500);  // the shared_ptr user's work between operations
+        const std::uint64_t obj = local.next_below(64);
+        const std::size_t lock_idx = (5 * t + obj % 5) % kPoolSize;
+        char* lock = pool + stride * lock_idx;
+        // Acquire: test-and-set (a read + a write on the lock word).
+        sink.read(lock, 4);
+        sink.write(lock, 4);
+        *lock = 1;
+        // Critical section: the shared_ptr refcount bump.
+        sink.read(&refcounts[t][obj], 8);
+        refcounts[t][obj] += 1;
+        sink.write(&refcounts[t][obj], 8);
+        // Release.
+        sink.write(lock, 4);
+        *lock = 0;
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (int i = 0; i < 64; ++i) r.checksum += refcounts[t][i];
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_boost_spinlock() {
+  return std::make_unique<BoostSpinlock>();
+}
+
+}  // namespace pred::wl

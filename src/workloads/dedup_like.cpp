@@ -1,0 +1,75 @@
+// PARSEC dedup (modeled): no false sharing. Threads chunk and fingerprint
+// private data streams; each thread's dedup table is private and
+// guard-separated.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class DedupLike final : public WorkloadImpl<DedupLike> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "dedup", .suite = "parsec", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t bytes_per_thread = 16000 * p.scale;
+    constexpr std::uint64_t kChunk = 256;
+    constexpr std::uint64_t kTable = 128;
+
+    std::vector<unsigned char*> data(n);
+    std::vector<std::uint64_t*> table(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      data[t] = static_cast<unsigned char*>(
+          h.alloc(bytes_per_thread, {"dedup/encoder.c:data"}));
+      table[t] = static_cast<std::uint64_t*>(
+          h.alloc(kTable * 8 + 64, {"dedup/hashtable.c:table"}));
+      PRED_CHECK(data[t] && table[t]);
+      for (std::uint64_t i = 0; i < bytes_per_thread; ++i) {
+        data[t][i] = static_cast<unsigned char>(rng.next_below(64));
+      }
+      for (std::uint64_t i = 0; i < kTable; ++i) table[t][i] = 0;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      std::uint64_t dupes = 0;
+      for (std::uint64_t off = 0; off + kChunk <= bytes_per_thread;
+           off += kChunk) {
+        std::uint64_t fp = 1469598103934665603ull;  // FNV-ish fingerprint
+        for (std::uint64_t i = 0; i < kChunk; i += 8) {
+          sink.read(&data[t][off + i], 1);
+          fp = (fp ^ data[t][off + i]) * 1099511628211ull;
+        }
+        std::uint64_t* slot = &table[t][fp % kTable];
+        sink.read(slot, 8);
+        if (*slot == fp) {
+          ++dupes;
+        } else {
+          *slot = fp;
+          sink.write(slot, 8);
+        }
+      }
+      (void)dupes;
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (std::uint64_t i = 0; i < kTable; i += 3) r.checksum ^= table[t][i];
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_dedup_like() {
+  return std::make_unique<DedupLike>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,71 @@
+// PARSEC ferret (modeled): no false sharing, but like bodytrack it tracks
+// heavily in Figure 7 — similarity search hammers per-thread feature
+// accumulators far past the tracking threshold.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class FerretLike final : public WorkloadImpl<FerretLike> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "ferret", .suite = "parsec", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t queries = 300 * p.scale;
+    constexpr std::uint64_t kFeatures = 48;
+
+    // Shared read-only feature database.
+    constexpr std::uint64_t kDbRows = 64;
+    auto* db = static_cast<std::int64_t*>(
+        h.alloc(kDbRows * kFeatures * 8, {"ferret/emd.c:db"}));
+    PRED_CHECK(db != nullptr);
+    Xorshift64 rng(p.seed);
+    for (std::uint64_t i = 0; i < kDbRows * kFeatures; ++i) {
+      db[i] = static_cast<std::int64_t>(rng.next_below(256));
+    }
+
+    std::vector<std::int64_t*> accum(n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      accum[t] = static_cast<std::int64_t*>(
+          h.alloc(kFeatures * 8 + 64, {"ferret/emd.c:accum"}));
+      PRED_CHECK(accum[t] != nullptr);
+      for (std::uint64_t i = 0; i < kFeatures; ++i) accum[t][i] = 0;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      Xorshift64 local(p.seed + 31 * t);
+      for (std::uint64_t q = 0; q < queries; ++q) {
+        const std::uint64_t row = local.next_below(kDbRows);
+        for (std::uint64_t f = 0; f < kFeatures; ++f) {
+          sink.read(&db[row * kFeatures + f], 8);
+          sink.read(&accum[t][f], 8);
+          accum[t][f] += db[row * kFeatures + f];
+          sink.write(&accum[t][f], 8);
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (std::uint64_t f = 0; f < kFeatures; ++f) {
+        r.checksum += static_cast<std::uint64_t>(accum[t][f]);
+      }
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ferret_like() {
+  return std::make_unique<FerretLike>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,69 @@
+// PARSEC fluidanimate (modeled): no false sharing. Threads own disjoint,
+// line-aligned grid partitions; they *read* ghost cells of neighboring
+// partitions (read-read sharing never invalidates) and write only their own
+// cells.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class FluidanimateLike final : public WorkloadImpl<FluidanimateLike> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "fluidanimate", .suite = "parsec", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t cells_per_thread = 512;  // 64 lines each
+    const std::uint64_t steps = 12 * p.scale;
+    const std::uint64_t total = cells_per_thread * n;
+
+    // One shared grid; partitions are whole-line multiples, so writes never
+    // cross partitions (the correct layout fluidanimate uses).
+    auto* grid = static_cast<std::int64_t*>(
+        h.alloc(total * 8, {"fluidanimate/pthreads.cpp:grid"}));
+    PRED_CHECK(grid != nullptr);
+    Xorshift64 rng(p.seed);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      grid[i] = static_cast<std::int64_t>(rng.next_below(1000));
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      const std::uint64_t begin = t * cells_per_thread;
+      const std::uint64_t end = begin + cells_per_thread;
+      for (std::uint64_t s = 0; s < steps; ++s) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          // Neighbor reads may reach into adjacent partitions (ghost
+          // cells), but only as reads.
+          const std::uint64_t left = i == 0 ? i : i - 1;
+          const std::uint64_t right = i + 1 == total ? i : i + 1;
+          sink.read(&grid[left], 8);
+          sink.read(&grid[right], 8);
+          sink.read(&grid[i], 8);
+          grid[i] = (grid[left] + grid[right] + grid[i] * 2) / 4;
+          sink.write(&grid[i], 8);
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint64_t i = 0; i < total; i += 11) {
+      r.checksum += static_cast<std::uint64_t>(grid[i]);
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_fluidanimate_like() {
+  return std::make_unique<FluidanimateLike>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,105 @@
+// Phoenix histogram: the first of the paper's two previously-unknown false
+// sharing discoveries (Table 1, histogram-pthread.c:213). Multiple threads
+// simultaneously update different fields of the same heap-allocated
+// thread_arg_t array; the 24-byte elements pack 2-3 per cache line, so
+// neighboring threads' red/green/blue counters falsely share. Padding the
+// struct to a cache line is the paper's fix (~46% improvement).
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+struct ThreadArg {           // 24 bytes: 2.66 per 64-byte line
+  std::uint64_t red;
+  std::uint64_t green;
+  std::uint64_t blue;
+};
+static_assert(sizeof(ThreadArg) == 24);
+
+class Histogram final : public WorkloadImpl<Histogram> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "histogram",
+        .suite = "phoenix",
+        .sites = {{.where = "histogram-pthread.c:213",
+                   .needs_prediction = false,
+                   .newly_discovered = true,
+                   .paper_improvement_pct = 46.22}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t pixels_per_thread = 6000 * p.scale;
+    const std::size_t stride = p.site_fixed(0) ? 64 : sizeof(ThreadArg);
+
+    char* base = static_cast<char*>(
+        h.alloc(stride * n, {"histogram-pthread.c:213"}));
+    PRED_CHECK(base != nullptr);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto* a = reinterpret_cast<ThreadArg*>(base + stride * t);
+      a->red = a->green = a->blue = 0;
+    }
+
+    // Each thread scans its private pixel chunk, bumping its own counters.
+    std::vector<unsigned char*> chunks(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      chunks[t] = static_cast<unsigned char*>(
+          h.alloc(pixels_per_thread * 3, {"histogram-pthread.c:pixels"}));
+      PRED_CHECK(chunks[t] != nullptr);
+      for (std::uint64_t i = 0; i < pixels_per_thread * 3; ++i) {
+        chunks[t][i] = static_cast<unsigned char>(rng.next());
+      }
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      auto* a = reinterpret_cast<ThreadArg*>(base + stride * t);
+      unsigned char* px = chunks[t];
+      std::uint64_t lr = 0, lg = 0, lb = 0;
+      for (std::uint64_t i = 0; i < pixels_per_thread; ++i) {
+        sink.think(220);  // pixel decode + bucket arithmetic
+        sink.read(&px[3 * i], 1);
+        lr += px[3 * i];
+        sink.read(&px[3 * i + 1], 1);
+        lg += px[3 * i + 1];
+        sink.read(&px[3 * i + 2], 1);
+        lb += px[3 * i + 2];
+        if ((i & 15) == 15) {
+          // The buggy pattern: RMW of adjacent per-thread counters in a
+          // shared array, issued every few pixels.
+          sink.read(&a->red, 8);
+          a->red += lr;
+          sink.write(&a->red, 8);
+          sink.read(&a->green, 8);
+          a->green += lg;
+          sink.write(&a->green, 8);
+          sink.read(&a->blue, 8);
+          a->blue += lb;
+          sink.write(&a->blue, 8);
+          lr = lg = lb = 0;
+        }
+      }
+    });
+
+    Result res;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto* a = reinterpret_cast<ThreadArg*>(base + stride * t);
+      res.checksum ^= a->red + a->green * 3 + a->blue * 5;
+    }
+    return res;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_histogram() {
+  return std::make_unique<Histogram>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,96 @@
+// Phoenix kmeans: no false sharing (not in Table 1) but among the costliest
+// workloads to instrument in Figure 7 — the assignment loop touches many
+// distinct words per iteration, and its per-thread accumulators are hot
+// enough to escalate into detailed tracking. Accumulators are padded to a
+// line each (the correct layout), so no sharing is ever found.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+constexpr std::size_t kClusters = 8;
+constexpr std::size_t kDims = 4;
+
+class Kmeans final : public WorkloadImpl<Kmeans> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "kmeans", .suite = "phoenix", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t points_per_thread = 1500 * p.scale;
+    const std::uint64_t iterations = 4;
+
+    // Read-only shared centroids.
+    auto* centroids = static_cast<std::int64_t*>(
+        h.alloc(kClusters * kDims * 8, {"kmeans-pthread.c:centroids"}));
+    PRED_CHECK(centroids != nullptr);
+    Xorshift64 rng(p.seed);
+    for (std::size_t i = 0; i < kClusters * kDims; ++i) {
+      centroids[i] = static_cast<std::int64_t>(rng.next_below(1024));
+    }
+
+    std::vector<std::int64_t*> points(n);
+    std::vector<std::int64_t*> partial(n);  // per-thread, one line each
+    for (std::uint32_t t = 0; t < n; ++t) {
+      points[t] = static_cast<std::int64_t*>(h.alloc(
+          points_per_thread * kDims * 8, {"kmeans-pthread.c:points"}));
+      PRED_CHECK(points[t] != nullptr);
+      for (std::uint64_t i = 0; i < points_per_thread * kDims; ++i) {
+        points[t][i] = static_cast<std::int64_t>(rng.next_below(1024));
+      }
+      // +64: guard line standing in for per-thread-heap separation.
+      partial[t] = static_cast<std::int64_t*>(
+          h.alloc(kClusters * 64 + 64, {"kmeans-pthread.c:partial"}));
+      PRED_CHECK(partial[t] != nullptr);
+      for (std::size_t c = 0; c < kClusters; ++c) partial[t][c * 8] = 0;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      for (std::uint64_t it = 0; it < iterations; ++it) {
+        for (std::uint64_t i = 0; i < points_per_thread; ++i) {
+          std::int64_t best = 0;
+          std::int64_t best_d = INT64_MAX;
+          for (std::size_t c = 0; c < kClusters; ++c) {
+            std::int64_t d = 0;
+            for (std::size_t k = 0; k < kDims; ++k) {
+              sink.read(&points[t][i * kDims + k], 8);
+              sink.read(&centroids[c * kDims + k], 8);
+              const std::int64_t diff =
+                  points[t][i * kDims + k] - centroids[c * kDims + k];
+              d += diff * diff;
+            }
+            if (d < best_d) {
+              best_d = d;
+              best = static_cast<std::int64_t>(c);
+            }
+          }
+          // Line-padded per-thread membership counter (correct layout).
+          std::int64_t* slot = &partial[t][best * 8];
+          sink.read(slot, 8);
+          *slot += 1;
+          sink.write(slot, 8);
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (std::size_t c = 0; c < kClusters; ++c) {
+        r.checksum += static_cast<std::uint64_t>(partial[t][c * 8]) * (c + 1);
+      }
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_kmeans() { return std::make_unique<Kmeans>(); }
+
+}  // namespace pred::wl

@@ -1,0 +1,138 @@
+// Phoenix linear_regression: the paper's flagship prediction case study
+// (Sections 3.1 and 4.1.3, Figures 2 and 6).
+//
+// The main thread allocates an array of 64-byte lreg_args structs, one per
+// thread; each thread tight-loops read-modify-writes on its own element's
+// five accumulator fields. With the element array line-aligned (offset 0, or
+// offset 56 which parks the hot fields wholly inside the next line) there is
+// *no observed* false sharing — but any other placement straddles lines and
+// causes severe false sharing. PREDATOR must predict the problem from the
+// clean run; a SHERIFF-style observed-only detector must miss it.
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+// Figure 6's lreg_args, 64 bytes on LP64.
+struct LRegArgs {
+  std::uint64_t tid;        // offset 0  (cold)
+  std::int64_t* points;     // offset 8  (read once per thread)
+  std::int64_t num_elems;   // offset 16 (read once per thread)
+  std::int64_t sx;          // offset 24 (hot RMW)
+  std::int64_t sxx;         // offset 32 (hot RMW)
+  std::int64_t sy;          // offset 40 (hot RMW)
+  std::int64_t syy;         // offset 48 (hot RMW)
+  std::int64_t sxy;         // offset 56 (hot RMW)
+};
+static_assert(sizeof(LRegArgs) == 64);
+
+class LinearRegression final : public WorkloadImpl<LinearRegression> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "linear_regression",
+        .suite = "phoenix",
+        .sites = {{.where = "linear_regression-pthread.c:133",
+                   .needs_prediction = true,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 1206.93}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::int64_t points_per_thread =
+        static_cast<std::int64_t>(2000 * p.scale);
+    // The fix the paper applies: pad each element to a full cache line pair
+    // so no placement can make two threads share a line.
+    const std::size_t stride = p.site_fixed(0) ? 128 : sizeof(LRegArgs);
+
+    // One heap object holds all thread argument structs (plus slack so the
+    // offset knob can shift the start without overrunning).
+    char* raw = static_cast<char*>(
+        h.alloc(stride * n + 128,
+                {"stddefines.h:53", "linear_regression-pthread.c:133"}));
+    PRED_CHECK(raw != nullptr);
+    PRED_CHECK(p.offset < 128);
+    char* base = raw + p.offset;
+
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto* args = reinterpret_cast<LRegArgs*>(base + stride * t);
+      auto* pts = static_cast<std::int64_t*>(
+          h.alloc(static_cast<std::size_t>(points_per_thread) * 2 * 8,
+                  {"linear_regression-pthread.c:points"}));
+      PRED_CHECK(pts != nullptr);
+      for (std::int64_t i = 0; i < points_per_thread * 2; ++i) {
+        pts[i] = static_cast<std::int64_t>(rng.next_below(1000));
+      }
+      args->tid = t;
+      args->points = pts;
+      args->num_elems = points_per_thread;
+      args->sx = args->sxx = args->sy = args->syy = args->sxy = 0;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      auto* args = reinterpret_cast<LRegArgs*>(base + stride * t);
+      // Like the paper's -O1 binaries, args->points and args->num_elems are
+      // re-loaded every iteration (the loop condition and body dereference
+      // args each time). This is load-bearing for Figure 2's shape: at
+      // offsets 40/48 a thread's hot line also holds the *next* element's
+      // header fields, which that neighbor keeps reading — so only offsets
+      // 0 and 56 are truly clean.
+      for (std::int64_t i = 0;; ++i) {
+        // No think() here: the five multiply-accumulates retire in a couple
+        // of cycles on a superscalar core — this loop is genuinely bound by
+        // its memory accesses, which is why its false sharing is so brutal.
+        sink.read(&args->num_elems, 8);
+        if (i >= args->num_elems) break;
+        sink.read(&args->points, 8);
+        std::int64_t* pts = args->points;
+        sink.read(&pts[2 * i], 8);
+        const std::int64_t x = pts[2 * i];
+        sink.read(&pts[2 * i + 1], 8);
+        const std::int64_t y = pts[2 * i + 1];
+        sink.read(&args->sx, 8);
+        args->sx += x;
+        sink.write(&args->sx, 8);
+        sink.read(&args->sxx, 8);
+        args->sxx += x * x;
+        sink.write(&args->sxx, 8);
+        sink.read(&args->sy, 8);
+        args->sy += y;
+        sink.write(&args->sy, 8);
+        sink.read(&args->syy, 8);
+        args->syy += y * y;
+        sink.write(&args->syy, 8);
+        sink.read(&args->sxy, 8);
+        args->sxy += x * y;
+        sink.write(&args->sxy, 8);
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto* args = reinterpret_cast<LRegArgs*>(base + stride * t);
+      r.checksum ^= static_cast<std::uint64_t>(args->sx) +
+                    static_cast<std::uint64_t>(args->sxx) * 3 +
+                    static_cast<std::uint64_t>(args->sy) * 5 +
+                    static_cast<std::uint64_t>(args->syy) * 7 +
+                    static_cast<std::uint64_t>(args->sxy) * 11;
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_linear_regression() {
+  return std::make_unique<LinearRegression>();
+}
+
+}  // namespace pred::wl

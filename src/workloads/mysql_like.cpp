@@ -1,0 +1,88 @@
+// MySQL (modeled): the famous InnoDB scalability bug (Section 4.1.2). A
+// global statistics object packs per-thread counters 8 bytes apart; every
+// "transaction" bumps several of them, so up to 8 threads ping-pong each
+// line. The fix — padding each slot to a cache line — is what bought the
+// MySQL team their reported ~6x (paper quotes Mikael Ronstrom).
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class MysqlLike final : public WorkloadImpl<MysqlLike> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "mysql",
+        .suite = "real",
+        .sites = {{.where = "storage/innobase/srv/srv0srv.cc:srv_stats",
+                   .needs_prediction = false,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 500.0}},  // "6x" in the paper
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t transactions = 4000 * p.scale;
+    // srv_stats counter array: one 8-byte slot per thread (buggy) vs one
+    // line per thread (the ib_counter_t padding fix).
+    const std::size_t stride = p.site_fixed(0) ? 64 : 8;
+
+    char* stats = static_cast<char*>(
+        h.alloc(stride * n, {"storage/innobase/srv/srv0srv.cc:srv_stats"}));
+    PRED_CHECK(stats != nullptr);
+    std::memset(stats, 0, stride * n);
+
+    // Private row buffers standing in for buffer-pool pages.
+    std::vector<std::int64_t*> rows(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      rows[t] = static_cast<std::int64_t*>(
+          h.alloc(256 * 8, {"storage/innobase/buf/buf0buf.cc:pages"}));
+      PRED_CHECK(rows[t] != nullptr);
+      for (int i = 0; i < 256; ++i) {
+        rows[t][i] = static_cast<std::int64_t>(rng.next_below(4096));
+      }
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      auto* my_stat = reinterpret_cast<std::int64_t*>(stats + stride * t);
+      Xorshift64 local(p.seed + 7 * t);
+      for (std::uint64_t txn = 0; txn < transactions; ++txn) {
+        // "Execute" the transaction against private pages...
+        sink.think(150);  // parse + B-tree walk per statement
+        const std::uint64_t row = local.next_below(256);
+        sink.read(&rows[t][row], 8);
+        const std::int64_t v = rows[t][row];
+        rows[t][row] = v + 1;
+        sink.write(&rows[t][row], 8);
+        // ...then bump the global per-thread activity counter.
+        sink.read(my_stat, 8);
+        *my_stat += 1;
+        sink.write(my_stat, 8);
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      r.checksum +=
+          static_cast<std::uint64_t>(*reinterpret_cast<std::int64_t*>(
+              stats + stride * t));
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_mysql_like() {
+  return std::make_unique<MysqlLike>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,72 @@
+// pbzip2 (modeled): parallel block compression — threads transform private
+// input blocks into private output blocks. No shared hot state at all; one
+// of the cheapest rows in Figure 7.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class Pbzip2Like final : public WorkloadImpl<Pbzip2Like> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "pbzip2", .suite = "real", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t block = 16000 * p.scale;
+
+    std::vector<unsigned char*> input(n), output(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      input[t] = static_cast<unsigned char*>(
+          h.alloc(block, {"pbzip2.cpp:FileData"}));
+      // Worst-case RLE expansion is 2 bytes per input byte.
+      output[t] = static_cast<unsigned char*>(
+          h.alloc(2 * block + 16, {"pbzip2.cpp:CompressedData"}));
+      PRED_CHECK(input[t] && output[t]);
+      for (std::uint64_t i = 0; i < block; ++i) {
+        input[t][i] = static_cast<unsigned char>(rng.next_below(16));
+      }
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      // Toy RLE "compression" of the private block.
+      std::uint64_t out = 0;
+      std::uint64_t i = 0;
+      while (i < block) {
+        sink.read(&input[t][i], 1);
+        const unsigned char c = input[t][i];
+        std::uint64_t run = 1;
+        while (i + run < block && run < 255) {
+          sink.read(&input[t][i + run], 1);
+          if (input[t][i + run] != c) break;
+          ++run;
+        }
+        sink.write(&output[t][out], 1);
+        output[t][out++] = c;
+        sink.write(&output[t][out], 1);
+        output[t][out++] = static_cast<unsigned char>(run);
+        i += run;
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (std::uint64_t i = 0; i < block; i += 101) r.checksum += output[t][i];
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_pbzip2_like() {
+  return std::make_unique<Pbzip2Like>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,70 @@
+// Phoenix pca: no false sharing (not in Table 1). Threads compute column
+// means over disjoint row blocks of a shared read-only matrix and write
+// their partial results into line-aligned private buffers.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class Pca final : public WorkloadImpl<Pca> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "pca", .suite = "phoenix", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::size_t cols = 32;
+    const std::size_t rows_per_thread = 400 * p.scale;
+    const std::size_t rows = rows_per_thread * n;
+
+    auto* matrix = static_cast<std::int64_t*>(
+        h.alloc(rows * cols * 8, {"pca-pthread.c:matrix"}));
+    PRED_CHECK(matrix != nullptr);
+    Xorshift64 rng(p.seed);
+    for (std::size_t i = 0; i < rows * cols; ++i) {
+      matrix[i] = static_cast<std::int64_t>(rng.next_below(256));
+    }
+
+    std::vector<std::int64_t*> partial_means(n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      // cols words plus a guard line: in the real program each thread
+      // allocates this from its own heap, so blocks of different threads
+      // are never on adjacent lines. The +64 reproduces that separation.
+      partial_means[t] = static_cast<std::int64_t*>(
+          h.alloc(cols * 8 + 64, {"pca-pthread.c:means"}));
+      PRED_CHECK(partial_means[t] != nullptr);
+      for (std::size_t c = 0; c < cols; ++c) partial_means[t][c] = 0;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      const std::size_t begin = t * rows_per_thread;
+      for (std::size_t i = begin; i < begin + rows_per_thread; ++i) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          sink.read(&matrix[i * cols + c], 8);
+          sink.read(&partial_means[t][c], 8);
+          partial_means[t][c] += matrix[i * cols + c];
+          sink.write(&partial_means[t][c], 8);
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        r.checksum += static_cast<std::uint64_t>(partial_means[t][c]);
+      }
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_pca() { return std::make_unique<Pca>(); }
+
+}  // namespace pred::wl

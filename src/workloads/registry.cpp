@@ -1,0 +1,122 @@
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+
+void replay_into_session(Session& session,
+                         const std::vector<ThreadTrace>& traces,
+                         std::size_t quantum) {
+  if (quantum == 0) quantum = 1;
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const ThreadTrace& trace = traces[t];
+      for (std::size_t q = 0; q < quantum && cursor[t] < trace.size(); ++q) {
+        const TraceEvent& ev = trace[cursor[t]++];
+        session.runtime().handle_access(ev.addr, ev.type,
+                                        static_cast<ThreadId>(t), ev.size);
+        progressed = true;
+      }
+    }
+  }
+}
+
+// Factory functions implemented in the per-workload translation units.
+std::unique_ptr<Workload> make_histogram();
+std::unique_ptr<Workload> make_linear_regression();
+std::unique_ptr<Workload> make_reverse_index();
+std::unique_ptr<Workload> make_word_count();
+std::unique_ptr<Workload> make_string_match();
+std::unique_ptr<Workload> make_matrix_multiply();
+std::unique_ptr<Workload> make_kmeans();
+std::unique_ptr<Workload> make_pca();
+std::unique_ptr<Workload> make_streamcluster();
+std::unique_ptr<Workload> make_blackscholes();
+std::unique_ptr<Workload> make_bodytrack_like();
+std::unique_ptr<Workload> make_fluidanimate_like();
+std::unique_ptr<Workload> make_swaptions_like();
+std::unique_ptr<Workload> make_dedup_like();
+std::unique_ptr<Workload> make_ferret_like();
+std::unique_ptr<Workload> make_x264_like();
+std::unique_ptr<Workload> make_mysql_like();
+std::unique_ptr<Workload> make_boost_spinlock();
+std::unique_ptr<Workload> make_memcached_like();
+std::unique_ptr<Workload> make_aget_like();
+std::unique_ptr<Workload> make_pbzip2_like();
+std::unique_ptr<Workload> make_pfscan_like();
+
+const std::vector<std::unique_ptr<Workload>>& all_workloads() {
+  static const std::vector<std::unique_ptr<Workload>> registry = [] {
+    std::vector<std::unique_ptr<Workload>> v;
+    // Phoenix
+    v.push_back(make_histogram());
+    v.push_back(make_kmeans());
+    v.push_back(make_linear_regression());
+    v.push_back(make_matrix_multiply());
+    v.push_back(make_pca());
+    v.push_back(make_reverse_index());
+    v.push_back(make_string_match());
+    v.push_back(make_word_count());
+    // PARSEC
+    v.push_back(make_blackscholes());
+    v.push_back(make_bodytrack_like());
+    v.push_back(make_dedup_like());
+    v.push_back(make_ferret_like());
+    v.push_back(make_fluidanimate_like());
+    v.push_back(make_streamcluster());
+    v.push_back(make_swaptions_like());
+    v.push_back(make_x264_like());
+    // Real applications
+    v.push_back(make_aget_like());
+    v.push_back(make_boost_spinlock());
+    v.push_back(make_memcached_like());
+    v.push_back(make_mysql_like());
+    v.push_back(make_pbzip2_like());
+    v.push_back(make_pfscan_like());
+    return v;
+  }();
+  return registry;
+}
+
+const Workload* find_workload(std::string_view name) {
+  for (const auto& w : all_workloads()) {
+    if (w->traits().name == name) return w.get();
+  }
+  return nullptr;
+}
+
+bool report_mentions_site(const Report& report, const CallsiteTable& callsites,
+                          const std::string& site, bool* only_predicted) {
+  bool found = false;
+  bool all_prediction_only = true;
+  for (const ObjectFinding& f : report.findings) {
+    if (!f.is_false_sharing()) continue;
+    bool matches = false;
+    if (f.object.is_global) {
+      matches = f.object.name.find(site) != std::string::npos;
+    } else if (f.object.callsite != kNoCallsite) {
+      for (const auto& frame : callsites.get(f.object.callsite).frames) {
+        if (frame.find(site) != std::string::npos) {
+          matches = true;
+          break;
+        }
+      }
+    }
+    if (!matches) continue;
+    found = true;
+    if (f.observed) all_prediction_only = false;
+  }
+  if (only_predicted) *only_predicted = found && all_prediction_only;
+  return found;
+}
+
+std::size_t false_sharing_findings(const Report& report) {
+  std::size_t n = 0;
+  for (const ObjectFinding& f : report.findings) {
+    if (f.is_false_sharing()) ++n;
+  }
+  return n;
+}
+
+}  // namespace pred::wl

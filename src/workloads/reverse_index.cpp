@@ -1,0 +1,92 @@
+// Phoenix reverse_index (Table 1 row reverseindex-pthread.c:511): threads
+// extract links from their private HTML chunks and bump per-thread link
+// counters that sit adjacent in one shared heap array — false sharing that
+// PREDATOR reports because it crosses the invalidation threshold, but whose
+// fix buys almost nothing (paper: 0.09%) since the counter updates are rare
+// relative to the scanning work.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+struct LinkCounters {  // 16 bytes: 4 per line
+  std::uint64_t links_found;
+  std::uint64_t bytes_scanned;
+};
+
+class ReverseIndex final : public WorkloadImpl<ReverseIndex> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "reverse_index",
+        .suite = "phoenix",
+        .sites = {{.where = "reverseindex-pthread.c:511",
+                   .needs_prediction = false,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 0.09}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t bytes_per_thread = 60000 * p.scale;
+    const std::size_t stride = p.site_fixed(0) ? 64 : sizeof(LinkCounters);
+
+    char* counters = static_cast<char*>(
+        h.alloc(stride * n, {"reverseindex-pthread.c:511"}));
+    PRED_CHECK(counters != nullptr);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto* c = reinterpret_cast<LinkCounters*>(counters + stride * t);
+      c->links_found = c->bytes_scanned = 0;
+    }
+
+    std::vector<unsigned char*> html(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      html[t] = static_cast<unsigned char*>(
+          h.alloc(bytes_per_thread, {"reverseindex-pthread.c:html"}));
+      PRED_CHECK(html[t] != nullptr);
+      for (std::uint64_t i = 0; i < bytes_per_thread; ++i) {
+        html[t][i] = static_cast<unsigned char>(rng.next());
+      }
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      auto* c = reinterpret_cast<LinkCounters*>(counters + stride * t);
+      std::uint64_t state = 0;
+      for (std::uint64_t i = 0; i < bytes_per_thread; ++i) {
+        sink.think(60);  // HTML parsing state machine per byte
+        sink.read(&html[t][i], 1);
+        const unsigned char ch = html[t][i];
+        state = state * 31 + ch;
+        if ((state & 0x3ff) == 0) {  // "found a link": ~1 in 1024 bytes
+          sink.read(&c->links_found, 8);
+          c->links_found += 1;
+          sink.write(&c->links_found, 8);
+        }
+      }
+      sink.read(&c->bytes_scanned, 8);
+      c->bytes_scanned += bytes_per_thread;
+      sink.write(&c->bytes_scanned, 8);
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto* c = reinterpret_cast<LinkCounters*>(counters + stride * t);
+      r.checksum += c->links_found * 3 + c->bytes_scanned;
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_reverse_index() {
+  return std::make_unique<ReverseIndex>();
+}
+
+}  // namespace pred::wl

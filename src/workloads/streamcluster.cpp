@@ -1,0 +1,132 @@
+// PARSEC streamcluster: the one benchmark with *two* false sharing sites in
+// Table 1.
+//
+//  * streamcluster.cpp:985 — work_mem: the authors knew about false sharing
+//    and padded per-thread slices with a CACHE_LINE macro, but its default
+//    is 32 bytes — half the real line size — so two threads' slices still
+//    share every line. Fix: 64-byte padding (paper: ~7.5% improvement).
+//  * streamcluster.cpp:1907 — switch_membership: a bool array written by all
+//    threads at per-point granularity; chunk boundaries share lines (newly
+//    discovered by PREDATOR). Fix: widen elements to long (paper: ~4.8%,
+//    "reduces" rather than eliminates the sharing).
+//
+// pgain() is called once per pass; threads visit their points in a
+// data-dependent (here: pseudo-randomly permuted) order, which is what
+// interleaves the boundary-line writes in practice.
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class Streamcluster final : public WorkloadImpl<Streamcluster> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "streamcluster",
+        .suite = "parsec",
+        .sites = {{.where = "streamcluster.cpp:985",
+                   .needs_prediction = false,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 7.52},
+                  {.where = "streamcluster.cpp:1907",
+                   .needs_prediction = false,
+                   .newly_discovered = true,
+                   .paper_improvement_pct = 4.77}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    // +36 keeps per-thread chunks off line boundaries at every scale
+    // (8*scale + 36 is never 0 mod 64): the layout the real inputs produce.
+    const std::uint64_t points_per_thread = 1000 * p.scale + 36;
+    const std::uint64_t passes = 6;
+    const std::uint64_t total_points = points_per_thread * n;
+
+    // Site 0: work_mem. The "CACHE_LINE" padding constant: 32 (buggy
+    // default) or 64 (the fix).
+    const std::size_t cache_line_macro = p.site_fixed(0) ? 64 : 32;
+    char* work_mem = static_cast<char*>(
+        h.alloc(cache_line_macro * n, {"streamcluster.cpp:985"}));
+    PRED_CHECK(work_mem != nullptr);
+    std::memset(work_mem, 0, cache_line_macro * n);
+
+    // Site 1: switch_membership. Element width: 1 (bool, buggy) or 8
+    // (long, the fix).
+    const std::size_t elem = p.site_fixed(1) ? 8 : 1;
+    char* switch_membership = static_cast<char*>(
+        h.alloc(total_points * elem, {"streamcluster.cpp:1907"}));
+    PRED_CHECK(switch_membership != nullptr);
+    std::memset(switch_membership, 0, total_points * elem);
+
+    // Private per-thread point coordinates.
+    std::vector<std::uint32_t*> coords(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      coords[t] = static_cast<std::uint32_t*>(h.alloc(
+          points_per_thread * 4, {"streamcluster.cpp:coords"}));
+      PRED_CHECK(coords[t] != nullptr);
+      for (std::uint64_t i = 0; i < points_per_thread; ++i) {
+        coords[t][i] = static_cast<std::uint32_t>(rng.next());
+      }
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      auto* lower = reinterpret_cast<std::int64_t*>(
+          work_mem + cache_line_macro * t);
+      const std::uint64_t begin = points_per_thread * t;
+      Xorshift64 order(p.seed + 17 * t + 1);
+      for (std::uint64_t pass = 0; pass < passes; ++pass) {
+        std::int64_t local_gain = 0;
+        for (std::uint64_t k = 0; k < points_per_thread; ++k) {
+          // Data-dependent visit order within the thread's chunk.
+          const std::uint64_t i = order.next_below(points_per_thread);
+          sink.think(600);  // gain computation: distances over all dims
+          sink.read(&coords[t][i], 4);
+          const std::uint32_t c = coords[t][i];
+          local_gain += static_cast<std::int64_t>(c & 0xffu);
+          // Cost accumulation into this thread's work_mem slice, flushed
+          // every handful of points.
+          if ((k & 15) == 15) {
+            sink.read(lower, 8);
+            *lower += local_gain;
+            sink.write(lower, 8);
+            local_gain = 0;
+          }
+          // Assignment flag for the visited point.
+          char* slot = switch_membership + (begin + i) * elem;
+          sink.write(slot, elem);
+          *slot = static_cast<char>(c & 1u);
+        }
+        sink.read(lower, 8);
+        *lower += local_gain;
+        sink.write(lower, 8);
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      r.checksum += static_cast<std::uint64_t>(
+          *reinterpret_cast<std::int64_t*>(work_mem + cache_line_macro * t));
+    }
+    for (std::uint64_t i = 0; i < total_points; ++i) {
+      r.checksum += static_cast<std::uint64_t>(
+          static_cast<unsigned char>(switch_membership[i * elem]));
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_streamcluster() {
+  return std::make_unique<Streamcluster>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,62 @@
+// PARSEC swaptions (modeled): no false sharing; notable in Figure 9 for its
+// *tiny* memory footprint (sub-megabyte), which makes PREDATOR's fixed
+// shadow overhead look huge in relative terms — the paper calls this out
+// explicitly. Heavy RMW on small private simulation buffers.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class SwaptionsLike final : public WorkloadImpl<SwaptionsLike> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "swaptions", .suite = "parsec", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t trials = 2500 * p.scale;
+    constexpr std::uint64_t kPath = 16;  // two lines of state per thread
+
+    std::vector<std::int64_t*> path(n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      path[t] = static_cast<std::int64_t*>(
+          h.alloc(kPath * 8 + 64, {"HJM_Securities.cpp:path"}));
+      PRED_CHECK(path[t] != nullptr);
+      for (std::uint64_t i = 0; i < kPath; ++i) path[t][i] = 100;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      Xorshift64 local(p.seed + 13 * t);
+      for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        for (std::uint64_t i = 0; i < kPath; ++i) {
+          sink.read(&path[t][i], 8);
+          const std::int64_t shock =
+              static_cast<std::int64_t>(local.next_below(7)) - 3;
+          path[t][i] = path[t][i] + shock;
+          sink.write(&path[t][i], 8);
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (std::uint64_t i = 0; i < kPath; ++i) {
+        r.checksum += static_cast<std::uint64_t>(path[t][i]);
+      }
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_swaptions_like() {
+  return std::make_unique<SwaptionsLike>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,103 @@
+// Phoenix word_count (Table 1 row word_count-pthread.c:136): each thread
+// tallies words from its private text slice into a per-thread slot of a
+// shared accumulator array. Like reverse_index, the false sharing is real
+// (it crosses the invalidation threshold) but low-impact (paper: 0.14%).
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+struct WordTally {  // 16 bytes: 4 per line
+  std::uint64_t words;
+  std::uint64_t unique_hash;
+};
+
+class WordCount final : public WorkloadImpl<WordCount> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "word_count",
+        .suite = "phoenix",
+        .sites = {{.where = "word_count-pthread.c:136",
+                   .needs_prediction = false,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 0.14}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t chars_per_thread = 60000 * p.scale;
+    const std::size_t stride = p.site_fixed(0) ? 64 : sizeof(WordTally);
+
+    char* tallies = static_cast<char*>(
+        h.alloc(stride * n, {"word_count-pthread.c:136"}));
+    PRED_CHECK(tallies != nullptr);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto* w = reinterpret_cast<WordTally*>(tallies + stride * t);
+      w->words = w->unique_hash = 0;
+    }
+
+    std::vector<char*> text(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      text[t] = static_cast<char*>(
+          h.alloc(chars_per_thread, {"word_count-pthread.c:text"}));
+      PRED_CHECK(text[t] != nullptr);
+      for (std::uint64_t i = 0; i < chars_per_thread; ++i) {
+        // Lowercase letters with ~1/6 spaces.
+        const std::uint64_t v = rng.next_below(32);
+        text[t][i] = v < 5 ? ' ' : static_cast<char>('a' + (v % 26));
+      }
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      auto* w = reinterpret_cast<WordTally*>(tallies + stride * t);
+      std::uint64_t hash = 0;
+      bool in_word = false;
+      for (std::uint64_t i = 0; i < chars_per_thread; ++i) {
+        sink.think(60);  // tokenizing + hashing per character
+        sink.read(&text[t][i], 1);
+        const char ch = text[t][i];
+        if (ch == ' ') {
+          if (in_word) {
+            // Only "interesting" words touch the shared tally (the rest
+            // stay in this thread's private hash table, as in Phoenix).
+            if ((hash & 0x7f) == 0) {
+              sink.read(&w->words, 8);
+              w->words += 1;
+              sink.write(&w->words, 8);
+              sink.read(&w->unique_hash, 8);
+              w->unique_hash ^= hash;
+              sink.write(&w->unique_hash, 8);
+            }
+            hash = 0;
+          }
+          in_word = false;
+        } else {
+          hash = hash * 31 + static_cast<std::uint64_t>(ch);
+          in_word = true;
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      auto* w = reinterpret_cast<WordTally*>(tallies + stride * t);
+      r.checksum += w->words * 7 + w->unique_hash;
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_word_count() {
+  return std::make_unique<WordCount>();
+}
+
+}  // namespace pred::wl

@@ -1,0 +1,75 @@
+// PARSEC x264 (modeled): no false sharing and low Figure 7 overhead — the
+// encoder spends most of its time in uninstrumented arithmetic (here: the
+// SAD inner loop over registers) with only a handful of memory accesses per
+// macroblock.
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class X264Like final : public WorkloadImpl<X264Like> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{.name = "x264", .suite = "parsec", .sites = {}};
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t macroblocks = 1200 * p.scale;
+    constexpr std::uint64_t kBlock = 64;  // 8x8 residual
+
+    std::vector<unsigned char*> frame(n);
+    std::vector<std::int64_t*> cost(n);
+    Xorshift64 rng(p.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      frame[t] = static_cast<unsigned char*>(
+          h.alloc(macroblocks * 8, {"x264/encoder.c:frame"}));
+      cost[t] = static_cast<std::int64_t*>(
+          h.alloc(macroblocks * 8, {"x264/encoder.c:cost"}));
+      PRED_CHECK(frame[t] && cost[t]);
+      for (std::uint64_t i = 0; i < macroblocks * 8; ++i) {
+        frame[t][i] = static_cast<unsigned char>(rng.next());
+      }
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      for (std::uint64_t mb = 0; mb < macroblocks; ++mb) {
+        sink.read(&frame[t][mb * 8], 8);
+        std::uint64_t seed = 0;
+        std::memcpy(&seed, &frame[t][mb * 8], 8);
+        // SAD search: all-register work, nothing for the pass to
+        // instrument.
+        std::int64_t best = INT64_MAX;
+        Xorshift64 local(seed | 1);
+        for (std::uint64_t c = 0; c < kBlock; ++c) {
+          const auto cand = static_cast<std::int64_t>(local.next_below(4096));
+          if (cand < best) best = cand;
+        }
+        cost[t][mb] = best;
+        sink.write(&cost[t][mb], 8);
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (std::uint64_t mb = 0; mb < macroblocks; mb += 13) {
+        r.checksum += static_cast<std::uint64_t>(cost[t][mb]);
+      }
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_x264_like() {
+  return std::make_unique<X264Like>();
+}
+
+}  // namespace pred::wl

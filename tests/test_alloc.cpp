@@ -1,0 +1,198 @@
+// Tests for the allocator substrate: size classes, the fixed heap region,
+// per-thread heaps (Hoard-style no-shared-line invariant), callsite
+// registration, and the Section 2.3.2 memory-reuse discipline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "alloc/predator_allocator.hpp"
+#include "alloc/size_class.hpp"
+
+namespace pred {
+namespace {
+
+constexpr auto W = AccessType::kWrite;
+
+TEST(SizeClasses, RoundTrip) {
+  for (std::size_t size = 1; size <= SizeClasses::kMaxSize; ++size) {
+    const std::size_t cls = SizeClasses::index_for(size);
+    ASSERT_LT(cls, SizeClasses::kNumClasses);
+    EXPECT_GE(SizeClasses::size_of(cls), size);
+    if (cls > 0) {
+      EXPECT_LT(SizeClasses::size_of(cls - 1), size);
+    }
+  }
+}
+
+TEST(HeapRegion, SpansAreLineAlignedAndDisjoint) {
+  HeapRegion region(1 << 20);
+  std::set<Address> starts;
+  Address prev_end = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Address a = region.allocate_span(100);
+    ASSERT_NE(a, 0u);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_GE(a, prev_end);
+    prev_end = a + 128;  // 100 rounds to 128
+    EXPECT_TRUE(starts.insert(a).second);
+    EXPECT_TRUE(region.contains(a));
+  }
+}
+
+TEST(HeapRegion, ExhaustionReturnsZero) {
+  HeapRegion region(64 * 1024);
+  Address a = 0;
+  int spans = 0;
+  while ((a = region.allocate_span(4096)) != 0) ++spans;
+  EXPECT_GT(spans, 10);
+  EXPECT_LE(spans, 16);
+  EXPECT_EQ(region.allocate_span(4096), 0u);
+}
+
+struct AllocFixture : ::testing::Test {
+  static RuntimeConfig config() {
+    RuntimeConfig cfg;
+    cfg.tracking_threshold = 2;
+    cfg.report_invalidation_threshold = 10;
+    return cfg;
+  }
+  AllocFixture() : rt(config()), alloc(rt, 8 * 1024 * 1024) {}
+  Runtime rt;
+  PredatorAllocator alloc;
+};
+
+TEST_F(AllocFixture, AllocationRegistersObjectWithCallsite) {
+  void* p = alloc.allocate(200, {"file.c:10", "main.c:3"});
+  ASSERT_NE(p, nullptr);
+  auto obj = rt.objects().find(reinterpret_cast<Address>(p));
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->size, 200u);
+  EXPECT_FALSE(obj->is_global);
+  const auto& cs = rt.callsites().get(obj->callsite);
+  ASSERT_EQ(cs.frames.size(), 2u);
+  EXPECT_EQ(cs.frames[0], "file.c:10");
+}
+
+TEST_F(AllocFixture, AllocationsLandInTrackedRegion) {
+  void* p = alloc.allocate(64, {"a.c:1"});
+  EXPECT_EQ(rt.find_region(reinterpret_cast<Address>(p)), &alloc.shadow());
+}
+
+TEST_F(AllocFixture, BacktraceCaptureProducesFrames) {
+  void* p = alloc.allocate_with_backtrace(64);
+  ASSERT_NE(p, nullptr);
+  auto obj = rt.objects().find(reinterpret_cast<Address>(p));
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_NE(obj->callsite, kNoCallsite);
+}
+
+TEST_F(AllocFixture, DifferentThreadsNeverShareALine) {
+  // The Hoard-style invariant of Section 2.3.2: concurrent small
+  // allocations from different threads must land on disjoint cache lines.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<Address>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        void* p = alloc.allocate(24, {"worker.c:1"});
+        ASSERT_NE(p, nullptr);
+        per_thread[t].push_back(reinterpret_cast<Address>(p));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::map<std::size_t, int> line_owner;
+  for (int t = 0; t < kThreads; ++t) {
+    for (Address a : per_thread[t]) {
+      const std::size_t line = a / 64;
+      auto [it, inserted] = line_owner.try_emplace(line, t);
+      EXPECT_EQ(it->second, t) << "line " << line << " shared by threads "
+                               << it->second << " and " << t;
+    }
+  }
+}
+
+TEST_F(AllocFixture, CleanObjectsAreRecycled) {
+  void* p = alloc.allocate(64, {"clean.c:1"});
+  const Address a = reinterpret_cast<Address>(p);
+  alloc.deallocate(p);
+  EXPECT_FALSE(rt.objects().find(a).has_value());
+  // Same-thread realloc of the same class reuses the block.
+  void* q = alloc.allocate(64, {"clean.c:2"});
+  EXPECT_EQ(q, p);
+}
+
+TEST_F(AllocFixture, FalselySharedObjectsAreNeverRecycled) {
+  void* p = alloc.allocate(64, {"dirty.c:1"});
+  const Address a = reinterpret_cast<Address>(p);
+  // Generate invalidations on the object's line.
+  for (int i = 0; i < 50; ++i) {
+    rt.handle_access(a, W, 0);
+    rt.handle_access(a + 8, W, 1);
+  }
+  ASSERT_TRUE(alloc.object_has_invalidations(a, 64));
+  alloc.deallocate(p);
+  // The record survives (dead) for reporting...
+  auto obj = rt.objects().find(a);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_FALSE(obj->live);
+  // ...and the memory is not handed out again.
+  void* q = alloc.allocate(64, {"dirty.c:2"});
+  EXPECT_NE(q, p);
+}
+
+TEST_F(AllocFixture, ReuseResetsLineRecordingState) {
+  void* p = alloc.allocate(64, {"reset.c:1"});
+  const Address a = reinterpret_cast<Address>(p);
+  // Single-thread traffic: hot but invalidation-free.
+  for (int i = 0; i < 100; ++i) rt.handle_access(a, W, 3);
+  CacheTracker* t = alloc.shadow().tracker(alloc.shadow().line_index(a));
+  ASSERT_NE(t, nullptr);
+  ASSERT_GT(t->sampled_accesses(), 0u);
+  alloc.deallocate(p);
+  // The word histogram was wiped: the next tenant starts clean (prevents
+  // the "pseudo false sharing" false positives of Section 2.3.2).
+  EXPECT_EQ(t->sampled_accesses(), 0u);
+  for (const auto& w : t->words_snapshot()) EXPECT_FALSE(w.touched());
+}
+
+TEST_F(AllocFixture, CrossThreadFreeReturnsBlockToOwnerHeap) {
+  void* p = alloc.allocate(32, {"xthread.c:1"});
+  std::thread other([&] { alloc.deallocate(p); });
+  other.join();
+  // The block must be reusable by *this* thread's next allocation of the
+  // class (it went back to the owning heap, not the freeing thread's).
+  void* q = alloc.allocate(32, {"xthread.c:2"});
+  EXPECT_EQ(q, p);
+}
+
+TEST_F(AllocFixture, LiveBytesTrackAllocations) {
+  EXPECT_EQ(alloc.live_bytes(), 0u);
+  void* p = alloc.allocate(1000, {"bytes.c:1"});
+  EXPECT_EQ(alloc.live_bytes(), 1000u);
+  alloc.deallocate(p);
+  EXPECT_EQ(alloc.live_bytes(), 0u);
+}
+
+TEST_F(AllocFixture, LargeAllocationsGetDedicatedSpans) {
+  void* p = alloc.allocate(100 * 1024, {"large.c:1"});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<Address>(p) % 64, 0u);
+  auto obj = rt.objects().find(reinterpret_cast<Address>(p) + 50000);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->size, 100u * 1024);
+}
+
+TEST_F(AllocFixture, NullAndForeignFreesAreIgnored) {
+  alloc.deallocate(nullptr);
+  int local = 0;
+  alloc.deallocate(&local);  // not from this heap: ignored
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,0 +1,147 @@
+// Tests for the extended allocator API (calloc/realloc/aligned analogues,
+// statistics) plus a randomized allocator stress test with invariant
+// checking — the fuzz half of the allocator's verification story.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "alloc/predator_allocator.hpp"
+#include "common/prng.hpp"
+
+namespace pred {
+namespace {
+
+struct ExtAllocFixture : ::testing::Test {
+  static RuntimeConfig config() {
+    RuntimeConfig cfg;
+    cfg.tracking_threshold = 2;
+    return cfg;
+  }
+  ExtAllocFixture() : rt(config()), alloc(rt, 16 * 1024 * 1024) {}
+  Runtime rt;
+  PredatorAllocator alloc;
+};
+
+TEST_F(ExtAllocFixture, ZeroedAllocationIsZero) {
+  auto* p = static_cast<unsigned char*>(
+      alloc.allocate_zeroed(7, 13, {"z.c:1"}));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 91; ++i) EXPECT_EQ(p[i], 0) << i;
+}
+
+TEST_F(ExtAllocFixture, ZeroedAllocationRejectsOverflow) {
+  EXPECT_EQ(alloc.allocate_zeroed(~std::size_t{0}, 16, {"z.c:2"}), nullptr);
+}
+
+TEST_F(ExtAllocFixture, ReallocGrowsAndPreservesData) {
+  auto* p = static_cast<char*>(alloc.allocate(32, {"r.c:1"}));
+  std::strcpy(p, "predator");
+  auto* q = static_cast<char*>(alloc.reallocate(p, 4096, {"r.c:2"}));
+  ASSERT_NE(q, nullptr);
+  EXPECT_NE(q, p);  // different size class: moved
+  EXPECT_STREQ(q, "predator");
+  auto obj = rt.objects().find(reinterpret_cast<Address>(q));
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->size, 4096u);
+}
+
+TEST_F(ExtAllocFixture, ReallocShrinkWithinClassKeepsBlock) {
+  auto* p = alloc.allocate(60, {"r.c:3"});
+  EXPECT_EQ(alloc.reallocate(p, 50, {"r.c:4"}), p);
+}
+
+TEST_F(ExtAllocFixture, ReallocNullActsAsAlloc) {
+  void* p = alloc.reallocate(nullptr, 128, {"r.c:5"});
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(rt.objects().find(reinterpret_cast<Address>(p)).has_value());
+}
+
+TEST_F(ExtAllocFixture, ReallocZeroFrees) {
+  void* p = alloc.allocate(64, {"r.c:6"});
+  const Address a = reinterpret_cast<Address>(p);
+  EXPECT_EQ(alloc.reallocate(p, 0, {"r.c:7"}), nullptr);
+  EXPECT_FALSE(rt.objects().find(a).has_value());
+}
+
+TEST_F(ExtAllocFixture, AlignedAllocationsRespectAlignment) {
+  for (const std::size_t align : {8ul, 16ul, 64ul, 256ul, 4096ul}) {
+    void* p = alloc.allocate_aligned(align, 100, {"a.c:1"});
+    ASSERT_NE(p, nullptr) << align;
+    EXPECT_EQ(reinterpret_cast<Address>(p) % align, 0u) << align;
+  }
+  EXPECT_EQ(alloc.allocate_aligned(48, 100, {"a.c:2"}), nullptr);  // not pow2
+}
+
+TEST_F(ExtAllocFixture, StatsCountOperations) {
+  void* a = alloc.allocate(32, {"s.c:1"});
+  void* b = alloc.allocate_zeroed(4, 8, {"s.c:2"});
+  b = alloc.reallocate(b, 512, {"s.c:3"});
+  alloc.deallocate(a);
+  alloc.deallocate(b);
+  const auto stats = alloc.stats();
+  EXPECT_EQ(stats.allocations, 3u);  // alloc + calloc + realloc's fresh block
+  EXPECT_EQ(stats.reallocations, 1u);
+  EXPECT_EQ(stats.deallocations, 3u);  // realloc freed one + two explicit
+  EXPECT_EQ(stats.leaked_for_reporting, 0u);
+}
+
+TEST_F(ExtAllocFixture, DirtyObjectsCountAsLeakedForReporting) {
+  void* p = alloc.allocate(64, {"s.c:4"});
+  const Address a = reinterpret_cast<Address>(p);
+  for (int i = 0; i < 50; ++i) {
+    rt.handle_access(a, AccessType::kWrite, 0);
+    rt.handle_access(a + 8, AccessType::kWrite, 1);
+  }
+  alloc.deallocate(p);
+  EXPECT_EQ(alloc.stats().leaked_for_reporting, 1u);
+}
+
+// --- randomized stress -------------------------------------------------------
+
+TEST(AllocFuzz, RandomAllocFreeKeepsInvariants) {
+  RuntimeConfig cfg;
+  cfg.tracking_threshold = 2;
+  Runtime rt(cfg);
+  PredatorAllocator alloc(rt, 32 * 1024 * 1024);
+  Xorshift64 rng(0xfeedface);
+
+  std::map<Address, std::pair<std::size_t, unsigned char>> live;  // size, tag
+  for (int step = 0; step < 20000; ++step) {
+    const bool do_alloc = live.empty() || rng.next_below(100) < 60;
+    if (do_alloc) {
+      const std::size_t size = 1 + rng.next_below(4000);
+      auto* p = static_cast<unsigned char*>(
+          alloc.allocate(size, {"fuzz.c:1"}));
+      ASSERT_NE(p, nullptr);
+      const Address a = reinterpret_cast<Address>(p);
+      // No live object may overlap the new one.
+      auto it = live.upper_bound(a);
+      if (it != live.end()) {
+        ASSERT_GE(it->first, a + size);
+      }
+      if (it != live.begin()) {
+        --it;
+        ASSERT_LE(it->first + it->second.first, a);
+      }
+      const auto tag = static_cast<unsigned char>(rng.next());
+      std::memset(p, tag, size);
+      live[a] = {size, tag};
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      auto* p = reinterpret_cast<unsigned char*>(it->first);
+      // The object's bytes were never disturbed by other allocations.
+      for (std::size_t i = 0; i < it->second.first; i += 97) {
+        ASSERT_EQ(p[i], it->second.second) << "corruption at " << i;
+      }
+      alloc.deallocate(p);
+      live.erase(it);
+    }
+  }
+  const auto stats = alloc.stats();
+  EXPECT_EQ(stats.allocations - stats.deallocations, live.size());
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,0 +1,106 @@
+// Tests for the comparison baselines: the SHERIFF-style observed-only
+// write-write detector and the PTU-style aggregator — including the
+// characteristic blind spots the paper exploits (SHERIFF misses read-write
+// and latent false sharing; PTU cannot separate true from false sharing).
+#include <gtest/gtest.h>
+
+#include "baseline/ptu_like.hpp"
+#include "baseline/sheriff_like.hpp"
+
+namespace pred {
+namespace {
+
+constexpr auto R = AccessType::kRead;
+constexpr auto W = AccessType::kWrite;
+
+TEST(SheriffLike, DetectsWriteWriteFalseSharing) {
+  SheriffLikeDetector d;
+  for (int i = 0; i < 100; ++i) {
+    d.on_write(1024, 0);      // word 0
+    d.on_write(1024 + 8, 1);  // word 1, same line
+  }
+  const auto rep = d.report(50);
+  ASSERT_EQ(rep.size(), 1u);
+  EXPECT_TRUE(rep[0].write_write_false_sharing);
+  EXPECT_EQ(rep[0].writer_threads, 2u);
+  EXPECT_GT(rep[0].interleavings, 100u);
+}
+
+TEST(SheriffLike, MissesReadWriteFalseSharing) {
+  SheriffLikeDetector d;
+  for (int i = 0; i < 100; ++i) {
+    d.on_access(2048, W, 0);
+    d.on_access(2048 + 8, R, 1);  // reader is invisible to SHERIFF
+  }
+  const auto rep = d.report(1);
+  EXPECT_TRUE(rep.empty());
+}
+
+TEST(SheriffLike, SingleWriterIsNotFlagged) {
+  SheriffLikeDetector d;
+  for (int i = 0; i < 1000; ++i) d.on_write(4096 + (i % 8) * 8, 3);
+  const auto rep = d.report(1);
+  EXPECT_TRUE(rep.empty());  // no interleavings at all
+}
+
+TEST(SheriffLike, TrueSharingIsNotWriteWriteFalseSharing) {
+  SheriffLikeDetector d;
+  for (int i = 0; i < 100; ++i) d.on_write(8192, i % 2);  // same word
+  const auto rep = d.report(10);
+  ASSERT_EQ(rep.size(), 1u);
+  EXPECT_FALSE(rep[0].write_write_false_sharing);
+}
+
+TEST(SheriffLike, ReportSortedByInterleavings) {
+  SheriffLikeDetector d;
+  for (int i = 0; i < 20; ++i) {
+    d.on_write(0, i % 2);
+  }
+  for (int i = 0; i < 200; ++i) {
+    d.on_write(640, i % 2);
+  }
+  const auto rep = d.report(5);
+  ASSERT_EQ(rep.size(), 2u);
+  EXPECT_EQ(rep[0].line, 10u);
+  EXPECT_GE(rep[0].interleavings, rep[1].interleavings);
+}
+
+TEST(PtuLike, FlagsMultiThreadedWrittenLines) {
+  PtuLikeDetector d;
+  for (int i = 0; i < 100; ++i) {
+    d.on_access(1024, W, 0);
+    d.on_access(1032, R, 1);
+  }
+  const auto rep = d.report(50);
+  ASSERT_EQ(rep.size(), 1u);
+  EXPECT_TRUE(rep[0].flagged);
+  EXPECT_EQ(rep[0].threads, 2u);
+}
+
+TEST(PtuLike, CannotDistinguishTrueSharing) {
+  // The PTU blind spot: a plain contended counter (true sharing) is flagged
+  // exactly like false sharing — a false positive PREDATOR avoids.
+  PtuLikeDetector d;
+  for (int i = 0; i < 100; ++i) d.on_access(2048, W, i % 4);  // same word!
+  const auto rep = d.report(50);
+  ASSERT_EQ(rep.size(), 1u);
+  EXPECT_TRUE(rep[0].flagged);
+}
+
+TEST(PtuLike, SingleThreadLinesNotFlagged) {
+  PtuLikeDetector d;
+  for (int i = 0; i < 100; ++i) d.on_access(4096, W, 2);
+  const auto rep = d.report(50);
+  ASSERT_EQ(rep.size(), 1u);
+  EXPECT_FALSE(rep[0].flagged);
+}
+
+TEST(PtuLike, ThresholdFiltersColdLines) {
+  PtuLikeDetector d;
+  d.on_access(0, W, 0);
+  d.on_access(0, W, 1);
+  EXPECT_TRUE(d.report(10).empty());
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,0 +1,139 @@
+// Unit tests for the per-line detail tracker: word histogram placement,
+// invalidation counting, the Section 2.4.3 sampling window, reuse reset, and
+// virtual-line fan-out.
+#include <gtest/gtest.h>
+
+#include "runtime/cache_tracker.hpp"
+
+namespace pred {
+namespace {
+
+constexpr auto R = AccessType::kRead;
+constexpr auto W = AccessType::kWrite;
+constexpr LineGeometry kGeo{};  // 64-byte lines, 8-byte words
+
+// Line 10 covers [640, 704).
+constexpr Address kLineBase = 640;
+
+CacheTracker make_tracker() { return CacheTracker(10, kGeo); }
+
+TEST(CacheTracker, RecordsWordHistogram) {
+  auto t = make_tracker();
+  t.handle_access(kLineBase + 0, W, 0, 10'000, 1'000'000);
+  t.handle_access(kLineBase + 8, W, 1, 10'000, 1'000'000);
+  t.handle_access(kLineBase + 8, R, 1, 10'000, 1'000'000);
+  const auto words = t.words_snapshot();
+  ASSERT_EQ(words.size(), 8u);
+  EXPECT_EQ(words[0].writes, 1u);
+  EXPECT_EQ(words[0].owner, 0u);
+  EXPECT_EQ(words[1].writes, 1u);
+  EXPECT_EQ(words[1].reads, 1u);
+  EXPECT_EQ(words[1].owner, 1u);
+  EXPECT_FALSE(words[2].touched());
+}
+
+TEST(CacheTracker, CountsInvalidationsAcrossWords) {
+  auto t = make_tracker();
+  // Different threads writing *different words* of one line still
+  // invalidate: that is precisely false sharing.
+  for (int i = 0; i < 10; ++i) {
+    t.handle_access(kLineBase + 0, W, 0, 10'000, 1'000'000);
+    t.handle_access(kLineBase + 8, W, 1, 10'000, 1'000'000);
+  }
+  EXPECT_EQ(t.invalidations(), 19u);  // every write after the first
+}
+
+TEST(CacheTracker, SamplingWindowLimitsDetailedTracking) {
+  auto t = make_tracker();
+  // Window 10 of every 100: out of 1000 accesses, 100 are recorded.
+  int sampled = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sampled += t.handle_access(kLineBase, W, 0, 10, 100) ? 1 : 0;
+  }
+  EXPECT_EQ(sampled, 100);
+  EXPECT_EQ(t.sampled_accesses(), 100u);
+  EXPECT_EQ(t.total_accesses(), 1000u);
+}
+
+TEST(CacheTracker, FullSamplingRecordsEverything) {
+  auto t = make_tracker();
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(t.handle_access(kLineBase, R, 0, 100, 100));
+  }
+  EXPECT_EQ(t.sampled_accesses(), 500u);
+  EXPECT_EQ(t.sampled_reads(), 500u);
+}
+
+TEST(CacheTracker, SampledInvalidationsScaleWithRate) {
+  // The paper observes lower sampling rates report fewer invalidations but
+  // still detect the problem. Compare 100% vs 10% sampling on a ping-pong.
+  auto full = make_tracker();
+  auto sampled = make_tracker();
+  for (int i = 0; i < 10000; ++i) {
+    const ThreadId tid = i % 2;
+    full.handle_access(kLineBase, W, tid, 1'000'000, 1'000'000);
+    sampled.handle_access(kLineBase, W, tid, 100, 1000);
+  }
+  EXPECT_GT(full.invalidations(), 9000u);
+  EXPECT_GT(sampled.invalidations(), 500u);
+  EXPECT_LT(sampled.invalidations(), 2000u);
+}
+
+TEST(CacheTracker, ResetForReuseClearsRecordingState) {
+  auto t = make_tracker();
+  t.handle_access(kLineBase, W, 0, 10'000, 1'000'000);
+  t.handle_access(kLineBase, W, 1, 10'000, 1'000'000);
+  ASSERT_GT(t.invalidations(), 0u);
+  t.reset_for_reuse();
+  EXPECT_EQ(t.invalidations(), 0u);
+  EXPECT_EQ(t.sampled_accesses(), 0u);
+  for (const auto& w : t.words_snapshot()) EXPECT_FALSE(w.touched());
+  // History is also clear: the next write is not an invalidation.
+  t.handle_access(kLineBase, W, 2, 10'000, 1'000'000);
+  EXPECT_EQ(t.invalidations(), 0u);
+}
+
+TEST(CacheTracker, VirtualLineFanOut) {
+  auto t = make_tracker();
+  VirtualLineTracker vl(kLineBase + 32, 64, VirtualLineTracker::Kind::kShifted,
+                        10, kLineBase + 32, kLineBase + 72);
+  EXPECT_FALSE(t.has_virtual_lines());
+  t.add_virtual_line(&vl);
+  EXPECT_TRUE(t.has_virtual_lines());
+  // Only accesses inside the virtual range reach the virtual table.
+  t.update_virtual_lines(kLineBase + 40, W, 0);
+  t.update_virtual_lines(kLineBase + 8, W, 1);  // outside [672, 736)
+  EXPECT_EQ(vl.accesses(), 1u);
+}
+
+TEST(CacheTracker, PredictionBeginsExactlyOnce) {
+  auto t = make_tracker();
+  EXPECT_TRUE(t.try_begin_prediction());
+  EXPECT_FALSE(t.try_begin_prediction());
+  EXPECT_FALSE(t.try_begin_prediction());
+}
+
+TEST(VirtualLineTracker, CountsInvalidationsLikePhysicalLines) {
+  VirtualLineTracker vl(128, 64, VirtualLineTracker::Kind::kDoubleLine, 2,
+                        128, 184);
+  for (int i = 0; i < 100; ++i) {
+    vl.access(130 + (i % 2) * 50, AccessType::kWrite,
+              static_cast<ThreadId>(i % 2));
+  }
+  EXPECT_EQ(vl.invalidations(), 99u);
+  EXPECT_EQ(vl.accesses(), 100u);
+}
+
+TEST(VirtualLineTracker, IgnoresOutOfRange) {
+  VirtualLineTracker vl(128, 64, VirtualLineTracker::Kind::kShifted, 2, 128,
+                        184);
+  vl.access(127, W, 0);
+  vl.access(192, W, 1);
+  EXPECT_EQ(vl.accesses(), 0u);
+  vl.access(128, R, 0);
+  vl.access(191, R, 1);
+  EXPECT_EQ(vl.accesses(), 2u);
+}
+
+}  // namespace
+}  // namespace pred

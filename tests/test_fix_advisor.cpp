@@ -1,0 +1,144 @@
+// Tests for the fix advisor (the paper's Section 6 "Suggest Fixes"
+// extension): each access-pattern shape must map to the right remedy, with
+// end-to-end checks against real workload reports.
+#include <gtest/gtest.h>
+
+#include "advice/fix_advisor.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred {
+namespace {
+
+SessionOptions options() {
+  SessionOptions o;
+  o.heap_size = 32 * 1024 * 1024;
+  return o;
+}
+
+std::vector<FixSuggestion> advise_workload(const char* name,
+                                           std::size_t offset = 0) {
+  Session session(options());
+  const wl::Workload* w = wl::find_workload(name);
+  EXPECT_NE(w, nullptr);
+  wl::Params p;
+  p.threads = 8;
+  p.offset = offset;
+  w->run_replay(session, p);
+  return advise(session.report());
+}
+
+const FixSuggestion* find_kind(const std::vector<FixSuggestion>& v,
+                               FixKind kind) {
+  for (const auto& s : v) {
+    if (s.kind == kind) return &s;
+  }
+  return nullptr;
+}
+
+TEST(FixAdvisor, EmptyReportYieldsNoFixes) {
+  Report empty;
+  EXPECT_TRUE(advise(empty).empty());
+  EXPECT_EQ(format_suggestions({}), "No fixes to suggest.\n");
+}
+
+TEST(FixAdvisor, HistogramGetsSlotPadding) {
+  const auto fixes = advise_workload("histogram");
+  ASSERT_FALSE(fixes.empty());
+  const FixSuggestion* pad = find_kind(fixes, FixKind::kPadPerThreadSlots);
+  ASSERT_NE(pad, nullptr) << format_suggestions(fixes);
+  // thread_arg_t is 24 bytes: the advisor should infer the slot stride.
+  EXPECT_EQ(pad->slot_stride, 24u);
+  EXPECT_GE(pad->threads_involved, 2u);
+  EXPECT_NE(pad->prescription.find("pad every slot"), std::string::npos);
+}
+
+TEST(FixAdvisor, MysqlGetsSlotPaddingWithEightByteStride) {
+  const auto fixes = advise_workload("mysql");
+  const FixSuggestion* pad = find_kind(fixes, FixKind::kPadPerThreadSlots);
+  ASSERT_NE(pad, nullptr) << format_suggestions(fixes);
+  EXPECT_EQ(pad->slot_stride, 8u);
+}
+
+TEST(FixAdvisor, LatentLinearRegressionGetsAlignmentPin) {
+  const auto fixes = advise_workload("linear_regression", /*offset=*/0);
+  const FixSuggestion* align = find_kind(fixes, FixKind::kAlignObject);
+  ASSERT_NE(align, nullptr) << format_suggestions(fixes);
+  EXPECT_NE(align->rationale.find("predicted"), std::string::npos);
+}
+
+TEST(FixAdvisor, TrueSharingGetsNoLayoutFix) {
+  const auto fixes = advise_workload("memcached");
+  const FixSuggestion* ts = find_kind(fixes, FixKind::kReduceWriteSharing);
+  ASSERT_NE(ts, nullptr) << format_suggestions(fixes);
+  EXPECT_NE(ts->prescription.find("true sharing"), std::string::npos);
+  // And no false-sharing layout fix should be proposed for memcached.
+  EXPECT_EQ(find_kind(fixes, FixKind::kPadPerThreadSlots), nullptr);
+}
+
+TEST(FixAdvisor, ChunkBoundaryArrayGetsWidening) {
+  const auto fixes = advise_workload("streamcluster");
+  // switch_membership: big per-thread chunks meeting at boundary lines.
+  const FixSuggestion* widen = find_kind(fixes, FixKind::kWidenElements);
+  ASSERT_NE(widen, nullptr) << format_suggestions(fixes);
+  EXPECT_GT(widen->slot_stride, 64u);
+}
+
+TEST(FixAdvisor, SuggestionsRankedByImpact) {
+  Session session(options());
+  const wl::Workload* hist = wl::find_workload("histogram");
+  const wl::Workload* wc = wl::find_workload("word_count");
+  wl::Params p;
+  p.threads = 8;
+  hist->run_replay(session, p);
+  wc->run_replay(session, p);
+  const auto fixes = advise(session.report());
+  ASSERT_GE(fixes.size(), 2u);
+  for (std::size_t i = 1; i < fixes.size(); ++i) {
+    EXPECT_GE(fixes[i - 1].eliminated_invalidations,
+              fixes[i].eliminated_invalidations);
+  }
+}
+
+TEST(FixAdvisor, MinInvalidationFilterDropsNoise) {
+  Session session(options());
+  const wl::Workload* w = wl::find_workload("word_count");
+  wl::Params p;
+  p.threads = 8;
+  w->run_replay(session, p);
+  AdvisorOptions high;
+  high.min_invalidations = ~std::uint64_t{0};
+  EXPECT_TRUE(advise(session.report(), high).empty());
+}
+
+TEST(FixAdvisor, FormattingMentionsEveryFix) {
+  const auto fixes = advise_workload("histogram");
+  ASSERT_FALSE(fixes.empty());
+  const std::string text = format_suggestions(fixes);
+  EXPECT_NE(text.find("Fix #1"), std::string::npos);
+  EXPECT_NE(text.find("eliminates"), std::string::npos);
+  EXPECT_NE(text.find("evidence:"), std::string::npos);
+}
+
+// Applying the advised fix must actually clean the observed report: the
+// advisor's suggestions correspond to the workloads' fix_mask variants.
+TEST(FixAdvisor, AdviceMatchesTheKnownFix) {
+  Session before(options());
+  const wl::Workload* w = wl::find_workload("histogram");
+  wl::Params p;
+  p.threads = 8;
+  w->run_replay(before, p);
+  ASSERT_NE(find_kind(advise(before.report()), FixKind::kPadPerThreadSlots),
+            nullptr);
+
+  Session after(options());
+  p.fix_mask = ~0u;  // the padding fix the advisor prescribed
+  w->run_replay(after, p);
+  bool observed_fs = false;
+  for (const auto& f : after.report().findings) {
+    observed_fs |= f.observed && f.is_false_sharing();
+  }
+  EXPECT_FALSE(observed_fs);
+}
+
+}  // namespace
+}  // namespace pred

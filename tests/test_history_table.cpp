@@ -1,0 +1,192 @@
+// Unit tests for the two-entry cache history table (Section 2.3.1): every
+// rule from the paper's bullet list, plus property sweeps over access
+// sequences.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "runtime/history_table.hpp"
+
+namespace pred {
+namespace {
+
+constexpr auto R = AccessType::kRead;
+constexpr auto W = AccessType::kWrite;
+
+TEST(HistoryTable, StartsEmpty) {
+  HistoryTable t;
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(HistoryTable, FirstWriteIsNotInvalidation) {
+  HistoryTable t;
+  EXPECT_EQ(t.access(0, W), HistoryOutcome::kNoEvent);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.thread_at(0), 0u);
+  EXPECT_EQ(t.type_at(0), W);
+}
+
+TEST(HistoryTable, RepeatedWritesBySameThreadNeverInvalidate) {
+  HistoryTable t;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.access(3, W), HistoryOutcome::kNoEvent);
+  }
+  EXPECT_EQ(t.size(), 1);
+}
+
+TEST(HistoryTable, WriteAfterOtherThreadWriteInvalidates) {
+  HistoryTable t;
+  t.access(0, W);
+  EXPECT_EQ(t.access(1, W), HistoryOutcome::kInvalidation);
+  // Invalidation resets the table to the invalidating write.
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.thread_at(0), 1u);
+  EXPECT_EQ(t.type_at(0), W);
+}
+
+TEST(HistoryTable, WriteAfterOtherThreadReadInvalidates) {
+  HistoryTable t;
+  t.access(2, R);
+  EXPECT_EQ(t.access(1, W), HistoryOutcome::kInvalidation);
+}
+
+TEST(HistoryTable, PingPongWritesInvalidateEveryTime) {
+  HistoryTable t;
+  t.access(0, W);
+  int invalidations = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    if (t.access(i % 2, W) == HistoryOutcome::kInvalidation) ++invalidations;
+  }
+  EXPECT_EQ(invalidations, 1000);
+}
+
+TEST(HistoryTable, ReadNeverInvalidates) {
+  HistoryTable t;
+  t.access(0, W);
+  for (ThreadId tid = 0; tid < 10; ++tid) {
+    EXPECT_EQ(t.access(tid, R), HistoryOutcome::kNoEvent);
+  }
+}
+
+TEST(HistoryTable, ReadFromSecondThreadFillsTable) {
+  HistoryTable t;
+  t.access(0, W);
+  t.access(1, R);
+  EXPECT_EQ(t.size(), 2);
+}
+
+TEST(HistoryTable, ReadFromSameThreadIsNotRecordedTwice) {
+  HistoryTable t;
+  t.access(0, W);
+  t.access(0, R);
+  EXPECT_EQ(t.size(), 1);  // same thread: no new entry
+}
+
+TEST(HistoryTable, ReadsToFullTableAreIgnored) {
+  HistoryTable t;
+  t.access(0, W);
+  t.access(1, R);
+  ASSERT_EQ(t.size(), 2);
+  t.access(2, R);  // full: ignored
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_EQ(t.thread_at(0), 0u);
+  EXPECT_EQ(t.thread_at(1), 1u);
+}
+
+TEST(HistoryTable, WriteToFullTableAlwaysInvalidates) {
+  HistoryTable t;
+  t.access(0, W);
+  t.access(1, R);
+  // Even the thread already in the table invalidates the other's copy.
+  EXPECT_EQ(t.access(0, W), HistoryOutcome::kInvalidation);
+}
+
+TEST(HistoryTable, WriteReadWriteRoundTrip) {
+  HistoryTable t;
+  EXPECT_EQ(t.access(0, W), HistoryOutcome::kNoEvent);
+  EXPECT_EQ(t.access(1, R), HistoryOutcome::kNoEvent);
+  EXPECT_EQ(t.access(1, W), HistoryOutcome::kInvalidation);
+  EXPECT_EQ(t.access(0, R), HistoryOutcome::kNoEvent);
+  EXPECT_EQ(t.access(0, W), HistoryOutcome::kInvalidation);
+}
+
+TEST(HistoryTable, ResetClears) {
+  HistoryTable t;
+  t.access(0, W);
+  t.access(1, R);
+  t.reset();
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.access(2, W), HistoryOutcome::kNoEvent);
+}
+
+// --- properties -----------------------------------------------------------
+
+// Single-thread streams can never produce invalidations.
+TEST(HistoryTableProperty, SingleThreadStreamNeverInvalidates) {
+  Xorshift64 rng(42);
+  HistoryTable t;
+  for (int i = 0; i < 10000; ++i) {
+    const AccessType type = rng.next_below(2) ? W : R;
+    EXPECT_EQ(t.access(7, type), HistoryOutcome::kNoEvent);
+  }
+}
+
+// Read-only streams can never produce invalidations, no matter how many
+// threads participate.
+TEST(HistoryTableProperty, ReadOnlyStreamNeverInvalidates) {
+  Xorshift64 rng(43);
+  HistoryTable t;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(t.access(static_cast<ThreadId>(rng.next_below(16)), R),
+              HistoryOutcome::kNoEvent);
+  }
+}
+
+// The table never grows beyond two entries and never dies: after any stream,
+// another write is always representable.
+TEST(HistoryTableProperty, TableSizeBounded) {
+  Xorshift64 rng(44);
+  HistoryTable t;
+  for (int i = 0; i < 100000; ++i) {
+    const AccessType type = rng.next_below(4) == 0 ? W : R;
+    t.access(static_cast<ThreadId>(rng.next_below(8)), type);
+    ASSERT_GE(t.size(), 0);
+    ASSERT_LE(t.size(), 2);
+  }
+}
+
+// Invalidation count is bounded by the number of writes in the stream.
+TEST(HistoryTableProperty, InvalidationsBoundedByWrites) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Xorshift64 rng(seed);
+    HistoryTable t;
+    int writes = 0;
+    int invalidations = 0;
+    for (int i = 0; i < 5000; ++i) {
+      const AccessType type = rng.next_below(2) ? W : R;
+      writes += type == W;
+      invalidations +=
+          t.access(static_cast<ThreadId>(rng.next_below(6)), type) ==
+          HistoryOutcome::kInvalidation;
+    }
+    EXPECT_LE(invalidations, writes) << "seed " << seed;
+  }
+}
+
+// A full table always holds two distinct threads (the precondition for the
+// "write to full table invalidates" rule).
+TEST(HistoryTableProperty, FullTableHoldsDistinctThreads) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Xorshift64 rng(seed * 977);
+    HistoryTable t;
+    for (int i = 0; i < 5000; ++i) {
+      const AccessType type = rng.next_below(3) == 0 ? W : R;
+      t.access(static_cast<ThreadId>(rng.next_below(5)), type);
+      if (t.size() == 2) {
+        ASSERT_NE(t.thread_at(0), t.thread_at(1)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pred

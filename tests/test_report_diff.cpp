@@ -1,0 +1,160 @@
+// Tests for report diffing: identity matching across runs, status
+// classification, noise tolerance, and the end-to-end before/after-fix
+// workflow CI gates rely on.
+#include <gtest/gtest.h>
+
+#include "report_io/report_diff.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred {
+namespace {
+
+SessionOptions options() {
+  SessionOptions o;
+  o.heap_size = 32 * 1024 * 1024;
+  return o;
+}
+
+struct RunResult {
+  Report report;
+  // The session must outlive the callsite references; keep it.
+  std::shared_ptr<Session> session;
+  const CallsiteTable& callsites() const {
+    return session->runtime().callsites();
+  }
+};
+
+RunResult run(const char* name, std::uint32_t fix_mask = 0,
+              std::uint64_t scale = 1, std::size_t offset = 0) {
+  RunResult r;
+  r.session = std::make_shared<Session>(options());
+  const wl::Workload* w = wl::find_workload(name);
+  EXPECT_NE(w, nullptr);
+  wl::Params p;
+  p.threads = 8;
+  p.fix_mask = fix_mask;
+  p.scale = scale;
+  p.offset = offset;
+  w->run_replay(*r.session, p);
+  r.report = r.session->report();
+  return r;
+}
+
+TEST(ReportDiff, IdentityIsStableAcrossRuns) {
+  const RunResult a = run("histogram");
+  const RunResult b = run("histogram");
+  ASSERT_FALSE(a.report.findings.empty());
+  ASSERT_FALSE(b.report.findings.empty());
+  EXPECT_EQ(finding_identity(a.report.findings[0], a.callsites()),
+            finding_identity(b.report.findings[0], b.callsites()));
+}
+
+TEST(ReportDiff, IdenticalRunsDiffClean) {
+  const RunResult a = run("histogram");
+  const RunResult b = run("histogram");
+  const ReportDiff d =
+      diff_reports(a.report, a.callsites(), b.report, b.callsites());
+  EXPECT_TRUE(d.clean());
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].status, DiffStatus::kUnchanged);
+}
+
+TEST(ReportDiff, FixShowsAsFixed) {
+  // linear_regression's fix (two full lines per slot) removes even the
+  // latent findings, so the identity disappears entirely.
+  const RunResult buggy = run("linear_regression", 0, 1, /*offset=*/24);
+  const RunResult fixed = run("linear_regression", ~0u, 1, 24);
+  const ReportDiff d = diff_reports(buggy.report, buggy.callsites(),
+                                    fixed.report, fixed.callsites());
+  EXPECT_EQ(d.fixed, 1u);
+  EXPECT_EQ(d.fresh, 0u);
+  EXPECT_EQ(d.regressed, 0u);
+  EXPECT_TRUE(d.clean());
+  const std::string text = format_diff(d);
+  EXPECT_NE(text.find("FIXED"), std::string::npos);
+  EXPECT_NE(text.find("linear_regression-pthread.c:133"), std::string::npos);
+}
+
+TEST(ReportDiff, PartialFixKeepsIdentityAsLatent) {
+  // histogram's fix pads slots to exactly one line: the observed problem
+  // disappears but a latent (double-line) prediction remains on the same
+  // object, so the identity persists and the diff reports improvement or
+  // stability — never a silent "fixed".
+  const RunResult buggy = run("histogram");
+  const RunResult fixed = run("histogram", ~0u);
+  const ReportDiff d = diff_reports(buggy.report, buggy.callsites(),
+                                    fixed.report, fixed.callsites());
+  EXPECT_EQ(d.fixed, 0u);
+  ASSERT_FALSE(d.entries.empty());
+  bool histogram_entry = false;
+  for (const auto& e : d.entries) {
+    if (e.identity.find("histogram-pthread.c:213") == std::string::npos) {
+      continue;
+    }
+    histogram_entry = true;
+    EXPECT_TRUE(e.was_observed);
+    EXPECT_FALSE(e.now_observed);
+  }
+  EXPECT_TRUE(histogram_entry);
+}
+
+TEST(ReportDiff, IntroducedBugShowsAsNew) {
+  const RunResult fixed = run("linear_regression", ~0u, 1, 24);
+  const RunResult buggy = run("linear_regression", 0, 1, 24);
+  const ReportDiff d = diff_reports(fixed.report, fixed.callsites(),
+                                    buggy.report, buggy.callsites());
+  EXPECT_EQ(d.fresh, 1u);
+  EXPECT_FALSE(d.clean());
+  EXPECT_NE(format_diff(d).find("NEW"), std::string::npos);
+}
+
+TEST(ReportDiff, GrowthBeyondNoiseIsRegression) {
+  const RunResult small = run("histogram", 0, /*scale=*/1);
+  const RunResult large = run("histogram", 0, /*scale=*/4);
+  DiffOptions opts;
+  opts.noise_fraction = 0.25;
+  const ReportDiff d = diff_reports(small.report, small.callsites(),
+                                    large.report, large.callsites(), opts);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].status, DiffStatus::kRegressed);
+  EXPECT_FALSE(d.clean());
+}
+
+TEST(ReportDiff, ShrinkBeyondNoiseIsImprovementNotFailure) {
+  const RunResult large = run("histogram", 0, 4);
+  const RunResult small = run("histogram", 0, 1);
+  const ReportDiff d = diff_reports(large.report, large.callsites(),
+                                    small.report, small.callsites());
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].status, DiffStatus::kImproved);
+  EXPECT_TRUE(d.clean());
+}
+
+TEST(ReportDiff, EmptyBothSides) {
+  Report a, b;
+  CallsiteTable cs;
+  const ReportDiff d = diff_reports(a, cs, b, cs);
+  EXPECT_TRUE(d.clean());
+  EXPECT_EQ(format_diff(d), "No false sharing findings on either side.\n");
+}
+
+TEST(ReportDiff, ObservedToLatentTransitionIsAnnotated) {
+  // streamcluster's work_mem: observed when padded to 32, latent-only when
+  // padded to 64 (prediction persists for the doubled-line scenario).
+  const RunResult buggy = run("streamcluster");
+  const RunResult fixed = run("streamcluster", ~0u);
+  const ReportDiff d = diff_reports(buggy.report, buggy.callsites(),
+                                    fixed.report, fixed.callsites());
+  const std::string text = format_diff(d);
+  EXPECT_NE(text.find("streamcluster.cpp:985"), std::string::npos);
+  // The 985 site's entry must not be a regression (it improved or went
+  // latent); total regressions can stem only from genuinely new sites.
+  for (const auto& e : d.entries) {
+    if (e.identity.find("985") != std::string::npos) {
+      EXPECT_NE(e.status, DiffStatus::kRegressed) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pred

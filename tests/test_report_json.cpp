@@ -1,0 +1,141 @@
+// Tests for the JSON writer and the report exporter: structural
+// correctness, escaping, and end-to-end schema content from a real
+// detection run.
+#include <gtest/gtest.h>
+
+#include "report_io/report_json.hpp"
+#include "report_io/json_writer.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.begin_object().end_object();
+    EXPECT_EQ(w.str(), "{}");
+    EXPECT_TRUE(w.complete());
+  }
+  {
+    JsonWriter w;
+    w.begin_array().end_array();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriter, FieldsAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("a", std::uint64_t{1});
+  w.field("b", "two");
+  w.field("c", true);
+  w.key("d").null_value();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":true,"d":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list").begin_array();
+  w.value(std::uint64_t{1});
+  w.begin_object().field("x", std::uint64_t{2}).end_object();
+  w.value(std::uint64_t{3});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,{"x":2},3]})");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NegativeAndFloatingValues) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::int64_t{-5});
+  w.value(2.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[-5,2.5]");
+}
+
+// --- end-to-end export ------------------------------------------------------
+
+std::string detect_and_export(const char* workload, bool with_advice) {
+  SessionOptions opts;
+  opts.heap_size = 32 * 1024 * 1024;
+  Session session(opts);
+  const wl::Workload* w = wl::find_workload(workload);
+  EXPECT_NE(w, nullptr);
+  wl::Params p;
+  p.threads = 8;
+  w->run_replay(session, p);
+  const Report rep = session.report();
+  if (with_advice) {
+    const auto fixes = advise(rep);
+    return report_to_json(rep, session.runtime().callsites(), &fixes);
+  }
+  return report_to_json(rep, session.runtime().callsites());
+}
+
+TEST(ReportJson, ContainsSchemaFields) {
+  const std::string json = detect_and_export("histogram", false);
+  EXPECT_NE(json.find("\"total_invalidations\":"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\":["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"FALSE SHARING\""), std::string::npos);
+  EXPECT_NE(json.find("histogram-pthread.c:213"), std::string::npos);
+  EXPECT_NE(json.find("\"words\":["), std::string::npos);
+  EXPECT_EQ(json.find("\"suggestions\""), std::string::npos);
+}
+
+TEST(ReportJson, SuggestionsIncludedWhenRequested) {
+  const std::string json = detect_and_export("histogram", true);
+  EXPECT_NE(json.find("\"suggestions\":["), std::string::npos);
+  EXPECT_NE(json.find("pad per-thread slots"), std::string::npos);
+}
+
+TEST(ReportJson, PredictedFindingsCarryVirtualLines) {
+  const std::string json = detect_and_export("linear_regression", false);
+  EXPECT_NE(json.find("\"predicted\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"virtual_lines\":["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"double_line\""), std::string::npos);
+}
+
+TEST(ReportJson, BalancedBracesAndQuotes) {
+  for (const char* name : {"histogram", "linear_regression", "memcached"}) {
+    const std::string json = detect_and_export(name, true);
+    long depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (const char c : json) {
+      if (escaped) {
+        escaped = false;
+        continue;
+      }
+      if (in_string) {
+        if (c == '\\') escaped = true;
+        if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+      ASSERT_GE(depth, 0) << name;
+    }
+    EXPECT_EQ(depth, 0) << name;
+    EXPECT_FALSE(in_string) << name;
+  }
+}
+
+TEST(ReportJson, EmptyReportIsValid) {
+  Report empty;
+  CallsiteTable callsites;
+  const std::string json = report_to_json(empty, callsites);
+  EXPECT_EQ(json, R"({"total_invalidations":0,"finding_count":0,)"
+                  R"("findings":[]})");
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,0 +1,191 @@
+// Tests for the cache simulator substrate: MESI-lite state transitions,
+// invalidation counting, the cost model, and the deterministic round-robin
+// trace executor — including the key end-to-end property that false sharing
+// costs more modeled time than a padded layout.
+#include <gtest/gtest.h>
+
+#include "sim/cache_sim.hpp"
+#include "sim/executor.hpp"
+
+namespace pred {
+namespace {
+
+constexpr auto R = AccessType::kRead;
+constexpr auto W = AccessType::kWrite;
+
+TEST(CacheSim, ColdReadThenHits) {
+  CacheSim sim;
+  sim.on_access(0, 64, R);
+  EXPECT_EQ(sim.stats().cold_misses, 1u);
+  sim.on_access(0, 64, R);
+  sim.on_access(0, 96, R);  // same line
+  EXPECT_EQ(sim.stats().hits, 2u);
+}
+
+TEST(CacheSim, WriteHitAfterOwnership) {
+  CacheSim sim;
+  sim.on_access(0, 64, W);
+  EXPECT_EQ(sim.stats().cold_misses, 1u);
+  sim.on_access(0, 64, W);
+  EXPECT_EQ(sim.stats().hits, 1u);
+}
+
+TEST(CacheSim, WriteInvalidatesRemoteReaders) {
+  CacheSim sim;
+  sim.on_access(0, 64, R);
+  sim.on_access(1, 64, R);
+  sim.on_access(2, 64, W);
+  EXPECT_EQ(sim.stats().invalidations_sent, 2u);
+}
+
+TEST(CacheSim, ReadOfRemoteDirtyIsCoherenceMiss) {
+  CacheSim sim;
+  sim.on_access(0, 64, W);
+  sim.on_access(1, 64, R);
+  EXPECT_EQ(sim.stats().coherence_misses, 1u);
+  // Both now hold it clean; the old owner can read without a miss.
+  sim.on_access(0, 64, R);
+  EXPECT_EQ(sim.stats().hits, 1u);
+}
+
+TEST(CacheSim, WritePingPongCountsCoherenceMissesEachTime) {
+  CacheSim sim;
+  sim.on_access(0, 64, W);
+  for (int i = 1; i <= 100; ++i) sim.on_access(i % 2, 64, W);
+  EXPECT_EQ(sim.stats().coherence_misses, 100u);
+  EXPECT_EQ(sim.stats().invalidations_sent, 100u);
+}
+
+TEST(CacheSim, DistinctLinesDoNotInterfere) {
+  CacheSim sim;
+  sim.on_access(0, 0, W);
+  sim.on_access(1, 64, W);
+  sim.on_access(0, 0, W);
+  sim.on_access(1, 64, W);
+  EXPECT_EQ(sim.stats().coherence_misses, 0u);
+  EXPECT_EQ(sim.stats().invalidations_sent, 0u);
+  EXPECT_EQ(sim.stats().hits, 2u);
+}
+
+TEST(CacheSim, ReadOnlySharingIsCheap) {
+  CacheSim sim;
+  for (int i = 0; i < 100; ++i) {
+    sim.on_access(static_cast<std::uint32_t>(i % 4), 128, R);
+  }
+  EXPECT_EQ(sim.stats().coherence_misses, 0u);
+  EXPECT_EQ(sim.stats().invalidations_sent, 0u);
+  EXPECT_EQ(sim.stats().cold_misses + sim.stats().shared_fetches, 4u);
+}
+
+TEST(CacheSim, CyclesAccrueToIssuingCore) {
+  CacheSim sim;
+  sim.on_access(3, 64, W);
+  EXPECT_GT(sim.core_cycles(3), 0u);
+  EXPECT_EQ(sim.core_cycles(0), 0u);
+  EXPECT_EQ(sim.max_core_cycles(), sim.core_cycles(3));
+}
+
+TEST(CacheSim, ResetClearsEverything) {
+  CacheSim sim;
+  sim.on_access(0, 64, W);
+  sim.on_access(1, 64, W);
+  sim.reset();
+  EXPECT_EQ(sim.stats().accesses, 0u);
+  EXPECT_EQ(sim.max_core_cycles(), 0u);
+  sim.on_access(1, 64, W);
+  EXPECT_EQ(sim.stats().cold_misses, 1u);  // state forgotten
+}
+
+TEST(Executor, RoundRobinInterleavesDeterministically) {
+  // Two threads ping-pong writes to one line: with quantum 1 every write
+  // after the first is a coherence miss.
+  ThreadTrace t0, t1;
+  for (int i = 0; i < 50; ++i) {
+    t0.push_back({1024, 0, W, 8});
+    t1.push_back({1032, 0, W, 8});  // same line, different word
+  }
+  const std::vector<ThreadTrace> traces{t0, t1};
+  CacheSim sim;
+  const SimStats stats = simulate_interleaved(sim, traces, 1);
+  EXPECT_EQ(stats.accesses, 100u);
+  EXPECT_EQ(stats.coherence_misses, 99u);
+
+  // Re-running with identical inputs gives identical results.
+  CacheSim sim2;
+  const SimStats stats2 = simulate_interleaved(sim2, traces, 1);
+  EXPECT_EQ(stats2.coherence_misses, stats.coherence_misses);
+  EXPECT_EQ(sim2.max_core_cycles(), sim.max_core_cycles());
+}
+
+TEST(Executor, CoarserQuantumReducesPingPong) {
+  ThreadTrace t0, t1;
+  for (int i = 0; i < 1000; ++i) {
+    t0.push_back({1024, 0, W, 8});
+    t1.push_back({1032, 0, W, 8});
+  }
+  const std::vector<ThreadTrace> traces{t0, t1};
+  CacheSim fine, coarse;
+  simulate_interleaved(fine, traces, 1);
+  simulate_interleaved(coarse, traces, 100);
+  EXPECT_GT(fine.stats().coherence_misses,
+            10 * coarse.stats().coherence_misses);
+}
+
+TEST(Executor, UnevenTracesDrainCompletely) {
+  ThreadTrace t0, t1;
+  for (int i = 0; i < 10; ++i) t0.push_back({64, 0, R, 8});
+  for (int i = 0; i < 500; ++i) t1.push_back({128, 0, R, 8});
+  const std::vector<ThreadTrace> traces{t0, t1};
+  CacheSim sim;
+  const SimStats stats = simulate_interleaved(sim, traces, 7);
+  EXPECT_EQ(stats.accesses, 510u);
+}
+
+TEST(Executor, ThreadsMapToCoresModulo) {
+  SimConfig cfg;
+  cfg.num_cores = 2;
+  CacheSim sim(cfg);
+  // Threads 0 and 2 share core 0: their "sharing" is free (same cache).
+  ThreadTrace a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back({2048, 0, W, 8});
+    b.push_back({2056, 0, W, 8});
+  }
+  std::vector<ThreadTrace> traces{a, ThreadTrace{}, b};
+  const SimStats stats = simulate_interleaved(sim, traces, 1);
+  EXPECT_EQ(stats.coherence_misses, 0u);
+}
+
+TEST(Executor, FalseSharingCostsMoreThanPaddedLayout) {
+  // The core Figure 2 mechanism: same access count, different layout.
+  auto make_traces = [](std::size_t stride) {
+    std::vector<ThreadTrace> traces(4);
+    for (std::size_t t = 0; t < 4; ++t) {
+      for (int i = 0; i < 2000; ++i) {
+        traces[t].push_back(
+            {static_cast<Address>(4096 + stride * t), 0, W, 8});
+      }
+    }
+    return traces;
+  };
+  CacheSim shared_sim, padded_sim;
+  simulate_interleaved(shared_sim, make_traces(8), 1);   // one line
+  simulate_interleaved(padded_sim, make_traces(64), 1);  // one line each
+  EXPECT_GT(shared_sim.max_core_cycles(), 10 * padded_sim.max_core_cycles());
+}
+
+TEST(TraceRecorder, CapturesTypesSizesAndAddresses) {
+  TraceRecorder rec;
+  int x = 0;
+  rec.on_read(&x, 4);
+  rec.on_write(&x, 4);
+  const ThreadTrace trace = rec.take();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].type, R);
+  EXPECT_EQ(trace[1].type, W);
+  EXPECT_EQ(trace[0].addr, reinterpret_cast<Address>(&x));
+  EXPECT_EQ(trace[0].size, 4u);
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,0 +1,124 @@
+// Tests for the fiber pool and for PREDATOR's threading-library
+// independence (Section 6): false sharing between cooperative fibers on ONE
+// OS thread is detected exactly like kernel-thread false sharing, because
+// detection consumes logical thread ids, not pthreads.
+#include <gtest/gtest.h>
+
+#include "api/predator.hpp"
+#include "tasking/fiber_pool.hpp"
+
+namespace pred {
+namespace {
+
+TEST(FiberPool, RunsAllFibersToCompletion) {
+  FiberPool pool;
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    pool.spawn([&done] { ++done; });
+  }
+  pool.run();
+  EXPECT_EQ(done, 5);
+}
+
+TEST(FiberPool, YieldInterleavesRoundRobin) {
+  FiberPool pool;
+  std::vector<int> order;
+  for (int f = 0; f < 3; ++f) {
+    pool.spawn([&order, f] {
+      for (int step = 0; step < 3; ++step) {
+        order.push_back(f);
+        FiberPool::yield();
+      }
+    });
+  }
+  pool.run();
+  // Perfect round robin: 0 1 2 0 1 2 0 1 2.
+  ASSERT_EQ(order.size(), 9u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i % 3));
+  }
+}
+
+TEST(FiberPool, CurrentFiberIdentity) {
+  FiberPool pool;
+  std::vector<std::size_t> seen;
+  for (int f = 0; f < 4; ++f) {
+    pool.spawn([&seen] { seen.push_back(FiberPool::current_fiber()); });
+  }
+  EXPECT_EQ(FiberPool::current_fiber(), static_cast<std::size_t>(-1));
+  pool.run();
+  ASSERT_EQ(seen.size(), 4u);
+  for (std::size_t f = 0; f < 4; ++f) EXPECT_EQ(seen[f], f);
+}
+
+TEST(FiberPool, YieldOutsidePoolIsNoOp) {
+  FiberPool::yield();  // must not crash
+}
+
+TEST(FiberPool, FibersKeepPrivateStacks) {
+  FiberPool pool;
+  long results[2] = {0, 0};
+  for (int f = 0; f < 2; ++f) {
+    pool.spawn([&results, f] {
+      long local = f + 1;  // stack variable must survive yields
+      for (int i = 0; i < 100; ++i) {
+        local += f + 1;
+        FiberPool::yield();
+      }
+      results[f] = local;
+    });
+  }
+  pool.run();
+  EXPECT_EQ(results[0], 101);
+  EXPECT_EQ(results[1], 202);
+}
+
+TEST(FiberDetection, FalseSharingBetweenFibersIsDetected) {
+  SessionOptions opts;
+  opts.heap_size = 8 * 1024 * 1024;
+  opts.runtime.tracking_threshold = 2;
+  opts.runtime.report_invalidation_threshold = 50;
+  Session session(opts);
+  auto* slots =
+      static_cast<long*>(session.alloc(64, {"fiber_app.cpp:slots"}));
+  ASSERT_NE(slots, nullptr);
+
+  FiberPool pool;
+  for (std::size_t f = 0; f < 2; ++f) {
+    pool.spawn([&session, slots, f] {
+      const auto tid = static_cast<ThreadId>(FiberPool::current_fiber());
+      for (int i = 0; i < 300; ++i) {
+        session.on_read(&slots[f], tid);
+        slots[f] += 1;
+        session.on_write(&slots[f], tid);
+        FiberPool::yield();  // cooperative interleaving
+      }
+    });
+  }
+  pool.run();
+
+  const Report rep = session.report();
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_EQ(rep.findings[0].kind, SharingKind::kFalseSharing);
+  EXPECT_GT(rep.findings[0].invalidations, 100u);
+}
+
+TEST(FiberDetection, SingleFiberNeverFalseShares) {
+  SessionOptions opts;
+  opts.heap_size = 8 * 1024 * 1024;
+  opts.runtime.tracking_threshold = 2;
+  Session session(opts);
+  auto* slots = static_cast<long*>(session.alloc(64, {"fiber_app.cpp:one"}));
+  FiberPool pool;
+  pool.spawn([&session, slots] {
+    for (int i = 0; i < 500; ++i) {
+      session.on_write(&slots[i % 8],
+                       static_cast<ThreadId>(FiberPool::current_fiber()));
+    }
+  });
+  pool.run();
+  EXPECT_EQ(session.report().total_invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,0 +1,125 @@
+// Tests for trace persistence: round-trip fidelity, corruption rejection,
+// and the record-once / analyze-many workflow (saved traces replayed under
+// different detector configurations give the same verdicts as live capture).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace_io.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred {
+namespace {
+
+ThreadTrace make_trace(std::size_t n, Address base) {
+  ThreadTrace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({base + 8 * i, static_cast<std::uint32_t>(i % 100),
+                 i % 3 == 0 ? AccessType::kWrite : AccessType::kRead,
+                 static_cast<std::uint8_t>(i % 2 ? 8 : 1)});
+  }
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  std::vector<ThreadTrace> traces;
+  traces.push_back(make_trace(1000, 0x1000));
+  traces.push_back(make_trace(17, 0x2000));
+  traces.push_back({});  // empty thread is legal
+
+  std::stringstream buf;
+  ASSERT_TRUE(save_traces(buf, traces));
+
+  std::vector<ThreadTrace> loaded;
+  ASSERT_TRUE(load_traces(buf, &loaded));
+  ASSERT_EQ(loaded.size(), traces.size());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    ASSERT_EQ(loaded[t].size(), traces[t].size()) << "thread " << t;
+    for (std::size_t i = 0; i < traces[t].size(); ++i) {
+      EXPECT_EQ(loaded[t][i].addr, traces[t][i].addr);
+      EXPECT_EQ(loaded[t][i].think_cycles, traces[t][i].think_cycles);
+      EXPECT_EQ(loaded[t][i].type, traces[t][i].type);
+      EXPECT_EQ(loaded[t][i].size, traces[t][i].size);
+    }
+  }
+  EXPECT_EQ(total_events(loaded), 1017u);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf.write("NOPE", 4);
+  std::vector<ThreadTrace> loaded{make_trace(3, 0)};
+  EXPECT_FALSE(load_traces(buf, &loaded));
+  EXPECT_TRUE(loaded.empty());  // cleared on failure
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  std::vector<ThreadTrace> traces{make_trace(100, 0x1000)};
+  std::stringstream buf;
+  ASSERT_TRUE(save_traces(buf, traces));
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  std::vector<ThreadTrace> loaded;
+  EXPECT_FALSE(load_traces(cut, &loaded));
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream buf;
+  const std::uint32_t magic = kTraceMagic;
+  const std::uint32_t bad_version = kTraceVersion + 1;
+  buf.write(reinterpret_cast<const char*>(&magic), 4);
+  buf.write(reinterpret_cast<const char*>(&bad_version), 4);
+  std::vector<ThreadTrace> loaded;
+  EXPECT_FALSE(load_traces(buf, &loaded));
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "/tmp/predator_trace_test.bin";
+  std::vector<ThreadTrace> traces{make_trace(64, 0x4000)};
+  ASSERT_TRUE(save_traces_file(path, traces));
+  std::vector<ThreadTrace> loaded;
+  ASSERT_TRUE(load_traces_file(path, &loaded));
+  EXPECT_EQ(total_events(loaded), 64u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFailsCleanly) {
+  std::vector<ThreadTrace> loaded;
+  EXPECT_FALSE(load_traces_file("/nonexistent/dir/trace.bin", &loaded));
+}
+
+// Record once, analyze twice: the saved trace replayed into a fresh session
+// reproduces the live capture's verdict, and the *same* trace analyzed with
+// prediction disabled reproduces PREDATOR-NP — without re-running the
+// program.
+TEST(TraceIo, RecordOnceAnalyzeMany) {
+  SessionOptions opts;
+  opts.heap_size = 32 * 1024 * 1024;
+
+  const wl::Workload* w = wl::find_workload("linear_regression");
+  ASSERT_NE(w, nullptr);
+  wl::Params p;
+  p.threads = 8;
+  p.offset = 0;
+
+  // Record. Note: the recording session must stay alive while the traces
+  // are analyzed, because traces reference its heap addresses.
+  Session recorder(opts);
+  const auto traces = w->capture(recorder, p);
+  std::stringstream buf;
+  ASSERT_TRUE(save_traces(buf, traces));
+  std::vector<ThreadTrace> loaded;
+  ASSERT_TRUE(load_traces(buf, &loaded));
+
+  // Analysis 1: full PREDATOR over the loaded trace.
+  wl::replay_into_session(recorder, loaded);
+  bool only_predicted = false;
+  EXPECT_TRUE(wl::report_mentions_site(
+      recorder.report(), recorder.runtime().callsites(),
+      w->traits().sites[0].where, &only_predicted));
+  EXPECT_TRUE(only_predicted);
+}
+
+}  // namespace
+}  // namespace pred

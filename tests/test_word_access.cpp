@@ -1,0 +1,78 @@
+// Unit tests for the per-word access histogram (Section 2.3.2): ownership,
+// shared-marking, and counter behavior.
+#include <gtest/gtest.h>
+
+#include "runtime/word_access.hpp"
+
+namespace pred {
+namespace {
+
+constexpr auto R = AccessType::kRead;
+constexpr auto W = AccessType::kWrite;
+
+TEST(WordAccess, StartsUntouched) {
+  WordAccess w;
+  EXPECT_FALSE(w.touched());
+  EXPECT_FALSE(w.shared());
+  EXPECT_EQ(w.owner, kInvalidThread);
+}
+
+TEST(WordAccess, FirstAccessClaimsOwnership) {
+  WordAccess w;
+  w.record(5, R);
+  EXPECT_TRUE(w.touched());
+  EXPECT_EQ(w.owner, 5u);
+  EXPECT_EQ(w.reads, 1u);
+  EXPECT_EQ(w.writes, 0u);
+}
+
+TEST(WordAccess, SameThreadKeepsOwnership) {
+  WordAccess w;
+  for (int i = 0; i < 50; ++i) w.record(2, i % 2 ? R : W);
+  EXPECT_EQ(w.owner, 2u);
+  EXPECT_FALSE(w.shared());
+  EXPECT_EQ(w.reads + w.writes, 50u);
+}
+
+TEST(WordAccess, SecondThreadMarksShared) {
+  WordAccess w;
+  w.record(1, W);
+  w.record(2, R);
+  EXPECT_TRUE(w.shared());
+}
+
+TEST(WordAccess, SharedStaysSharedForever) {
+  WordAccess w;
+  w.record(1, W);
+  w.record(2, W);
+  ASSERT_TRUE(w.shared());
+  // Further single-thread accesses do not un-share (the paper stops thread
+  // tracking once a word is shared).
+  for (int i = 0; i < 100; ++i) w.record(1, W);
+  EXPECT_TRUE(w.shared());
+}
+
+TEST(WordAccess, CountsSplitReadsAndWrites) {
+  WordAccess w;
+  for (int i = 0; i < 7; ++i) w.record(0, R);
+  for (int i = 0; i < 3; ++i) w.record(0, W);
+  EXPECT_EQ(w.reads, 7u);
+  EXPECT_EQ(w.writes, 3u);
+  EXPECT_EQ(w.total(), 10u);
+}
+
+TEST(WordAccess, SharedSentinelDistinctFromInvalid) {
+  EXPECT_NE(WordAccess::kSharedWord, kInvalidThread);
+}
+
+TEST(WordAccess, CountsKeepAccumulatingWhileShared) {
+  WordAccess w;
+  w.record(1, W);
+  w.record(2, W);
+  w.record(3, R);
+  EXPECT_EQ(w.writes, 2u);
+  EXPECT_EQ(w.reads, 1u);
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,0 +1,230 @@
+// Integration tests over the full workload suite: for every kernel, the
+// deterministic replay detection must reproduce the paper's Table 1 verdict
+// — the expected sites are found (prediction-only where the paper says so),
+// clean programs yield no false-sharing findings, and the paper's fixes
+// remove the *observed* problems without changing results.
+#include <gtest/gtest.h>
+
+#include "baseline/sheriff_like.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+SessionOptions detection_options() {
+  SessionOptions o;
+  o.heap_size = 32 * 1024 * 1024;
+  return o;  // paper-default thresholds from RuntimeConfig
+}
+
+Params default_params() {
+  Params p;
+  p.threads = 8;
+  p.scale = 1;
+  return p;
+}
+
+class WorkloadVerdict : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Workload& workload() const {
+    const Workload* w = find_workload(GetParam());
+    EXPECT_NE(w, nullptr);
+    return *w;
+  }
+};
+
+TEST_P(WorkloadVerdict, BuggyVariantMatchesPaperTable1) {
+  const Workload& w = workload();
+  Session session(detection_options());
+  w.run_replay(session, default_params());
+  const Report rep = session.report();
+
+  if (w.traits().sites.empty()) {
+    EXPECT_EQ(false_sharing_findings(rep), 0u)
+        << "unexpected false sharing in clean workload:\n"
+        << session.report_text();
+    return;
+  }
+  for (const Site& site : w.traits().sites) {
+    bool only_predicted = false;
+    EXPECT_TRUE(report_mentions_site(rep, session.runtime().callsites(),
+                                     site.where, &only_predicted))
+        << "missing site " << site.where << "\n"
+        << session.report_text();
+    if (site.needs_prediction) {
+      EXPECT_TRUE(only_predicted)
+          << site.where << " should be latent (prediction-only)\n"
+          << session.report_text();
+    } else {
+      EXPECT_FALSE(only_predicted)
+          << site.where << " should be observed, not just predicted";
+    }
+  }
+}
+
+TEST_P(WorkloadVerdict, FixedVariantHasNoObservedFalseSharing) {
+  const Workload& w = workload();
+  if (w.traits().sites.empty()) GTEST_SKIP() << "nothing to fix";
+  Session session(detection_options());
+  Params p = default_params();
+  p.fix_mask = ~0u;
+  w.run_replay(session, p);
+  const Report rep = session.report();
+  for (const Site& site : w.traits().sites) {
+    bool only_predicted = false;
+    const bool found = report_mentions_site(
+        rep, session.runtime().callsites(), site.where, &only_predicted);
+    // streamcluster:1907's fix only *reduces* sharing (paper); everything
+    // else must disappear from the observed findings entirely.
+    if (site.where == "streamcluster.cpp:1907") continue;
+    EXPECT_TRUE(!found || only_predicted)
+        << site.where << " still observed after the fix\n"
+        << session.report_text();
+  }
+}
+
+TEST_P(WorkloadVerdict, ChecksumUnaffectedByFix) {
+  const Workload& w = workload();
+  if (w.traits().sites.empty()) GTEST_SKIP();
+  Params p = default_params();
+  p.threads = 4;
+  const Result buggy = w.run_native(p);
+  p.fix_mask = ~0u;
+  const Result fixed = w.run_native(p);
+  EXPECT_EQ(buggy.checksum, fixed.checksum)
+      << "the fix must not change program semantics";
+}
+
+TEST_P(WorkloadVerdict, NativeRunIsDeterministicPerLayout) {
+  const Workload& w = workload();
+  Params p = default_params();
+  p.threads = 2;  // few threads: racy kernels stay effectively disjoint
+  // Replay (sequential capture) of the same params twice gives identical
+  // traces; compare their sizes as a determinism proxy.
+  Session s1(detection_options());
+  Session s2(detection_options());
+  const auto t1 = w.capture(s1, p);
+  const auto t2 = w.capture(s2, p);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].size(), t2[i].size()) << "thread " << i;
+  }
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const auto& w : all_workloads()) names.push_back(w->traits().name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadVerdict,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- cross-cutting checks ---------------------------------------------------
+
+TEST(WorkloadRegistry, HasAllPaperPrograms) {
+  EXPECT_EQ(all_workloads().size(), 22u);
+  EXPECT_NE(find_workload("linear_regression"), nullptr);
+  EXPECT_NE(find_workload("mysql"), nullptr);
+  EXPECT_EQ(find_workload("nope"), nullptr);
+}
+
+TEST(WorkloadRegistry, TableOneSiteInventoryMatchesPaper) {
+  // Table 1 has 6 benchmark rows; the real-app section adds MySQL + Boost.
+  std::size_t sites = 0;
+  std::size_t needs_prediction = 0;
+  std::size_t newly_discovered = 0;
+  for (const auto& w : all_workloads()) {
+    for (const Site& s : w->traits().sites) {
+      ++sites;
+      needs_prediction += s.needs_prediction;
+      newly_discovered += s.newly_discovered;
+    }
+  }
+  EXPECT_EQ(sites, 8u);
+  EXPECT_EQ(needs_prediction, 1u);  // linear_regression
+  EXPECT_EQ(newly_discovered, 2u);  // histogram, streamcluster:1907
+}
+
+TEST(LinearRegression, PredictionOnlyAtCleanOffsetsObservedAtBadOnes) {
+  const Workload* w = find_workload("linear_regression");
+  ASSERT_NE(w, nullptr);
+  const std::string site = w->traits().sites[0].where;
+
+  for (const std::size_t offset : {std::size_t{0}, std::size_t{56}}) {
+    Session session(detection_options());
+    Params p = default_params();
+    p.offset = offset;
+    w->run_replay(session, p);
+    bool only_predicted = false;
+    ASSERT_TRUE(report_mentions_site(session.report(),
+                                     session.runtime().callsites(), site,
+                                     &only_predicted))
+        << "offset " << offset;
+    EXPECT_TRUE(only_predicted) << "offset " << offset
+                                << " is a clean placement";
+  }
+  for (const std::size_t offset : {std::size_t{8}, std::size_t{24},
+                                   std::size_t{40}}) {
+    Session session(detection_options());
+    Params p = default_params();
+    p.offset = offset;
+    w->run_replay(session, p);
+    bool only_predicted = true;
+    ASSERT_TRUE(report_mentions_site(session.report(),
+                                     session.runtime().callsites(), site,
+                                     &only_predicted))
+        << "offset " << offset;
+    EXPECT_FALSE(only_predicted)
+        << "offset " << offset << " must be observed directly";
+  }
+}
+
+TEST(LinearRegression, SheriffStyleDetectorMissesTheLatentBug) {
+  // The headline claim: at a clean offset an observed-only write-write
+  // detector sees nothing, while PREDATOR predicts the problem.
+  const Workload* w = find_workload("linear_regression");
+  ASSERT_NE(w, nullptr);
+  Session session(detection_options());
+  Params p = default_params();
+  p.offset = 0;
+  const auto traces = w->capture(session, p);
+
+  SheriffLikeDetector sheriff;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (const TraceEvent& ev : traces[t]) {
+      sheriff.on_access(ev.addr, ev.type, static_cast<ThreadId>(t));
+    }
+  }
+  for (const auto& line : sheriff.report(100)) {
+    EXPECT_FALSE(line.write_write_false_sharing)
+        << "SHERIFF-style detector should see no false sharing at offset 0";
+  }
+
+  replay_into_session(session, traces);
+  bool only_predicted = false;
+  EXPECT_TRUE(report_mentions_site(session.report(),
+                                   session.runtime().callsites(),
+                                   w->traits().sites[0].where,
+                                   &only_predicted));
+  EXPECT_TRUE(only_predicted);
+}
+
+TEST(Memcached, TrueSharingIsReportedAsTrueSharingNotFalse) {
+  const Workload* w = find_workload("memcached");
+  ASSERT_NE(w, nullptr);
+  Session session(detection_options());
+  w->run_replay(session, default_params());
+  const Report rep = session.report();
+  EXPECT_EQ(false_sharing_findings(rep), 0u) << session.report_text();
+  bool saw_true_sharing = false;
+  for (const auto& f : rep.findings) {
+    saw_true_sharing |= f.kind == SharingKind::kTrueSharing;
+  }
+  EXPECT_TRUE(saw_true_sharing)
+      << "the contended total_items counter should surface as true sharing";
+}
+
+}  // namespace
+}  // namespace pred::wl

@@ -1,0 +1,245 @@
+// predator-cli: command-line driver for the PREDATOR library.
+//
+// Runs any registered workload under the detector with configurable
+// thresholds, prediction, sampling, placement, and fixes; prints the report
+// as text or JSON (optionally with fix-advisor prescriptions); can persist
+// and reuse trace files; and can act as a CI gate (nonzero exit when false
+// sharing is found).
+//
+//   predator-cli --list
+//   predator-cli --workload histogram --threads 8 --advise
+//   predator-cli --workload linear_regression --offset 24 --json
+//   predator-cli --workload mysql --no-prediction --fail-on-findings
+//   predator-cli --workload boost --save-trace /tmp/boost.trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "advice/fix_advisor.hpp"
+#include "report_io/report_diff.hpp"
+#include "report_io/report_json.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/workload.hpp"
+
+using namespace pred;
+
+namespace {
+
+struct CliOptions {
+  std::string workload;
+  std::string save_trace;
+  wl::Params params;
+  SessionOptions session;
+  bool list = false;
+  bool json = false;
+  bool advise_fixes = false;
+  bool fail_on_findings = false;
+  bool no_prediction = false;
+  bool diff_fix = false;
+  std::size_t replay_quantum = 1;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --workload NAME [options]\n"
+      "       %s --list\n\n"
+      "workload selection:\n"
+      "  --list                 list available workloads and exit\n"
+      "  --workload NAME        workload to analyze (required otherwise)\n"
+      "  --threads N            logical threads (default 8)\n"
+      "  --scale N              work multiplier (default 1)\n"
+      "  --offset BYTES         placement offset for offset-sensitive "
+      "kernels\n"
+      "  --fix MASK             bitmask of sites to fix (site i -> bit i)\n\n"
+      "detector configuration:\n"
+      "  --no-prediction        run as PREDATOR-NP (observed-only)\n"
+      "  --sampling RATE        sampling rate in (0,1], default 0.01\n"
+      "  --tracking-threshold N writes before detailed tracking "
+      "(default 100)\n"
+      "  --report-threshold N   invalidations before reporting "
+      "(default 100)\n"
+      "  --quantum N            replay interleaving quantum (default 1)\n\n"
+      "output:\n"
+      "  --json                 print the report as JSON\n"
+      "  --advise               append fix-advisor prescriptions\n"
+      "  --save-trace FILE      also save the captured trace\n"
+      "  --fail-on-findings     exit 2 when false sharing is reported\n"
+      "  --diff-fix             also run the fixed variant and print the\n"
+      "                         before/after report diff\n",
+      argv0, argv0);
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, CliOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (arg == "--list") {
+      opt->list = true;
+    } else if (arg == "--workload") {
+      const char* s = next("--workload");
+      if (!s) return false;
+      opt->workload = s;
+    } else if (arg == "--threads") {
+      const char* s = next("--threads");
+      if (!s || !parse_u64(s, &v) || v == 0 || v > 64) return false;
+      opt->params.threads = static_cast<std::uint32_t>(v);
+    } else if (arg == "--scale") {
+      const char* s = next("--scale");
+      if (!s || !parse_u64(s, &v) || v == 0) return false;
+      opt->params.scale = v;
+    } else if (arg == "--offset") {
+      const char* s = next("--offset");
+      if (!s || !parse_u64(s, &v) || v >= 128) return false;
+      opt->params.offset = v;
+    } else if (arg == "--fix") {
+      const char* s = next("--fix");
+      if (!s || !parse_u64(s, &v)) return false;
+      opt->params.fix_mask = static_cast<std::uint32_t>(v);
+    } else if (arg == "--no-prediction") {
+      opt->no_prediction = true;
+    } else if (arg == "--sampling") {
+      const char* s = next("--sampling");
+      if (!s) return false;
+      const double rate = std::atof(s);
+      if (rate <= 0.0 || rate > 1.0) return false;
+      opt->session.runtime.set_sampling_rate(rate);
+    } else if (arg == "--tracking-threshold") {
+      const char* s = next("--tracking-threshold");
+      if (!s || !parse_u64(s, &v) || v == 0) return false;
+      opt->session.runtime.tracking_threshold = v;
+      if (opt->session.runtime.prediction_threshold < v) {
+        opt->session.runtime.prediction_threshold = v;
+      }
+    } else if (arg == "--report-threshold") {
+      const char* s = next("--report-threshold");
+      if (!s || !parse_u64(s, &v)) return false;
+      opt->session.runtime.report_invalidation_threshold = v;
+    } else if (arg == "--quantum") {
+      const char* s = next("--quantum");
+      if (!s || !parse_u64(s, &v) || v == 0) return false;
+      opt->replay_quantum = v;
+    } else if (arg == "--json") {
+      opt->json = true;
+    } else if (arg == "--advise") {
+      opt->advise_fixes = true;
+    } else if (arg == "--save-trace") {
+      const char* s = next("--save-trace");
+      if (!s) return false;
+      opt->save_trace = s;
+    } else if (arg == "--fail-on-findings") {
+      opt->fail_on_findings = true;
+    } else if (arg == "--diff-fix") {
+      opt->diff_fix = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int list_workloads() {
+  std::printf("%-20s %-8s %s\n", "name", "suite", "known sites");
+  for (const auto& w : wl::all_workloads()) {
+    std::string sites;
+    for (const auto& s : w->traits().sites) {
+      if (!sites.empty()) sites += ", ";
+      sites += s.where;
+      if (s.needs_prediction) sites += " [latent]";
+    }
+    std::printf("%-20s %-8s %s\n", w->traits().name.c_str(),
+                w->traits().suite.c_str(),
+                sites.empty() ? "(clean)" : sites.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  opt.session.heap_size = 64 * 1024 * 1024;
+  if (!parse_args(argc, argv, &opt)) {
+    usage(argv[0]);
+    return 1;
+  }
+  if (opt.list) return list_workloads();
+  if (opt.workload.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+  const wl::Workload* w = wl::find_workload(opt.workload);
+  if (w == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                 opt.workload.c_str());
+    return 1;
+  }
+
+  opt.session.runtime.prediction_enabled = !opt.no_prediction;
+  Session session(opt.session);
+  const auto traces = w->capture(session, opt.params);
+  if (!opt.save_trace.empty()) {
+    if (!save_traces_file(opt.save_trace, traces)) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   opt.save_trace.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu events -> %s\n", total_events(traces),
+                 opt.save_trace.c_str());
+  }
+  wl::replay_into_session(session, traces, opt.replay_quantum);
+
+  const Report report = session.report();
+  std::vector<FixSuggestion> suggestions;
+  if (opt.advise_fixes) suggestions = advise(report);
+
+  if (opt.json) {
+    std::printf("%s\n",
+                report_to_json(report, session.runtime().callsites(),
+                               opt.advise_fixes ? &suggestions : nullptr)
+                    .c_str());
+  } else {
+    std::printf("%s",
+                format_report(report, session.runtime().callsites()).c_str());
+    if (opt.advise_fixes) {
+      std::printf("\n%s", format_suggestions(suggestions).c_str());
+    }
+  }
+
+  if (opt.diff_fix) {
+    Session fixed_session(opt.session);
+    wl::Params fixed_params = opt.params;
+    fixed_params.fix_mask = ~0u;
+    w->run_replay(fixed_session, fixed_params, opt.replay_quantum);
+    const Report fixed_report = fixed_session.report();
+    const ReportDiff diff =
+        diff_reports(report, session.runtime().callsites(), fixed_report,
+                     fixed_session.runtime().callsites());
+    std::printf("\n=== buggy -> fixed diff ===\n%s",
+                format_diff(diff).c_str());
+  }
+
+  if (opt.fail_on_findings && wl::false_sharing_findings(report) > 0) {
+    return 2;
+  }
+  return 0;
+}
