@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batched_calls.dir/ablation_batched_calls.cpp.o"
+  "CMakeFiles/ablation_batched_calls.dir/ablation_batched_calls.cpp.o.d"
+  "ablation_batched_calls"
+  "ablation_batched_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batched_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_history_depth.dir/ablation_history_depth.cpp.o"
+  "CMakeFiles/ablation_history_depth.dir/ablation_history_depth.cpp.o.d"
+  "ablation_history_depth"
+  "ablation_history_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_history_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

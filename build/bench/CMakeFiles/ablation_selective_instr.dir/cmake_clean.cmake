@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selective_instr.dir/ablation_selective_instr.cpp.o"
+  "CMakeFiles/ablation_selective_instr.dir/ablation_selective_instr.cpp.o.d"
+  "ablation_selective_instr"
+  "ablation_selective_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

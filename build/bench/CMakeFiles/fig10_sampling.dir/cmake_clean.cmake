@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sampling.dir/fig10_sampling.cpp.o"
+  "CMakeFiles/fig10_sampling.dir/fig10_sampling.cpp.o.d"
+  "fig10_sampling"
+  "fig10_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_offset_sensitivity.dir/fig2_offset_sensitivity.cpp.o"
+  "CMakeFiles/fig2_offset_sensitivity.dir/fig2_offset_sensitivity.cpp.o.d"
+  "fig2_offset_sensitivity"
+  "fig2_offset_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_offset_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_report.dir/fig5_report.cpp.o"
+  "CMakeFiles/fig5_report.dir/fig5_report.cpp.o.d"
+  "fig5_report"
+  "fig5_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_runtime.dir/microbench_runtime.cpp.o"
+  "CMakeFiles/microbench_runtime.dir/microbench_runtime.cpp.o.d"
+  "microbench_runtime"
+  "microbench_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_mysql.dir/scalability_mysql.cpp.o"
+  "CMakeFiles/scalability_mysql.dir/scalability_mysql.cpp.o.d"
+  "scalability_mysql"
+  "scalability_mysql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

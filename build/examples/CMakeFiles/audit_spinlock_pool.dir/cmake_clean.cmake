@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_spinlock_pool.dir/audit_spinlock_pool.cpp.o"
+  "CMakeFiles/audit_spinlock_pool.dir/audit_spinlock_pool.cpp.o.d"
+  "audit_spinlock_pool"
+  "audit_spinlock_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_spinlock_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_advisor_demo.dir/fix_advisor_demo.cpp.o"
+  "CMakeFiles/fix_advisor_demo.dir/fix_advisor_demo.cpp.o.d"
+  "fix_advisor_demo"
+  "fix_advisor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_advisor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

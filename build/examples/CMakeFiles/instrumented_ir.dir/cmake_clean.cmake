@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumented_ir.dir/instrumented_ir.cpp.o"
+  "CMakeFiles/instrumented_ir.dir/instrumented_ir.cpp.o.d"
+  "instrumented_ir"
+  "instrumented_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumented_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_from_text.dir/ir_from_text.cpp.o"
+  "CMakeFiles/ir_from_text.dir/ir_from_text.cpp.o.d"
+  "ir_from_text"
+  "ir_from_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_from_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_latent_layout.dir/predict_latent_layout.cpp.o"
+  "CMakeFiles/predict_latent_layout.dir/predict_latent_layout.cpp.o.d"
+  "predict_latent_layout"
+  "predict_latent_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_latent_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

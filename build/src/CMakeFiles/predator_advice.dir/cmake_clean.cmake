@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_advice.dir/advice/fix_advisor.cpp.o"
+  "CMakeFiles/predator_advice.dir/advice/fix_advisor.cpp.o.d"
+  "libpredator_advice.a"
+  "libpredator_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/heap_region.cpp" "src/CMakeFiles/predator_alloc.dir/alloc/heap_region.cpp.o" "gcc" "src/CMakeFiles/predator_alloc.dir/alloc/heap_region.cpp.o.d"
+  "/root/repo/src/alloc/predator_allocator.cpp" "src/CMakeFiles/predator_alloc.dir/alloc/predator_allocator.cpp.o" "gcc" "src/CMakeFiles/predator_alloc.dir/alloc/predator_allocator.cpp.o.d"
+  "/root/repo/src/alloc/thread_heap.cpp" "src/CMakeFiles/predator_alloc.dir/alloc/thread_heap.cpp.o" "gcc" "src/CMakeFiles/predator_alloc.dir/alloc/thread_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/predator_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_alloc.dir/alloc/heap_region.cpp.o"
+  "CMakeFiles/predator_alloc.dir/alloc/heap_region.cpp.o.d"
+  "CMakeFiles/predator_alloc.dir/alloc/predator_allocator.cpp.o"
+  "CMakeFiles/predator_alloc.dir/alloc/predator_allocator.cpp.o.d"
+  "CMakeFiles/predator_alloc.dir/alloc/thread_heap.cpp.o"
+  "CMakeFiles/predator_alloc.dir/alloc/thread_heap.cpp.o.d"
+  "libpredator_alloc.a"
+  "libpredator_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/predator.cpp" "src/CMakeFiles/predator_api.dir/api/predator.cpp.o" "gcc" "src/CMakeFiles/predator_api.dir/api/predator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/predator_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_api.dir/api/predator.cpp.o"
+  "CMakeFiles/predator_api.dir/api/predator.cpp.o.d"
+  "libpredator_api.a"
+  "libpredator_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredator_api.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_baseline.dir/baseline/ptu_like.cpp.o"
+  "CMakeFiles/predator_baseline.dir/baseline/ptu_like.cpp.o.d"
+  "CMakeFiles/predator_baseline.dir/baseline/sheriff_like.cpp.o"
+  "CMakeFiles/predator_baseline.dir/baseline/sheriff_like.cpp.o.d"
+  "libpredator_baseline.a"
+  "libpredator_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/interp.cpp" "src/CMakeFiles/predator_instrument.dir/instrument/interp.cpp.o" "gcc" "src/CMakeFiles/predator_instrument.dir/instrument/interp.cpp.o.d"
+  "/root/repo/src/instrument/ir.cpp" "src/CMakeFiles/predator_instrument.dir/instrument/ir.cpp.o" "gcc" "src/CMakeFiles/predator_instrument.dir/instrument/ir.cpp.o.d"
+  "/root/repo/src/instrument/ir_parser.cpp" "src/CMakeFiles/predator_instrument.dir/instrument/ir_parser.cpp.o" "gcc" "src/CMakeFiles/predator_instrument.dir/instrument/ir_parser.cpp.o.d"
+  "/root/repo/src/instrument/pass.cpp" "src/CMakeFiles/predator_instrument.dir/instrument/pass.cpp.o" "gcc" "src/CMakeFiles/predator_instrument.dir/instrument/pass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/predator_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

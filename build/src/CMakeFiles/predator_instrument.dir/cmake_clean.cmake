@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_instrument.dir/instrument/interp.cpp.o"
+  "CMakeFiles/predator_instrument.dir/instrument/interp.cpp.o.d"
+  "CMakeFiles/predator_instrument.dir/instrument/ir.cpp.o"
+  "CMakeFiles/predator_instrument.dir/instrument/ir.cpp.o.d"
+  "CMakeFiles/predator_instrument.dir/instrument/ir_parser.cpp.o"
+  "CMakeFiles/predator_instrument.dir/instrument/ir_parser.cpp.o.d"
+  "CMakeFiles/predator_instrument.dir/instrument/pass.cpp.o"
+  "CMakeFiles/predator_instrument.dir/instrument/pass.cpp.o.d"
+  "libpredator_instrument.a"
+  "libpredator_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/hot_access.cpp" "src/CMakeFiles/predator_predict.dir/predict/hot_access.cpp.o" "gcc" "src/CMakeFiles/predator_predict.dir/predict/hot_access.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "src/CMakeFiles/predator_predict.dir/predict/predictor.cpp.o" "gcc" "src/CMakeFiles/predator_predict.dir/predict/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/predator_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_predict.dir/predict/hot_access.cpp.o"
+  "CMakeFiles/predator_predict.dir/predict/hot_access.cpp.o.d"
+  "CMakeFiles/predator_predict.dir/predict/predictor.cpp.o"
+  "CMakeFiles/predator_predict.dir/predict/predictor.cpp.o.d"
+  "libpredator_predict.a"
+  "libpredator_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

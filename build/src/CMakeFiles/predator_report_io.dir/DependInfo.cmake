@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report_io/json_writer.cpp" "src/CMakeFiles/predator_report_io.dir/report_io/json_writer.cpp.o" "gcc" "src/CMakeFiles/predator_report_io.dir/report_io/json_writer.cpp.o.d"
+  "/root/repo/src/report_io/report_diff.cpp" "src/CMakeFiles/predator_report_io.dir/report_io/report_diff.cpp.o" "gcc" "src/CMakeFiles/predator_report_io.dir/report_io/report_diff.cpp.o.d"
+  "/root/repo/src/report_io/report_json.cpp" "src/CMakeFiles/predator_report_io.dir/report_io/report_json.cpp.o" "gcc" "src/CMakeFiles/predator_report_io.dir/report_io/report_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/predator_advice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_report_io.dir/report_io/json_writer.cpp.o"
+  "CMakeFiles/predator_report_io.dir/report_io/json_writer.cpp.o.d"
+  "CMakeFiles/predator_report_io.dir/report_io/report_diff.cpp.o"
+  "CMakeFiles/predator_report_io.dir/report_io/report_diff.cpp.o.d"
+  "CMakeFiles/predator_report_io.dir/report_io/report_json.cpp.o"
+  "CMakeFiles/predator_report_io.dir/report_io/report_json.cpp.o.d"
+  "libpredator_report_io.a"
+  "libpredator_report_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_report_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

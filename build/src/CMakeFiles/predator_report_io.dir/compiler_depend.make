@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for predator_report_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_runtime.dir/runtime/callsite.cpp.o"
+  "CMakeFiles/predator_runtime.dir/runtime/callsite.cpp.o.d"
+  "CMakeFiles/predator_runtime.dir/runtime/report.cpp.o"
+  "CMakeFiles/predator_runtime.dir/runtime/report.cpp.o.d"
+  "CMakeFiles/predator_runtime.dir/runtime/runtime.cpp.o"
+  "CMakeFiles/predator_runtime.dir/runtime/runtime.cpp.o.d"
+  "libpredator_runtime.a"
+  "libpredator_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

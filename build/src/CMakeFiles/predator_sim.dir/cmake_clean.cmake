@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_sim.dir/sim/cache_sim.cpp.o"
+  "CMakeFiles/predator_sim.dir/sim/cache_sim.cpp.o.d"
+  "CMakeFiles/predator_sim.dir/sim/executor.cpp.o"
+  "CMakeFiles/predator_sim.dir/sim/executor.cpp.o.d"
+  "libpredator_sim.a"
+  "libpredator_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_tasking.dir/tasking/fiber_pool.cpp.o"
+  "CMakeFiles/predator_tasking.dir/tasking/fiber_pool.cpp.o.d"
+  "libpredator_tasking.a"
+  "libpredator_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/predator_trace.dir/trace/trace_io.cpp.o.d"
+  "libpredator_trace.a"
+  "libpredator_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

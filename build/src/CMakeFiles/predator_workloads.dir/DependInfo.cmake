@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aget_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/aget_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/aget_like.cpp.o.d"
+  "/root/repo/src/workloads/blackscholes.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/blackscholes.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/blackscholes.cpp.o.d"
+  "/root/repo/src/workloads/bodytrack_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/bodytrack_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/bodytrack_like.cpp.o.d"
+  "/root/repo/src/workloads/boost_spinlock.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/boost_spinlock.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/boost_spinlock.cpp.o.d"
+  "/root/repo/src/workloads/dedup_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/dedup_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/dedup_like.cpp.o.d"
+  "/root/repo/src/workloads/ferret_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/ferret_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/ferret_like.cpp.o.d"
+  "/root/repo/src/workloads/fluidanimate_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/fluidanimate_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/fluidanimate_like.cpp.o.d"
+  "/root/repo/src/workloads/histogram.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/histogram.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/histogram.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/kmeans.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/linear_regression.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/linear_regression.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/linear_regression.cpp.o.d"
+  "/root/repo/src/workloads/matrix_multiply.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/matrix_multiply.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/matrix_multiply.cpp.o.d"
+  "/root/repo/src/workloads/memcached_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/memcached_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/memcached_like.cpp.o.d"
+  "/root/repo/src/workloads/mysql_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/mysql_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/mysql_like.cpp.o.d"
+  "/root/repo/src/workloads/pbzip2_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/pbzip2_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/pbzip2_like.cpp.o.d"
+  "/root/repo/src/workloads/pca.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/pca.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/pca.cpp.o.d"
+  "/root/repo/src/workloads/pfscan_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/pfscan_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/pfscan_like.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/reverse_index.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/reverse_index.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/reverse_index.cpp.o.d"
+  "/root/repo/src/workloads/streamcluster.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/streamcluster.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/streamcluster.cpp.o.d"
+  "/root/repo/src/workloads/string_match.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/string_match.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/string_match.cpp.o.d"
+  "/root/repo/src/workloads/swaptions_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/swaptions_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/swaptions_like.cpp.o.d"
+  "/root/repo/src/workloads/word_count.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/word_count.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/word_count.cpp.o.d"
+  "/root/repo/src/workloads/x264_like.cpp" "src/CMakeFiles/predator_workloads.dir/workloads/x264_like.cpp.o" "gcc" "src/CMakeFiles/predator_workloads.dir/workloads/x264_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/predator_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_extended.dir/test_alloc_extended.cpp.o"
+  "CMakeFiles/test_alloc_extended.dir/test_alloc_extended.cpp.o.d"
+  "test_alloc_extended"
+  "test_alloc_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_tracker.dir/test_cache_tracker.cpp.o"
+  "CMakeFiles/test_cache_tracker.dir/test_cache_tracker.cpp.o.d"
+  "test_cache_tracker"
+  "test_cache_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fix_advisor.dir/test_fix_advisor.cpp.o"
+  "CMakeFiles/test_fix_advisor.dir/test_fix_advisor.cpp.o.d"
+  "test_fix_advisor"
+  "test_fix_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fix_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_table.dir/test_history_table.cpp.o"
+  "CMakeFiles/test_history_table.dir/test_history_table.cpp.o.d"
+  "test_history_table"
+  "test_history_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

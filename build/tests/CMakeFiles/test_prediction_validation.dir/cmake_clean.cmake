@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prediction_validation.dir/test_prediction_validation.cpp.o"
+  "CMakeFiles/test_prediction_validation.dir/test_prediction_validation.cpp.o.d"
+  "test_prediction_validation"
+  "test_prediction_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prediction_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_diff.dir/test_report_diff.cpp.o"
+  "CMakeFiles/test_report_diff.dir/test_report_diff.cpp.o.d"
+  "test_report_diff"
+  "test_report_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_runtime.dir/test_shadow_runtime.cpp.o"
+  "CMakeFiles/test_shadow_runtime.dir/test_shadow_runtime.cpp.o.d"
+  "test_shadow_runtime"
+  "test_shadow_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasking.dir/test_tasking.cpp.o"
+  "CMakeFiles/test_tasking.dir/test_tasking.cpp.o.d"
+  "test_tasking"
+  "test_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_word_access.dir/test_word_access.cpp.o"
+  "CMakeFiles/test_word_access.dir/test_word_access.cpp.o.d"
+  "test_word_access"
+  "test_word_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_word_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

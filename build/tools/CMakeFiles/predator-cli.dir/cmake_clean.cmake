@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator-cli.dir/predator_cli.cpp.o"
+  "CMakeFiles/predator-cli.dir/predator_cli.cpp.o.d"
+  "predator-cli"
+  "predator-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
