@@ -262,11 +262,12 @@ bench/CMakeFiles/fig7_overhead.dir/fig7_overhead.cpp.o: \
  /root/repo/src/runtime/object_registry.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
- /root/repo/src/runtime/shadow.hpp \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
  /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
  /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp \
  /root/repo/src/predict/predictor.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/predict/hot_access.hpp /root/repo/src/runtime/report.hpp \

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/microbench_fastpath.cpp" "bench/CMakeFiles/microbench_fastpath.dir/microbench_fastpath.cpp.o" "gcc" "bench/CMakeFiles/microbench_fastpath.dir/microbench_fastpath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/predator_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_report_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_advice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/predator_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

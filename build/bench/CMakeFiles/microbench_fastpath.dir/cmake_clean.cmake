@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_fastpath.dir/microbench_fastpath.cpp.o"
+  "CMakeFiles/microbench_fastpath.dir/microbench_fastpath.cpp.o.d"
+  "microbench_fastpath"
+  "microbench_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

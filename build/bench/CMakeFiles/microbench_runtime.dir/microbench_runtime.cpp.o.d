@@ -233,8 +233,9 @@ bench/CMakeFiles/microbench_runtime.dir/microbench_runtime.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/runtime/callsite.hpp /root/repo/src/runtime/config.hpp \
  /root/repo/src/runtime/object_registry.hpp /usr/include/c++/12/optional \
- /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
- /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
+ /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
- /root/repo/src/runtime/word_access.hpp
+ /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp

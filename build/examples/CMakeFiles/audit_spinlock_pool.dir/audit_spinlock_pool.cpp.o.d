@@ -34,7 +34,8 @@ examples/CMakeFiles/audit_spinlock_pool.dir/audit_spinlock_pool.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/initializer_list /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
@@ -123,7 +124,6 @@ examples/CMakeFiles/audit_spinlock_pool.dir/audit_spinlock_pool.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/refwrap.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
@@ -231,11 +231,12 @@ examples/CMakeFiles/audit_spinlock_pool.dir/audit_spinlock_pool.cpp.o: \
  /root/repo/src/runtime/object_registry.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
- /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
- /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
+ /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
  /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp \
  /root/repo/src/predict/predictor.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/predict/hot_access.hpp /root/repo/src/runtime/report.hpp \

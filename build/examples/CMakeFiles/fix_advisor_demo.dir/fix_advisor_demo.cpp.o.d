@@ -223,11 +223,13 @@ examples/CMakeFiles/fix_advisor_demo.dir/fix_advisor_demo.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/runtime/config.hpp /root/repo/src/runtime/shadow.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/config.hpp /root/repo/src/runtime/region_map.hpp \
+ /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
  /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp \
  /root/repo/src/workloads/workload.hpp /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -226,10 +226,11 @@ src/CMakeFiles/predator_predict.dir/predict/predictor.cpp.o: \
  /root/repo/src/runtime/object_registry.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
- /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
- /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
+ /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
- /root/repo/src/runtime/virtual_line.hpp /usr/include/c++/12/algorithm \
+ /root/repo/src/runtime/virtual_line.hpp \
+ /root/repo/src/runtime/write_stage.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

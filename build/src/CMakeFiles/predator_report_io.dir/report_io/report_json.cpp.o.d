@@ -225,9 +225,11 @@ src/CMakeFiles/predator_report_io.dir/report_io/report_json.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/runtime/config.hpp /root/repo/src/runtime/shadow.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/config.hpp /root/repo/src/runtime/region_map.hpp \
+ /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
- /root/repo/src/runtime/word_access.hpp /usr/include/c++/12/cinttypes \
+ /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp /usr/include/c++/12/cinttypes \
  /usr/include/inttypes.h /root/repo/src/report_io/json_writer.hpp

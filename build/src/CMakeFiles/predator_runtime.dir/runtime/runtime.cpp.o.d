@@ -212,7 +212,7 @@ src/CMakeFiles/predator_runtime.dir/runtime/runtime.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/cacheline.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/runtime/callsite.hpp /root/repo/src/common/spinlock.hpp \
+ /root/repo/src/common/spinlock.hpp /root/repo/src/runtime/callsite.hpp \
  /root/repo/src/runtime/config.hpp \
  /root/repo/src/runtime/object_registry.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
@@ -221,8 +221,9 @@ src/CMakeFiles/predator_runtime.dir/runtime/runtime.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
- /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
- /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
+ /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
- /root/repo/src/runtime/word_access.hpp
+ /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp

@@ -62,7 +62,8 @@ src/CMakeFiles/predator_workloads.dir/workloads/pca.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /root/repo/src/workloads/workload.hpp /usr/include/c++/12/memory \
+ /root/repo/src/workloads/workload.hpp \
+ /usr/include/c++/12/initializer_list /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
@@ -136,7 +137,6 @@ src/CMakeFiles/predator_workloads.dir/workloads/pca.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/refwrap.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
@@ -232,11 +232,12 @@ src/CMakeFiles/predator_workloads.dir/workloads/pca.cpp.o: \
  /root/repo/src/runtime/object_registry.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
- /root/repo/src/runtime/shadow.hpp \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
  /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
  /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp \
  /root/repo/src/predict/predictor.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/predict/hot_access.hpp /root/repo/src/runtime/report.hpp \

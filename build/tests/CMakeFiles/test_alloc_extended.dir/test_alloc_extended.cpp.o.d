@@ -310,8 +310,9 @@ tests/CMakeFiles/test_alloc_extended.dir/test_alloc_extended.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/runtime/callsite.hpp \
  /root/repo/src/runtime/config.hpp \
  /root/repo/src/runtime/object_registry.hpp \
- /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
- /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
+ /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
- /root/repo/src/runtime/word_access.hpp /root/repo/src/common/prng.hpp
+ /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp /root/repo/src/common/prng.hpp

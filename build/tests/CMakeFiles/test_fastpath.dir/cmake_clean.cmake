@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastpath.dir/test_fastpath.cpp.o"
+  "CMakeFiles/test_fastpath.dir/test_fastpath.cpp.o.d"
+  "test_fastpath"
+  "test_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -304,8 +304,8 @@ tests/CMakeFiles/test_geometry.dir/test_geometry.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/runtime/callsite.hpp /root/repo/src/runtime/config.hpp \
  /root/repo/src/runtime/object_registry.hpp \
- /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
- /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
+ /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
- /root/repo/src/runtime/report.hpp
+ /root/repo/src/runtime/write_stage.hpp /root/repo/src/runtime/report.hpp

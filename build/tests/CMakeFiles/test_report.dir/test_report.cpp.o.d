@@ -300,8 +300,10 @@ tests/CMakeFiles/test_report.dir/test_report.cpp.o: \
  /root/repo/src/common/spinlock.hpp /root/repo/src/runtime/callsite.hpp \
  /root/repo/src/runtime/runtime.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/runtime/config.hpp /root/repo/src/runtime/shadow.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/config.hpp /root/repo/src/runtime/region_map.hpp \
+ /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
- /root/repo/src/runtime/word_access.hpp
+ /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp

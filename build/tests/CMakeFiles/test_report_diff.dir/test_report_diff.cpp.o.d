@@ -301,11 +301,13 @@ tests/CMakeFiles/test_report_diff.dir/test_report_diff.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/runtime/runtime.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/runtime/config.hpp /root/repo/src/runtime/shadow.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/config.hpp /root/repo/src/runtime/region_map.hpp \
+ /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
  /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp \
  /root/repo/src/workloads/workload.hpp /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -303,11 +303,13 @@ tests/CMakeFiles/test_shadow_runtime.dir/test_shadow_runtime.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/runtime/runtime.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/common/cacheline.hpp /root/repo/src/runtime/callsite.hpp \
- /root/repo/src/common/spinlock.hpp /root/repo/src/runtime/config.hpp \
+ /root/repo/src/common/cacheline.hpp /root/repo/src/common/spinlock.hpp \
+ /root/repo/src/runtime/callsite.hpp /root/repo/src/runtime/config.hpp \
  /root/repo/src/runtime/object_registry.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/runtime/shadow.hpp \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/runtime/region_map.hpp /root/repo/src/runtime/shadow.hpp \
  /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
- /root/repo/src/runtime/word_access.hpp
+ /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp

@@ -224,11 +224,13 @@ tools/CMakeFiles/predator-cli.dir/predator_cli.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/runtime/config.hpp /root/repo/src/runtime/shadow.hpp \
- /root/repo/src/common/check.hpp /root/repo/src/runtime/cache_tracker.hpp \
+ /root/repo/src/runtime/config.hpp /root/repo/src/runtime/region_map.hpp \
+ /root/repo/src/runtime/shadow.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/runtime/cache_tracker.hpp \
  /root/repo/src/runtime/history_table.hpp \
  /root/repo/src/runtime/virtual_line.hpp \
  /root/repo/src/runtime/word_access.hpp \
+ /root/repo/src/runtime/write_stage.hpp \
  /root/repo/src/report_io/report_diff.hpp \
  /root/repo/src/report_io/report_json.hpp \
  /root/repo/src/trace/trace_io.hpp /root/repo/src/sim/executor.hpp \

@@ -62,6 +62,10 @@ void* PredatorAllocator::allocate(std::size_t size,
   return finish_allocation(size, cs);
 }
 
+void* PredatorAllocator::allocate(std::size_t size, CallsiteId callsite) {
+  return finish_allocation(size, callsite);
+}
+
 void* PredatorAllocator::allocate_with_backtrace(std::size_t size) {
   const CallsiteId cs = rt_.callsites().capture_native(2);
   return finish_allocation(size, cs);

@@ -37,6 +37,11 @@ class PredatorAllocator {
   /// "linear_regression-pthread.c:133"}. Returns nullptr on exhaustion.
   void* allocate(std::size_t size, std::vector<std::string> callsite_frames);
 
+  /// Allocates `size` bytes attributed to a pre-interned callsite: the
+  /// Session API v2 path — intern the stack once, allocate many times
+  /// without building (or hashing) frame strings per call.
+  void* allocate(std::size_t size, CallsiteId callsite);
+
   /// Allocates with the native backtrace as the callsite (slower; what the
   /// paper's interposed malloc does).
   void* allocate_with_backtrace(std::size_t size);

@@ -10,7 +10,16 @@ Session::Session(SessionOptions options) : options_(options) {
       std::make_unique<PredatorAllocator>(*runtime_, options_.heap_size);
 }
 
-Session::~Session() = default;
+Session::~Session() {
+  // Drop this thread's staged counters referencing the dying runtime before
+  // the destructor bumps the generation; other threads' stale slots are
+  // discarded lazily via the generation check.
+  flush_staged_writes();
+}
+
+void* Session::alloc(std::size_t size, CallsiteId callsite) {
+  return allocator_->allocate(size, callsite);
+}
 
 void* Session::alloc(std::size_t size,
                      std::vector<std::string> callsite_frames) {
@@ -45,7 +54,12 @@ void ThreadContext::bind(Session* session, ThreadId tid) {
   tls_binding.session = session;
   tls_binding.tid = tid;
 }
-void ThreadContext::unbind() { tls_binding = TlsBinding{}; }
+void ThreadContext::unbind() {
+  // Publish whatever this thread staged before it disappears from the
+  // session's point of view — the thread may terminate right after.
+  flush_staged_writes();
+  tls_binding = TlsBinding{};
+}
 Session* ThreadContext::session() { return tls_binding.session; }
 ThreadId ThreadContext::tid() { return tls_binding.tid; }
 

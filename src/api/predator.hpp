@@ -1,25 +1,46 @@
-// Public facade of the PREDATOR library.
+// Public facade of the PREDATOR library (Session API v2).
 //
 // A Session bundles everything a user needs: the detection runtime
 // (Section 2), the prediction engine (Section 3), and the custom allocator
 // (Section 2.3.2), pre-wired. Typical use:
 //
 //   pred::Session session;
-//   auto* data = static_cast<T*>(session.alloc(sizeof(T), {"myfile.c:42"}));
+//   auto cs = session.intern_frames({"myfile.c:42"});
+//   auto* data = static_cast<T*>(session.alloc(sizeof(T), cs));
 //   ... in each thread: pred::ScopedThread guard(session);
 //       pred::store(x) / pred::load(x) on tracked data ...
 //   std::cout << session.report_text();
+//
+// v2 notes (see docs/usage.md for the migration guide):
+//   - `record()` is the single access entry point; the typed shims in
+//     instrument/access.hpp route through it and infer the access size.
+//   - allocation callsites are interned once (`intern_frames`) and passed
+//     as `CallsiteId`; the `std::vector<std::string>` overload survives as
+//     a deprecated convenience.
+//   - `flush()` publishes the calling thread's staged write counters;
+//     `ScopedThread`/`ThreadContext::unbind` do it automatically, and
+//     `report()` flushes the reporting thread, so explicit calls are only
+//     needed when inspecting counters mid-run from a still-bound thread.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "alloc/predator_allocator.hpp"
 #include "predict/predictor.hpp"
 #include "runtime/report.hpp"
 #include "runtime/runtime.hpp"
+
+// Old entry points still work everywhere; define PREDATOR_WARN_DEPRECATED
+// to get compiler nudges toward the v2 API.
+#ifdef PREDATOR_WARN_DEPRECATED
+#define PRED_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define PRED_DEPRECATED(msg)
+#endif
 
 namespace pred {
 
@@ -45,7 +66,21 @@ class Session {
   const SessionOptions& options() const { return options_; }
 
   // --- memory ---
+
+  /// Interns a symbolic callsite stack (outermost frame last) for use with
+  /// the CallsiteId alloc overload. Intern once, allocate many.
+  CallsiteId intern_frames(std::initializer_list<std::string_view> frames) {
+    return runtime_->callsites().intern_frames(frames);
+  }
+
+  /// Allocates `size` bytes attributed to a pre-interned callsite.
+  void* alloc(std::size_t size, CallsiteId callsite);
+
+  /// Allocates attributing to a symbolic stack built per call. Prefer
+  /// intern_frames + the CallsiteId overload on hot allocation paths.
+  PRED_DEPRECATED("intern the stack once and call alloc(size, CallsiteId)")
   void* alloc(std::size_t size, std::vector<std::string> callsite_frames);
+
   void free(void* p);
 
   /// Starts tracking an existing object (e.g. a global variable). The
@@ -54,14 +89,27 @@ class Session {
 
   // --- threads & accesses ---
   ThreadId register_thread() { return runtime_->register_thread(); }
+
+  /// The single access entry point: records one `size`-byte access of
+  /// `type` at `p` by thread `tid`. The typed shims (pred::load<T> /
+  /// pred::store<T>) call this with the inferred sizeof(T).
+  void record(const void* p, AccessType type, ThreadId tid,
+              std::size_t size) {
+    runtime_->handle_access(reinterpret_cast<Address>(p), type, tid, size);
+  }
+
+  PRED_DEPRECATED("use record(p, AccessType::kRead, tid, size)")
   void on_read(const void* p, ThreadId tid, std::size_t size = 8) {
-    runtime_->handle_access(reinterpret_cast<Address>(p), AccessType::kRead,
-                            tid, size);
+    record(p, AccessType::kRead, tid, size);
   }
+  PRED_DEPRECATED("use record(p, AccessType::kWrite, tid, size)")
   void on_write(const void* p, ThreadId tid, std::size_t size = 8) {
-    runtime_->handle_access(reinterpret_cast<Address>(p), AccessType::kWrite,
-                            tid, size);
+    record(p, AccessType::kWrite, tid, size);
   }
+
+  /// Publishes the calling thread's staged write counters to the shared
+  /// per-line counters, running any threshold checks that became due.
+  void flush() { flush_staged_writes(); }
 
   // --- results ---
   Report report() const { return build_report(*runtime_); }
@@ -85,6 +133,7 @@ class Session {
 class ThreadContext {
  public:
   static void bind(Session* session, ThreadId tid);
+  /// Drains the thread's staged write counters, then clears the binding.
   static void unbind();
   static Session* session();
   static ThreadId tid();

@@ -14,11 +14,12 @@
 
 namespace pred {
 
-/// Instrumented load of any trivially copyable lvalue.
+/// Instrumented load of any trivially copyable lvalue; the access size is
+/// inferred from the type, like the paper's pass sizes each load it rewrites.
 template <typename T>
 inline T load(const T& x) {
   if (Session* s = ThreadContext::session()) {
-    s->on_read(&x, ThreadContext::tid(), sizeof(T));
+    s->record(&x, AccessType::kRead, ThreadContext::tid(), sizeof(T));
   }
   return x;
 }
@@ -27,7 +28,7 @@ inline T load(const T& x) {
 template <typename T>
 inline void store(T& x, T v) {
   if (Session* s = ThreadContext::session()) {
-    s->on_write(&x, ThreadContext::tid(), sizeof(T));
+    s->record(&x, AccessType::kWrite, ThreadContext::tid(), sizeof(T));
   }
   x = v;
 }

@@ -35,7 +35,9 @@ class BatchBuffer {
   }
   void think(std::uint32_t) {}
 
-  /// Delivers every buffered access to the runtime, preserving order.
+  /// Delivers every buffered access to the runtime, preserving order, then
+  /// publishes the thread's staged write counters so a post-flush observer
+  /// sees every delivered write.
   void flush() {
     Runtime& rt = session_.runtime();
     for (std::size_t i = 0; i < used_; ++i) {
@@ -43,6 +45,7 @@ class BatchBuffer {
       rt.handle_access(e.addr, e.type, tid_, e.size);
     }
     used_ = 0;
+    session_.flush();
   }
 
   std::size_t buffered() const { return used_; }

@@ -17,6 +17,29 @@ CallsiteId CallsiteTable::intern(std::vector<std::string> frames) {
   return static_cast<CallsiteId>(table_.size() - 1);
 }
 
+CallsiteId CallsiteTable::intern_frames(
+    std::initializer_list<std::string_view> frames) {
+  std::lock_guard<Spinlock> g(lock_);
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const auto& have = table_[i].frames;
+    if (have.size() != frames.size()) continue;
+    bool equal = true;
+    auto it = frames.begin();
+    for (std::size_t f = 0; f < have.size(); ++f, ++it) {
+      if (have[f] != *it) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return static_cast<CallsiteId>(i);
+  }
+  Callsite cs;
+  cs.frames.reserve(frames.size());
+  for (std::string_view f : frames) cs.frames.emplace_back(f);
+  table_.push_back(std::move(cs));
+  return static_cast<CallsiteId>(table_.size() - 1);
+}
+
 CallsiteId CallsiteTable::capture_native(int skip) {
   void* raw[32];
   int depth = ::backtrace(raw, 32);

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/spinlock.hpp"
@@ -29,6 +31,11 @@ class CallsiteTable {
  public:
   /// Interns a symbolic stack; equal stacks get equal ids.
   CallsiteId intern(std::vector<std::string> frames);
+
+  /// Interns a symbolic stack given as string views; no std::string is
+  /// materialized unless the stack is new. This is the Session v2 entry
+  /// point: callers intern once at setup and allocate by CallsiteId.
+  CallsiteId intern_frames(std::initializer_list<std::string_view> frames);
 
   /// Captures the live native stack via backtrace()/backtrace_symbols(),
   /// skipping `skip` innermost frames, and interns it.

@@ -47,6 +47,17 @@ struct RuntimeConfig {
 
   InstrumentMode instrument_mode = InstrumentMode::kReadsAndWrites;
 
+  /// O(1) region resolution: flat shadow page map plus a per-thread
+  /// last-region cache (runtime/region_map.hpp). Off = the seed's linear
+  /// scan over registered regions. Ablation knob for bench/microbench_fastpath.
+  bool fast_region_lookup = true;
+
+  /// Thread-local staging of pre-threshold write counts
+  /// (runtime/write_stage.hpp). Off = the seed's shared fetch_add per
+  /// write. Detection results are identical on single-writer streams and
+  /// deterministic replays; see write_stage.hpp for the multi-writer bound.
+  bool staged_write_counters = true;
+
   /// Convenience: set the sampling rate keeping the paper's 10k window.
   void set_sampling_rate(double rate) {
     if (rate >= 1.0) {

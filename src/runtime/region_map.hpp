@@ -1,0 +1,119 @@
+// O(1) region resolution (the redesigned hot-path front end).
+//
+// The seed runtime resolved every instrumented access with a linear scan
+// over all registered regions — acquire-ordered loads plus a `contains`
+// check per region, on every access. This map replaces the scan with a flat
+// shadow page table: at registration time every 4 KiB page a region overlaps
+// is entered into an open-addressed hash table (page -> ShadowSpace*), so a
+// lookup is one hash, ~one probe, and one bounds check regardless of how
+// many regions exist.
+//
+// Concurrency model: registration is rare and serialized by the runtime's
+// registration lock; each rebuild constructs a fresh immutable table and
+// publishes it with a release store. Lookups are wait-free — they read the
+// current table pointer with an acquire load and probe immutable slots.
+// Retired tables are kept until the map is destroyed (bounded by
+// Runtime::kMaxRegions rebuilds), so readers never chase freed memory.
+//
+// A page that straddles two regions keeps its first registrant; `lookup`
+// then returns a region whose `contains` check fails for addresses in the
+// second region, and the runtime falls back to the (correct, rare) linear
+// scan. Pages with no entry are guaranteed untracked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace pred {
+
+class ShadowSpace;
+
+class RegionMap {
+ public:
+  static constexpr std::size_t kPageShift = 12;  // 4 KiB map granularity
+
+  /// Region whose page entry covers `addr`, or nullptr when no region
+  /// overlaps the page (then the address is definitely untracked). The
+  /// caller must still verify `contains(addr)` — a straddled page maps to
+  /// only one of its regions.
+  ShadowSpace* lookup(Address addr) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    if (t == nullptr) return nullptr;
+    const Address page = addr >> kPageShift;
+    std::size_t i = hash(page) & t->mask;
+    while (t->slots[i].region != nullptr) {
+      if (t->slots[i].page == page) return t->slots[i].region;
+      i = (i + 1) & t->mask;
+    }
+    return nullptr;
+  }
+
+  struct RegionExtent {
+    ShadowSpace* region;
+    Address begin;  ///< first tracked byte
+    Address end;    ///< one past the last tracked byte
+  };
+
+  /// Rebuilds the table from the full region list and publishes it.
+  /// Caller must serialize rebuilds (the runtime's registration lock).
+  void rebuild(const std::vector<RegionExtent>& regions) {
+    std::size_t pages = 0;
+    for (const RegionExtent& r : regions) {
+      pages += ((r.end - 1) >> kPageShift) - (r.begin >> kPageShift) + 1;
+    }
+    std::size_t cap = 16;
+    while (cap < 2 * pages + 1) cap <<= 1;
+    auto fresh = std::make_unique<Table>();
+    fresh->mask = cap - 1;
+    fresh->slots.resize(cap);
+    for (const RegionExtent& r : regions) {
+      const Address first = r.begin >> kPageShift;
+      const Address last = (r.end - 1) >> kPageShift;
+      for (Address page = first; page <= last; ++page) {
+        std::size_t i = hash(page) & fresh->mask;
+        while (fresh->slots[i].region != nullptr &&
+               fresh->slots[i].page != page) {
+          i = (i + 1) & fresh->mask;
+        }
+        if (fresh->slots[i].region == nullptr) {
+          fresh->slots[i] = Slot{page, r.region};
+        }
+        // else: the page straddles two regions; the first keeps the entry
+        // and the runtime's fallback scan resolves the other.
+      }
+    }
+    const Table* next = fresh.get();
+    tables_.push_back(std::move(fresh));
+    table_.store(next, std::memory_order_release);
+  }
+
+  /// Bytes held by the live table (metadata accounting).
+  std::size_t bytes() const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    return t ? t->slots.size() * sizeof(Slot) : 0;
+  }
+
+ private:
+  struct Slot {
+    Address page = 0;
+    ShadowSpace* region = nullptr;  ///< nullptr marks an empty slot
+  };
+  struct Table {
+    std::size_t mask = 0;
+    std::vector<Slot> slots;
+  };
+
+  static std::size_t hash(Address page) {
+    std::uint64_t h = static_cast<std::uint64_t>(page) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+
+  std::atomic<const Table*> table_{nullptr};
+  std::vector<std::unique_ptr<Table>> tables_;  // live + retired
+};
+
+}  // namespace pred

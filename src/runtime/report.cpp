@@ -91,6 +91,10 @@ Address hottest_word(const LineFinding& lf) {
 }  // namespace
 
 Report build_report(const Runtime& rt) {
+  // Publish the calling thread's staged write counters so `writes_count`
+  // below reflects every write this thread issued. Worker threads drain on
+  // unbind/exit, so a report built after join sees all counts.
+  flush_staged_writes();
   const RuntimeConfig& cfg = rt.config();
   const LineGeometry& geo = cfg.geometry;
   Report report;

@@ -1,10 +1,49 @@
 #include "runtime/runtime.hpp"
 
+#include <bit>
 #include <mutex>
 
 #include "common/check.hpp"
 
 namespace pred {
+
+namespace detail {
+/// Bumped by every Runtime destruction; guards thread-local caches against
+/// pointers into dead runtimes (see write_stage.hpp).
+std::atomic<std::uint64_t> runtime_generation_counter{1};
+}  // namespace detail
+
+namespace {
+
+thread_local WriteStage t_write_stage;
+
+/// One-entry per-thread region cache: the common monotone access stream
+/// resolves its region without touching any shared state.
+struct RegionCache {
+  const Runtime* rt = nullptr;
+  std::uint64_t gen = 0;
+  ShadowSpace* region = nullptr;
+};
+thread_local RegionCache t_region_cache;
+
+}  // namespace
+
+WriteStage& thread_write_stage() { return t_write_stage; }
+
+void flush_staged_writes() { t_write_stage.flush(); }
+
+void WriteStage::flush() {
+  const std::uint64_t gen = runtime_generation();
+  for (StagedSlot& s : slots) {
+    if (s.region != nullptr && s.count != 0 && s.gen == gen) {
+      s.rt->apply_staged(*s.region, s.line, s.count);
+    }
+    s.rt = nullptr;
+    s.region = nullptr;
+    s.count = 0;
+  }
+  staged_since_epoch = 0;
+}
 
 Runtime::Runtime(RuntimeConfig config) : config_(config) {
   PRED_CHECK(config_.tracking_threshold >= 1);
@@ -12,34 +51,78 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
   PRED_CHECK(config_.sample_window >= 1);
   PRED_CHECK(config_.sample_interval >= config_.sample_window);
   PRED_CHECK(config_.geometry.line_size % config_.geometry.word_size == 0);
+  for (auto& v : visible_) v.store(nullptr, std::memory_order_relaxed);
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // Invalidate every thread-local pointer into this runtime (staged write
+  // slots, hot-line and last-region caches). Threads discover the bump
+  // lazily and drop stale entries instead of draining them.
+  detail::runtime_generation_counter.fetch_add(1, std::memory_order_acq_rel);
+}
 
 ShadowSpace* Runtime::register_region(Address base, std::size_t size) {
-  std::size_t slot = num_regions_.load(std::memory_order_acquire);
+  // Claim a slot with fetch_add so concurrent registrations cannot collide,
+  // then publish the constructed region with a release store.
+  const std::size_t slot = num_claimed_.fetch_add(1, std::memory_order_relaxed);
   PRED_CHECK(slot < kMaxRegions);
-  regions_[slot] =
-      std::make_unique<ShadowSpace>(base, size, config_.geometry);
+  regions_[slot] = std::make_unique<ShadowSpace>(base, size, config_.geometry);
   ShadowSpace* region = regions_[slot].get();
-  num_regions_.store(slot + 1, std::memory_order_release);
+  visible_[slot].store(region, std::memory_order_release);
+
+  // Rebuild the shadow page map under the registration lock. Each
+  // registrant rebuilds after publishing its own region, so whichever
+  // rebuild runs last observes every earlier store and the final table is
+  // complete even under concurrent registration.
+  {
+    std::lock_guard<Spinlock> g(reg_lock_);
+    std::vector<RegionMap::RegionExtent> extents;
+    const std::size_t n = num_claimed_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n && i < kMaxRegions; ++i) {
+      if (ShadowSpace* r = visible_[i].load(std::memory_order_acquire)) {
+        extents.push_back(
+            {r, r->base(),
+             r->base() + r->num_lines() * r->geometry().line_size});
+      }
+    }
+    region_map_.rebuild(extents);
+  }
   return region;
 }
 
-ShadowSpace* Runtime::find_region(Address addr) const {
-  const std::size_t n = num_regions_.load(std::memory_order_acquire);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (regions_[i]->contains(addr)) return regions_[i].get();
+ShadowSpace* Runtime::find_region_slow(Address addr) const {
+  const std::size_t n = num_claimed_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n && i < kMaxRegions; ++i) {
+    ShadowSpace* r = visible_[i].load(std::memory_order_acquire);
+    if (r != nullptr && r->contains(addr)) return r;
   }
   return nullptr;
+}
+
+ShadowSpace* Runtime::find_region(Address addr) const {
+  if (!config_.fast_region_lookup) [[unlikely]] {
+    return find_region_slow(addr);
+  }
+  RegionCache& cache = t_region_cache;
+  const std::uint64_t gen = runtime_generation();
+  if (cache.rt == this && cache.gen == gen && cache.region->contains(addr)) {
+    return cache.region;
+  }
+  ShadowSpace* r = region_map_.lookup(addr);
+  if (r != nullptr && !r->contains(addr)) [[unlikely]] {
+    // The page straddles two regions and maps to the other one.
+    r = find_region_slow(addr);
+  }
+  if (r != nullptr) cache = RegionCache{this, gen, r};
+  return r;
 }
 
 ThreadId Runtime::register_thread() {
   return next_thread_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Runtime::handle_access(Address addr, AccessType type, ThreadId tid,
-                            std::size_t size) {
+void Runtime::handle_access_slow(Address addr, AccessType type, ThreadId tid,
+                                 std::size_t size) {
   if (config_.instrument_mode == InstrumentMode::kWritesOnly &&
       type == AccessType::kRead) {
     return;
@@ -72,9 +155,14 @@ void Runtime::handle_access_one_word(ShadowSpace& region, Address addr,
     // Fast path of Figure 1: count writes only, no detailed tracking until
     // the line crosses TrackingThreshold.
     if (type == AccessType::kWrite) {
-      const std::uint64_t w =
-          region.writes(idx).fetch_add(1, std::memory_order_relaxed) + 1;
-      if (w >= config_.tracking_threshold) escalate(region, idx);
+      if (config_.staged_write_counters) [[likely]] {
+        stage_write(region, idx);
+      } else {
+        // Seed behavior: a shared fetch_add per pre-threshold write.
+        const std::uint64_t w =
+            region.writes(idx).fetch_add(1, std::memory_order_relaxed) + 1;
+        if (w >= config_.tracking_threshold) escalate(region, idx);
+      }
     }
     return;
   }
@@ -87,9 +175,106 @@ void Runtime::handle_access_one_word(ShadowSpace& region, Address addr,
   if (type == AccessType::kWrite) {
     const std::uint64_t w =
         region.writes(idx).fetch_add(1, std::memory_order_relaxed) + 1;
-    if (w == config_.prediction_threshold && config_.prediction_enabled &&
+    if (w >= config_.prediction_threshold && config_.prediction_enabled &&
         hook_ && track->try_begin_prediction()) {
       hook_(*this, region, idx);
+    }
+  }
+}
+
+void Runtime::stage_write(ShadowSpace& region, std::size_t line_index) {
+  WriteStage& st = t_write_stage;
+  const std::uint64_t gen = runtime_generation();
+  StagedSlot& s = st.slots[WriteStage::slot_index(&region, line_index)];
+  if (s.region != &region || s.line != line_index || s.gen != gen)
+      [[unlikely]] {
+    // Evict the previous occupant (drain it unless its runtime died).
+    if (s.region != nullptr && s.count != 0 && s.gen == gen) {
+      s.rt->apply_staged(*s.region, s.line, s.count);
+    }
+    s.rt = this;
+    s.region = &region;
+    s.gen = gen;
+    s.line = static_cast<std::uint32_t>(line_index);
+    s.count = 0;
+    s.base = region.writes_count(line_index);
+  }
+  ++s.count;
+  if (++st.staged_since_epoch >= WriteStage::kEpochLength) [[unlikely]] {
+    st.flush();
+    return;
+  }
+  if (s.base + s.count >= config_.tracking_threshold) {
+    // Same access as the unstaged path would escalate on (single-writer
+    // streams): publish and run the threshold checks now.
+    const std::uint32_t n = s.count;
+    s.region = nullptr;
+    s.count = 0;
+    apply_staged(region, line_index, n);
+    return;
+  }
+  // Point the inline fast path at this region (power-of-two geometry only:
+  // the fast path replaces divisions with a shift and a mask).
+  const std::size_t ls = config_.geometry.line_size;
+  const std::size_t ws = config_.geometry.word_size;
+  if ((ls & (ls - 1)) == 0 && (ws & (ws - 1)) == 0) {
+    FastPathCache& fc = t_fastpath_cache;
+    fc.region = &region;
+    fc.gen = gen;
+    fc.region_begin = region.base();
+    fc.region_end = region.base() + region.num_lines() * ls;
+    fc.stage = &st;
+    fc.tracking_threshold = config_.tracking_threshold;
+    fc.line_shift = static_cast<std::uint32_t>(std::countr_zero(ls));
+    fc.word_mask = ws - 1;
+    fc.word_size = ws;
+    fc.rt = this;
+  }
+}
+
+void Runtime::drain_slot(StagedSlot& s) {
+  ShadowSpace* region = s.region;
+  const std::uint32_t line = s.line;
+  const std::uint32_t n = s.count;
+  s.region = nullptr;
+  s.count = 0;
+  apply_staged(*region, line, n);
+}
+
+void Runtime::purge_staged(ShadowSpace& region, std::size_t line_index) {
+  StagedSlot& s =
+      t_write_stage.slots[WriteStage::slot_index(&region, line_index)];
+  if (s.region != &region || s.line != line_index) return;
+  // Publish without threshold checks: the line is being escalated right
+  // now, and staged counts are < tracking_threshold above their base, so
+  // they cannot cross prediction_threshold either (single-writer); a
+  // multi-writer jump is caught by the tracked path's >= check.
+  if (s.count != 0 && s.gen == runtime_generation()) {
+    region.writes(line_index).fetch_add(s.count, std::memory_order_relaxed);
+  }
+  s.region = nullptr;
+  s.count = 0;
+}
+
+void Runtime::apply_staged(ShadowSpace& region, std::size_t line_index,
+                           std::uint64_t count) {
+  const std::uint64_t prev =
+      region.writes(line_index).fetch_add(count, std::memory_order_relaxed);
+  const std::uint64_t now = prev + count;
+  if (region.tracker(line_index) == nullptr &&
+      now >= config_.tracking_threshold) {
+    escalate(region, line_index);
+  }
+  // A drain can jump the counter across PredictionThreshold without any
+  // tracked-path write observing the crossing; fire the hook here so the
+  // Section 3.2 analysis is never skipped. try_begin_prediction keeps it
+  // once-per-line.
+  if (config_.prediction_enabled && hook_ &&
+      prev < config_.prediction_threshold &&
+      now >= config_.prediction_threshold) {
+    if (CacheTracker* t = region.tracker(line_index);
+        t != nullptr && t->try_begin_prediction()) {
+      hook_(*this, region, line_index);
     }
   }
 }
@@ -98,11 +283,17 @@ void Runtime::escalate(ShadowSpace& region, std::size_t line_index) {
   // Step 2 of the Section 3.2 workflow: once line L becomes interesting,
   // track word-level detail for L *and its adjacent lines*, since only
   // adjacent-line accesses can turn into false sharing under a different
-  // placement or a larger line size.
+  // placement or a larger line size. Each line's staged counts are purged
+  // first so the fast path stops short-circuiting lines that now track.
+  purge_staged(region, line_index);
   region.ensure_tracker(line_index);
   if (config_.prediction_enabled) {
-    if (line_index > 0) region.ensure_tracker(line_index - 1);
+    if (line_index > 0) {
+      purge_staged(region, line_index - 1);
+      region.ensure_tracker(line_index - 1);
+    }
     if (line_index + 1 < region.num_lines()) {
+      purge_staged(region, line_index + 1);
       region.ensure_tracker(line_index + 1);
     }
   }
@@ -124,6 +315,7 @@ VirtualLineTracker* Runtime::add_virtual_line(ShadowSpace& region,
   const std::size_t first = region.line_index(start);
   const std::size_t last = region.line_index(start + size - 1);
   for (std::size_t i = first; i <= last && i < region.num_lines(); ++i) {
+    purge_staged(region, i);
     region.ensure_tracker(i)->add_virtual_line(vl);
   }
   return vl;
@@ -138,8 +330,9 @@ std::size_t Runtime::touched_metadata_bytes(
   for_each_region([&](const ShadowSpace& region) {
     bytes += region.tracker_count() * sizeof(CacheTracker);
   });
+  bytes += region_map_.bytes();
   {
-    std::lock_guard<Spinlock> g(const_cast<Spinlock&>(vl_lock_));
+    std::lock_guard<Spinlock> g(vl_lock_);
     bytes += virtual_lines_.size() * sizeof(VirtualLineTracker);
   }
   return bytes;
@@ -149,8 +342,9 @@ std::size_t Runtime::metadata_bytes() const {
   std::size_t bytes = 0;
   for_each_region(
       [&](const ShadowSpace& region) { bytes += region.metadata_bytes(); });
+  bytes += region_map_.bytes();
   {
-    std::lock_guard<Spinlock> g(const_cast<Spinlock&>(vl_lock_));
+    std::lock_guard<Spinlock> g(vl_lock_);
     bytes += virtual_lines_.size() * sizeof(VirtualLineTracker);
   }
   return bytes;

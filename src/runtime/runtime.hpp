@@ -2,6 +2,15 @@
 // (Figure 1 of the paper). Owns the shadow spaces, the object registry, the
 // callsite table, and — when prediction is enabled — the virtual cache lines
 // nominated by the prediction engine.
+//
+// Hot-path layering (see docs/architecture.md):
+//   1. region resolution — per-thread last-region cache, then the flat
+//      shadow page map (runtime/region_map.hpp); O(1) per access;
+//   2. pre-threshold write counting — staged in thread-local slots
+//      (runtime/write_stage.hpp) and drained in batches, so the common
+//      case touches no shared cache line;
+//   3. tracked path — unchanged from the paper: sampling window, word
+//      histogram, history table, virtual-line fan-out.
 #pragma once
 
 #include <atomic>
@@ -12,10 +21,13 @@
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/spinlock.hpp"
 #include "runtime/callsite.hpp"
 #include "runtime/config.hpp"
 #include "runtime/object_registry.hpp"
+#include "runtime/region_map.hpp"
 #include "runtime/shadow.hpp"
+#include "runtime/write_stage.hpp"
 
 namespace pred {
 
@@ -35,16 +47,20 @@ class Runtime {
 
   /// Starts tracking [base, base+size). Returns the region, which remains
   /// owned by the runtime. The base is rounded down to a line boundary.
+  /// Thread-safe: concurrent callers claim distinct slots.
   ShadowSpace* register_region(Address base, std::size_t size);
 
   /// Region containing `addr`, or nullptr when the address is untracked.
+  /// O(1): per-thread cache, then the shadow page map.
   ShadowSpace* find_region(Address addr) const;
 
   // --- the hot path (Figure 1) ---
 
   /// Records one memory access of `size` bytes issued by thread `tid`.
   /// Accesses that straddle a word boundary are split so the word histogram
-  /// stays exact; accesses to untracked memory are ignored.
+  /// stays exact; accesses to untracked memory are ignored. Defined inline
+  /// below: single-word writes to the current hot staged line retire with a
+  /// few compares and two thread-local increments.
   void handle_access(Address addr, AccessType type, ThreadId tid,
                      std::size_t size = 8);
 
@@ -88,8 +104,12 @@ class Runtime {
 
   template <typename F>
   void for_each_region(F&& fn) const {
-    const std::size_t n = num_regions_.load(std::memory_order_acquire);
-    for (std::size_t i = 0; i < n; ++i) fn(*regions_[i]);
+    const std::size_t n = num_claimed_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n && i < kMaxRegions; ++i) {
+      if (const ShadowSpace* r = visible_[i].load(std::memory_order_acquire)) {
+        fn(*r);
+      }
+    }
   }
 
   /// Total shadow/tracker/virtual-line metadata bytes (Figure 8/9 input).
@@ -102,23 +122,88 @@ class Runtime {
   std::size_t touched_metadata_bytes(std::size_t used_heap_bytes) const;
 
  private:
+  friend class WriteStage;
+
   void escalate(ShadowSpace& region, std::size_t line_index);
+  void handle_access_slow(Address addr, AccessType type, ThreadId tid,
+                          std::size_t size);
   void handle_access_one_word(ShadowSpace& region, Address addr,
                               AccessType type, ThreadId tid);
 
+  /// Publishes and empties one staged slot (which just crossed
+  /// TrackingThreshold on the fast path), running the threshold checks.
+  void drain_slot(StagedSlot& s);
+
+  /// Publishes (without threshold checks — a tracker is being created for
+  /// the line right now) and empties any staged counts the calling thread
+  /// holds for (region, line). Keeps the fast path honest when a line gains
+  /// a tracker: its slot empties, so the next write misses and re-checks.
+  void purge_staged(ShadowSpace& region, std::size_t line_index);
+
+  /// Stages one pre-threshold write into the calling thread's WriteStage.
+  void stage_write(ShadowSpace& region, std::size_t line_index);
+
+  /// Publishes `count` staged writes for a line into the shared counter and
+  /// runs the threshold checks (escalation, prediction hook) the individual
+  /// increments skipped.
+  void apply_staged(ShadowSpace& region, std::size_t line_index,
+                    std::uint64_t count);
+
+  /// Seed-style linear scan; fallback for page-straddling regions and the
+  /// `fast_region_lookup = false` ablation.
+  ShadowSpace* find_region_slow(Address addr) const;
+
   RuntimeConfig config_;
-  std::unique_ptr<ShadowSpace> regions_[kMaxRegions];
-  std::atomic<std::size_t> num_regions_{0};
+
+  std::unique_ptr<ShadowSpace> regions_[kMaxRegions];  // slot-claimed owners
+  std::atomic<ShadowSpace*> visible_[kMaxRegions];     // published to readers
+  std::atomic<std::size_t> num_claimed_{0};
+  Spinlock reg_lock_;  // serializes page-map rebuilds, not slot claims
+  RegionMap region_map_;
 
   std::atomic<ThreadId> next_thread_{0};
 
   ObjectRegistry objects_;
   CallsiteTable callsites_;
 
-  Spinlock vl_lock_;
+  mutable Spinlock vl_lock_;
   std::deque<VirtualLineTracker> virtual_lines_;  // stable addresses
 
   PredictionHook hook_;
 };
+
+inline void Runtime::handle_access(Address addr, AccessType type, ThreadId tid,
+                                   std::size_t size) {
+  // Hot-region fast path: a single-word write into the region the calling
+  // thread is staging, landing on a line whose staged slot is live. The
+  // cache is only filled while staging is on, a live slot proves the line
+  // had no tracker, and the generation compare rejects dead runtimes — so
+  // no config, tracker, or region-map work is needed here.
+  FastPathCache& fc = t_fastpath_cache;
+  if (type == AccessType::kWrite && fc.rt == this &&
+      addr >= fc.region_begin && addr + size <= fc.region_end &&
+      (addr & fc.word_mask) + size <= fc.word_size &&
+      fc.gen == detail::runtime_generation_counter.load(
+                    std::memory_order_acquire)) [[likely]] {
+    const std::size_t line =
+        static_cast<std::size_t>(addr - fc.region_begin) >> fc.line_shift;
+    StagedSlot& s =
+        fc.stage->slots[WriteStage::slot_index(fc.region, line)];
+    if (s.region == fc.region && s.line == line && s.gen == fc.gen)
+        [[likely]] {
+      ++s.count;
+      if (++fc.stage->staged_since_epoch >= WriteStage::kEpochLength)
+          [[unlikely]] {
+        fc.stage->flush();
+        return;
+      }
+      if (s.base + s.count >= fc.tracking_threshold) [[unlikely]] {
+        drain_slot(s);
+      }
+      return;
+    }
+  }
+  handle_access_slow(addr, type, tid, size);
+}
 
 }  // namespace pred

@@ -1,0 +1,121 @@
+// Thread-local write staging (the redesigned hot-path back end).
+//
+// The seed runtime paid a shared `fetch_add` on the per-line write counter
+// for every pre-threshold write — an atomic RMW whose cache line is shared
+// with seven neighboring counters, so the detector itself suffered the very
+// false sharing it hunts. This stage turns pre-threshold write counting
+// into a plain thread-local increment: each OS thread owns a small
+// direct-mapped block of (region, line) -> count slots, and staged counts
+// drain into the shared counters in batches.
+//
+// Exactness contract: escalation at TrackingThreshold happens on exactly
+// the same access as the unstaged path whenever a line's pre-threshold
+// writes come from one thread at a time (every deterministic test, every
+// replay, and the common monotone live stream). Each staged increment
+// checks `base + count >= threshold`, where `base` is the shared counter
+// value snapshotted when the slot was filled; crossing drains the slot and
+// escalates immediately. With concurrent pre-threshold writers the sum can
+// cross the threshold before any single thread's view does; the epoch
+// flush (every kEpochLength staged writes per thread) bounds that delay,
+// and the drain itself re-checks both thresholds.
+//
+// Drain points: slot eviction (direct-mapped collision), inline threshold
+// crossing, the per-thread epoch, `Session::flush()` / `ScopedThread`
+// unbind / `BatchBuffer::flush`, `build_report`, and thread exit.
+//
+// Lifetime safety: slots reference runtimes/regions by raw pointer. A
+// global generation counter is bumped whenever any Runtime is destroyed;
+// slots tagged with an older generation are discarded instead of drained,
+// so a deferred drain can never touch a dead runtime's shadow memory.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace pred {
+
+class Runtime;
+class ShadowSpace;
+
+namespace detail {
+/// Global runtime generation counter; read inline on the hot path, written
+/// only by Runtime destruction.
+extern std::atomic<std::uint64_t> runtime_generation_counter;
+}  // namespace detail
+
+/// Current global runtime generation. Bumped by every Runtime destruction;
+/// staged slots and region-cache entries from older generations are stale.
+inline std::uint64_t runtime_generation() {
+  return detail::runtime_generation_counter.load(std::memory_order_acquire);
+}
+
+/// Drains every staged write counter held by the calling thread into the
+/// owning runtimes' shared counters (running threshold checks). Safe to
+/// call at any time; stale-generation slots are dropped.
+void flush_staged_writes();
+
+struct StagedSlot {
+  Runtime* rt = nullptr;
+  ShadowSpace* region = nullptr;  ///< nullptr marks an empty slot
+  std::uint64_t gen = 0;
+  std::uint64_t base = 0;  ///< shared counter value when the slot was filled
+  std::uint32_t line = 0;
+  std::uint32_t count = 0;  ///< staged (not yet published) writes
+};
+
+/// Per-OS-thread staging block. One instance lives in thread-local storage;
+/// the runtime reaches it through `thread_write_stage()`.
+class WriteStage {
+ public:
+  static constexpr std::size_t kSlots = 64;  // direct-mapped
+  /// Staged writes per epoch; an epoch ends with a full drain, bounding
+  /// both the staleness of shared counters and multi-writer escalation lag.
+  static constexpr std::uint32_t kEpochLength = 4096;
+
+  ~WriteStage() { flush(); }
+
+  /// Drains all valid slots and starts a new epoch.
+  void flush();
+
+  static std::size_t slot_index(const ShadowSpace* region, std::size_t line) {
+    return (line ^ (reinterpret_cast<std::uintptr_t>(region) >> 6)) &
+           (kSlots - 1);
+  }
+
+  StagedSlot slots[kSlots];
+  std::uint32_t staged_since_epoch = 0;
+};
+
+/// The calling thread's staging block.
+WriteStage& thread_write_stage();
+
+/// One-entry hot-region cache consulted by the inline fast path in
+/// Runtime::handle_access. It caches everything needed to resolve a
+/// single-word write without the out-of-line slow path: the staged region's
+/// bounds, the line shift (power-of-two geometry only), and the thread's
+/// staging block. The fast path then requires an exact staged-slot match
+/// for the computed line — a slot occupied by (region, line, gen) proves
+/// the line had no tracker when staged, and every same-thread event that
+/// could give the line a tracker (escalation, virtual-line fan-out) purges
+/// the slot first. So cache validity is re-derived from slot occupancy on
+/// every access; only the slow path fills the cache (stage_write), and only
+/// runtime destruction (generation bump) wholesale-invalidates it.
+struct FastPathCache {
+  const Runtime* rt = nullptr;  ///< nullptr = invalid
+  ShadowSpace* region = nullptr;
+  std::uint64_t gen = 0;
+  Address region_begin = 0;
+  Address region_end = 0;
+  WriteStage* stage = nullptr;
+  std::uint64_t tracking_threshold = 0;
+  std::uint32_t line_shift = 0;  ///< log2(line_size)
+  std::size_t word_mask = 0;     ///< word_size - 1
+  std::size_t word_size = 0;
+};
+
+inline thread_local FastPathCache t_fastpath_cache;
+
+}  // namespace pred

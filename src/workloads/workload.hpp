@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -70,9 +71,11 @@ struct NullSink {
 struct SessionSink {
   Session* session;
   ThreadId tid;
-  void read(const void* p, std::size_t n = 8) { session->on_read(p, tid, n); }
+  void read(const void* p, std::size_t n = 8) {
+    session->record(p, AccessType::kRead, tid, n);
+  }
   void write(const void* p, std::size_t n = 8) {
-    session->on_write(p, tid, n);
+    session->record(p, AccessType::kWrite, tid, n);
   }
   void think(std::uint32_t) {}
 };
@@ -120,7 +123,8 @@ void run_threads(std::uint32_t n, F&& f) {
 /// Uninstrumented execution with plain (line-aligned) allocation.
 class NativeHarness {
  public:
-  void* alloc(std::size_t bytes, std::vector<std::string> /*frames*/) {
+  void* alloc(std::size_t bytes,
+              std::initializer_list<std::string_view> /*frames*/) {
     void* p = ::operator new(bytes, std::align_val_t{64});
     owned_.push_back(p);
     return p;
@@ -145,8 +149,9 @@ class NativeHarness {
 class LiveHarness {
  public:
   explicit LiveHarness(Session& session) : session_(session) {}
-  void* alloc(std::size_t bytes, std::vector<std::string> frames) {
-    return session_.alloc(bytes, std::move(frames));
+  void* alloc(std::size_t bytes,
+              std::initializer_list<std::string_view> frames) {
+    return session_.alloc(bytes, session_.intern_frames(frames));
   }
   void register_global(void* p, std::size_t size, std::string name) {
     session_.register_global(p, size, std::move(name));
@@ -169,8 +174,9 @@ class LiveHarness {
 class ReplayHarness {
  public:
   explicit ReplayHarness(Session& session) : session_(session) {}
-  void* alloc(std::size_t bytes, std::vector<std::string> frames) {
-    return session_.alloc(bytes, std::move(frames));
+  void* alloc(std::size_t bytes,
+              std::initializer_list<std::string_view> frames) {
+    return session_.alloc(bytes, session_.intern_frames(frames));
   }
   void register_global(void* p, std::size_t size, std::string name) {
     session_.register_global(p, size, std::move(name));

@@ -1,0 +1,221 @@
+// Tests for the redesigned hot path: O(1) region resolution (shadow page
+// map + per-thread cache) and thread-local write staging. The fast path is
+// on by default; every test here either checks it against the seed-behavior
+// ablation (fast_region_lookup / staged_write_counters = false) or pins a
+// concurrency property the redesign introduced.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/predator.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred {
+namespace {
+
+constexpr AccessType W = AccessType::kWrite;
+
+alignas(64) char g_page_a[4096];
+alignas(64) char g_page_b[4096];
+
+RuntimeConfig small_config() {
+  RuntimeConfig cfg;
+  cfg.tracking_threshold = 4;
+  cfg.prediction_threshold = 8;
+  cfg.sample_window = 4;
+  cfg.sample_interval = 4;
+  return cfg;
+}
+
+// --- determinism: the staged fast path must report exactly what the seed
+// --- per-access path reports, access for access.
+
+std::string replay_report(const char* workload, bool fast) {
+  SessionOptions o;
+  o.heap_size = 32 * 1024 * 1024;
+  o.runtime.fast_region_lookup = fast;
+  o.runtime.staged_write_counters = fast;
+  Session session(o);
+  const wl::Workload* w = wl::find_workload(workload);
+  EXPECT_NE(w, nullptr);
+  wl::Params p;
+  p.threads = 8;
+  w->run_replay(session, p);
+  return session.report_text();
+}
+
+TEST(FastPathDeterminism, HistogramReplayMatchesSeedPath) {
+  // Sessions run sequentially, so the heap maps at the same base and the
+  // two report texts are comparable byte for byte.
+  const std::string fast = replay_report("histogram", true);
+  const std::string seed = replay_report("histogram", false);
+  EXPECT_FALSE(fast.empty());
+  EXPECT_EQ(fast, seed);
+}
+
+TEST(FastPathDeterminism, LinearRegressionReplayMatchesSeedPath) {
+  const std::string fast = replay_report("linear_regression", true);
+  const std::string seed = replay_report("linear_regression", false);
+  EXPECT_FALSE(fast.empty());
+  EXPECT_EQ(fast, seed);
+}
+
+// --- concurrent registration: the seed read-then-store slot claim lost
+// --- regions under contention; the fetch_add claim must not.
+
+TEST(FastPathRegistration, ConcurrentRegisterRegionClaimsDistinctSlots) {
+  constexpr std::size_t kThreads = 8;
+  static char buffers[kThreads][4096];
+  Runtime rt(small_config());
+  std::atomic<int> ready{0};
+  std::vector<ShadowSpace*> out(kThreads, nullptr);
+  std::vector<std::thread> ts;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < static_cast<int>(kThreads)) {
+      }
+      out[t] = rt.register_region(reinterpret_cast<Address>(buffers[t]),
+                                  sizeof(buffers[t]));
+    });
+  }
+  for (auto& th : ts) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_NE(out[t], nullptr);
+    // Every region must survive registration and resolve by address.
+    EXPECT_EQ(rt.find_region(reinterpret_cast<Address>(buffers[t]) + 128),
+              out[t]);
+    for (std::size_t u = t + 1; u < kThreads; ++u) {
+      EXPECT_NE(out[t], out[u]) << "two registrations shared a slot";
+    }
+  }
+}
+
+// --- page-map fallback: two regions inside one 4 KiB page must both
+// --- resolve even though the page entry can only name one of them.
+
+TEST(FastPathRegionMap, TwoRegionsOnOnePageBothResolve) {
+  alignas(4096) static char page[4096];
+  Runtime rt(small_config());
+  ShadowSpace* lo = rt.register_region(reinterpret_cast<Address>(page), 1024);
+  ShadowSpace* hi =
+      rt.register_region(reinterpret_cast<Address>(page) + 2048, 1024);
+  ASSERT_NE(lo, nullptr);
+  ASSERT_NE(hi, nullptr);
+  EXPECT_EQ(rt.find_region(reinterpret_cast<Address>(page) + 64), lo);
+  EXPECT_EQ(rt.find_region(reinterpret_cast<Address>(page) + 2048 + 64), hi);
+  // The gap between the regions is untracked.
+  EXPECT_EQ(rt.find_region(reinterpret_cast<Address>(page) + 1536), nullptr);
+}
+
+TEST(FastPathRegionMap, MissIsDefinitelyUntracked) {
+  Runtime rt(small_config());
+  rt.register_region(reinterpret_cast<Address>(g_page_a), sizeof(g_page_a));
+  EXPECT_EQ(rt.find_region(reinterpret_cast<Address>(g_page_b)), nullptr);
+  // And accessing it is a no-op, not a crash.
+  rt.handle_access(reinterpret_cast<Address>(g_page_b), W, 0);
+}
+
+TEST(FastPathRegionMap, ThreadCacheTracksTheCurrentRuntime) {
+  // Alternating lookups against two runtimes through one thread's cache
+  // must never leak a region across runtimes.
+  Runtime rt1(small_config());
+  Runtime rt2(small_config());
+  ShadowSpace* r1 =
+      rt1.register_region(reinterpret_cast<Address>(g_page_a), 4096);
+  ShadowSpace* r2 =
+      rt2.register_region(reinterpret_cast<Address>(g_page_a), 4096);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rt1.find_region(reinterpret_cast<Address>(g_page_a) + 8), r1);
+    EXPECT_EQ(rt2.find_region(reinterpret_cast<Address>(g_page_a) + 8), r2);
+  }
+}
+
+// --- staged counters: multi-threaded totals drain exactly.
+
+TEST(FastPathStaging, MultiThreadedDrainLosesNoWrites) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kWritesPerThread = 10'000;
+  RuntimeConfig cfg;
+  cfg.tracking_threshold = 1'000'000;  // never escalate: pure counting
+  cfg.prediction_threshold = 1'000'000;
+  SessionOptions o;
+  o.heap_size = 8 * 1024 * 1024;
+  o.runtime = cfg;
+  Session session(o);
+  // 8 lines, all threads hammer all of them (staged slots collide and
+  // evict constantly).
+  auto* data = static_cast<long*>(
+      session.alloc(8 * 64, session.intern_frames({"fastpath.c:1"})));
+  ASSERT_NE(data, nullptr);
+  std::vector<std::thread> ts;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      ScopedThread guard(session, t);
+      for (std::uint64_t i = 0; i < kWritesPerThread; ++i) {
+        session.record(&data[((i + t) % 8) * 8], W, t, 8);
+      }
+    });  // unbind drains the thread's staged counters
+  }
+  for (auto& th : ts) th.join();
+  auto& shadow = session.allocator().shadow();
+  std::uint64_t total = 0;
+  const std::size_t first =
+      shadow.line_index(reinterpret_cast<Address>(data));
+  for (std::size_t i = 0; i < 8; ++i) {
+    total += shadow.writes_count(first + i);
+  }
+  EXPECT_EQ(total, kThreads * kWritesPerThread);
+}
+
+TEST(FastPathStaging, EscalationHappensOnTheCrossingAccess) {
+  // Single-writer stream: the staged path must escalate on exactly the
+  // same access as the seed path — the tracking_threshold-th write.
+  Runtime rt(small_config());
+  auto* region =
+      rt.register_region(reinterpret_cast<Address>(g_page_a), 4096);
+  const Address a = reinterpret_cast<Address>(g_page_a) + 640;
+  const std::size_t idx = region->line_index(a);
+  for (std::uint64_t i = 1; i < small_config().tracking_threshold; ++i) {
+    rt.handle_access(a, W, 0);
+    EXPECT_EQ(region->tracker(idx), nullptr) << "escalated early at " << i;
+  }
+  rt.handle_access(a, W, 0);
+  EXPECT_NE(region->tracker(idx), nullptr) << "missed the crossing access";
+}
+
+TEST(FastPathStaging, SessionFlushPublishesStagedCounts) {
+  SessionOptions o;
+  o.heap_size = 8 * 1024 * 1024;
+  o.runtime.tracking_threshold = 1'000'000;
+  o.runtime.prediction_threshold = 1'000'000;
+  Session session(o);
+  auto* data = static_cast<long*>(
+      session.alloc(64, session.intern_frames({"fastpath.c:2"})));
+  auto& shadow = session.allocator().shadow();
+  const std::size_t idx = shadow.line_index(reinterpret_cast<Address>(data));
+  for (int i = 0; i < 7; ++i) session.record(&data[0], W, 0, 8);
+  session.flush();
+  EXPECT_EQ(shadow.writes_count(idx), 7u);
+}
+
+TEST(FastPathStaging, RuntimeDestructionInvalidatesStagedSlots) {
+  // Stage writes into a runtime, destroy it without draining, then stage
+  // into a fresh runtime: the stale slots must be dropped, not applied.
+  {
+    Runtime rt(small_config());
+    rt.register_region(reinterpret_cast<Address>(g_page_a), 4096);
+    rt.handle_access(reinterpret_cast<Address>(g_page_a), W, 0);
+  }  // dies with one staged write outstanding
+  Runtime rt2(small_config());
+  auto* region =
+      rt2.register_region(reinterpret_cast<Address>(g_page_a), 4096);
+  rt2.handle_access(reinterpret_cast<Address>(g_page_a), W, 0);
+  flush_staged_writes();
+  EXPECT_EQ(region->writes_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace pred

@@ -67,6 +67,8 @@ TEST(Runtime, NoTrackingBelowThreshold) {
   const Address a = reinterpret_cast<Address>(g_buffer);
   for (int i = 0; i < 3; ++i) rt.handle_access(a, W, 0);
   EXPECT_EQ(region->tracker(region->line_index(a)), nullptr);
+  // Pre-threshold writes sit in the thread-local stage until drained.
+  flush_staged_writes();
   EXPECT_EQ(region->writes_count(region->line_index(a)), 3u);
 }
 
