@@ -3,12 +3,40 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "sim/cache_sim.hpp"
 #include "workloads/workload.hpp"
 
 namespace pred::bench {
+
+/// Minimal flat JSON object writer for the CI bench-smoke artifacts
+/// (BENCH_*.json): string keys (no escaping needed — callers use plain
+/// identifiers) mapping to numbers, emitted in insertion order.
+class JsonWriter {
+ public:
+  void add(std::string key, double value) {
+    entries_.emplace_back(std::move(key), value);
+  }
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.6g%s\n", entries_[i].first.c_str(),
+                   entries_[i].second,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 inline SessionOptions session_options() {
   SessionOptions o;

@@ -11,15 +11,18 @@
 // ever escalates — so the measurement isolates exactly the two redesigned
 // layers: region resolution and pre-threshold write counting.
 //
-// Usage: microbench_fastpath [writes_per_thread]
+// Usage: microbench_fastpath [writes_per_thread] [--json FILE]
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/predator.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -28,6 +31,7 @@ constexpr std::size_t kLinesPerThread = 8;
 
 struct Mode {
   const char* name;
+  const char* key;  ///< JSON field stem for --json output
   bool fast_lookup;
   bool staged;
 };
@@ -78,19 +82,26 @@ double run_mode(const Mode& mode, std::uint64_t writes_per_thread) {
 
 int main(int argc, char** argv) {
   std::uint64_t writes = 4'000'000;
-  if (argc > 1) {
-    writes = std::strtoull(argv[1], nullptr, 10);
-    if (writes == 0) {
-      std::fprintf(stderr, "usage: %s [writes_per_thread > 0]\n", argv[0]);
-      return 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      writes = std::strtoull(argv[i], nullptr, 10);
+      if (writes == 0) {
+        std::fprintf(stderr,
+                     "usage: %s [writes_per_thread > 0] [--json FILE]\n",
+                     argv[0]);
+        return 1;
+      }
     }
   }
 
   const Mode modes[] = {
-      {"seed (linear scan + shared fetch_add)", false, false},
-      {"map-only (page map, shared fetch_add)", true, false},
-      {"staged-only (linear scan, TLS staging)", false, true},
-      {"full (page map + TLS staging)", true, true},
+      {"seed (linear scan + shared fetch_add)", "seed", false, false},
+      {"map-only (page map, shared fetch_add)", "map_only", true, false},
+      {"staged-only (linear scan, TLS staging)", "staged_only", false, true},
+      {"full (page map + TLS staging)", "full", true, true},
   };
 
   std::printf("hot-path ablation: %u threads x %" PRIu64
@@ -98,6 +109,7 @@ int main(int argc, char** argv) {
               kThreads, writes);
   std::printf("%-42s %15s %9s\n", "mode", "accesses/sec", "speedup");
 
+  pred::bench::JsonWriter json;
   double seed_rate = 0.0;
   for (const Mode& m : modes) {
     // Warm-up pass, then the measured pass.
@@ -105,6 +117,15 @@ int main(int argc, char** argv) {
     const double rate = run_mode(m, writes);
     if (seed_rate == 0.0) seed_rate = rate;
     std::printf("%-42s %15.0f %8.2fx\n", m.name, rate, rate / seed_rate);
+    json.add(std::string(m.key) + "_aps", rate);
+    json.add(std::string(m.key) + "_speedup", rate / seed_rate);
+  }
+  if (!json_path.empty()) {
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "json: %s\n", json_path.c_str());
   }
   return 0;
 }

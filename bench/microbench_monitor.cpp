@@ -1,0 +1,183 @@
+// Monitor overhead microbench: the live monitor's two costs, measured
+// separately.
+//
+// Phase A — fast path, monitor attached (the acceptance bar: < 5%).
+//   The microbench_fastpath workload (4 threads, disjoint pre-threshold
+//   lines, thresholds set so nothing escalates) run with the monitor off
+//   vs. started. The inline fast path emits no events, so attaching the
+//   monitor should cost only the cold `attached_monitor()` check on the
+//   slow path — i.e. nothing measurable here.
+//
+// Phase B — tracked path, every access emitting (the worst case).
+//   tracking_threshold = 1 and sampling rate 1.0, so every access runs the
+//   full tracked path and publishes a monitor event. This bounds the emit
+//   cost (TLS check + one SPSC ring push) relative to the tracked path's
+//   own spinlock + histogram work, and exercises drop-oldest shedding.
+//
+// Usage: microbench_monitor [writes_per_thread] [--json FILE]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "api/predator.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+constexpr std::uint32_t kThreads = 4;
+constexpr std::size_t kLinesPerThread = 8;
+
+struct Rates {
+  double accesses_per_sec = 0.0;
+  std::uint64_t events_seen = 0;
+  std::uint64_t events_dropped = 0;
+};
+
+// One measured run: the microbench_fastpath access pattern (each thread
+// round-robins writes over its own 8 lines) against a session configured by
+// `tracked` (pre-threshold fast path vs. always-tracked slow path), with the
+// monitor optionally attached.
+Rates run_once(bool tracked, bool with_monitor,
+               std::uint64_t writes_per_thread) {
+  pred::SessionOptions o;
+  o.heap_size = 16 * 1024 * 1024;
+  if (tracked) {
+    o.runtime.tracking_threshold = 1;
+    o.runtime.prediction_threshold = ~std::uint64_t{0} >> 1;
+    o.runtime.set_sampling_rate(1.0);
+  } else {
+    o.runtime.tracking_threshold = ~std::uint64_t{0} >> 1;
+    o.runtime.prediction_threshold = ~std::uint64_t{0} >> 1;
+  }
+  pred::Session session(o);
+  if (with_monitor) session.monitor().start();
+
+  const pred::CallsiteId cs = session.intern_frames({"microbench_monitor"});
+  std::vector<long*> blocks(kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    blocks[t] = static_cast<long*>(session.alloc(kLinesPerThread * 64, cs));
+    if (blocks[t] == nullptr) {
+      std::fprintf(stderr, "allocation failed\n");
+      std::exit(1);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      pred::ScopedThread guard(session, t);
+      long* block = blocks[t];
+      for (std::uint64_t i = 0; i < writes_per_thread; ++i) {
+        session.record(&block[(i % kLinesPerThread) * 8],
+                       pred::AccessType::kWrite, t, 8);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  Rates r;
+  r.accesses_per_sec = static_cast<double>(kThreads) *
+                       static_cast<double>(writes_per_thread) /
+                       std::chrono::duration<double>(end - start).count();
+  if (with_monitor) {
+    session.monitor().stop();
+    const pred::MonitorSnapshot snap = session.monitor().snapshot();
+    r.events_seen = snap.events_seen;
+    r.events_dropped = snap.events_dropped;
+  }
+  return r;
+}
+
+// Warm-up, then best-of-3 measured passes: on small/shared hosts a single
+// pass jitters more than the overhead being measured.
+Rates run_measured(bool tracked, bool with_monitor, std::uint64_t writes) {
+  run_once(tracked, with_monitor, writes / 8);
+  Rates best;
+  for (int pass = 0; pass < 3; ++pass) {
+    const Rates r = run_once(tracked, with_monitor, writes);
+    if (r.accesses_per_sec > best.accesses_per_sec) best = r;
+  }
+  return best;
+}
+
+double overhead_pct(double base, double with_monitor) {
+  if (with_monitor <= 0.0) return 0.0;
+  return (base / with_monitor - 1.0) * 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t writes = 4'000'000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      writes = std::strtoull(argv[i], nullptr, 10);
+      if (writes == 0) {
+        std::fprintf(stderr,
+                     "usage: %s [writes_per_thread > 0] [--json FILE]\n",
+                     argv[0]);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("monitor overhead: %u threads x %" PRIu64
+              " disjoint-line writes\n\n",
+              kThreads, writes);
+
+  // Phase A: pre-threshold fast path; nothing ever emits.
+  const Rates fast_base = run_measured(/*tracked=*/false, false, writes);
+  const Rates fast_mon = run_measured(/*tracked=*/false, true, writes);
+  const double fast_over =
+      overhead_pct(fast_base.accesses_per_sec, fast_mon.accesses_per_sec);
+  std::printf("phase A: fast path (no escalation)\n");
+  std::printf("  %-28s %15.0f accesses/sec\n", "monitor off",
+              fast_base.accesses_per_sec);
+  std::printf("  %-28s %15.0f accesses/sec  (%+.2f%% overhead, "
+              "%" PRIu64 " events)\n",
+              "monitor attached", fast_mon.accesses_per_sec, fast_over,
+              fast_mon.events_seen);
+
+  // Phase B: everything tracked, every access sampled and emitted.
+  const std::uint64_t tracked_writes = writes / 8;  // slow path is ~10x slower
+  const Rates slow_base = run_measured(/*tracked=*/true, false, tracked_writes);
+  const Rates slow_mon = run_measured(/*tracked=*/true, true, tracked_writes);
+  const double slow_over =
+      overhead_pct(slow_base.accesses_per_sec, slow_mon.accesses_per_sec);
+  std::printf("\nphase B: tracked path (threshold 1, sampling 1.0)\n");
+  std::printf("  %-28s %15.0f accesses/sec\n", "monitor off",
+              slow_base.accesses_per_sec);
+  std::printf("  %-28s %15.0f accesses/sec  (%+.2f%% overhead, "
+              "%" PRIu64 " events, %" PRIu64 " dropped)\n",
+              "monitor attached", slow_mon.accesses_per_sec, slow_over,
+              slow_mon.events_seen, slow_mon.events_dropped);
+
+  if (!json_path.empty()) {
+    pred::bench::JsonWriter json;
+    json.add("fastpath_base_aps", fast_base.accesses_per_sec);
+    json.add("fastpath_monitor_aps", fast_mon.accesses_per_sec);
+    json.add("fastpath_overhead_pct", fast_over);
+    json.add("tracked_base_aps", slow_base.accesses_per_sec);
+    json.add("tracked_monitor_aps", slow_mon.accesses_per_sec);
+    json.add("tracked_overhead_pct", slow_over);
+    json.add("tracked_events_seen",
+             static_cast<double>(slow_mon.events_seen));
+    json.add("tracked_events_dropped",
+             static_cast<double>(slow_mon.events_dropped));
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "json: %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -8,6 +8,8 @@ Session::Session(SessionOptions options) : options_(options) {
   predictor_->attach(*runtime_);
   allocator_ =
       std::make_unique<PredatorAllocator>(*runtime_, options_.heap_size);
+  // Constructed idle: no rings, no thread, no emission until start().
+  monitor_ = std::make_unique<Monitor>(*runtime_, options_.monitor);
 }
 
 Session::~Session() {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "alloc/predator_allocator.hpp"
+#include "monitor/monitor.hpp"
 #include "predict/predictor.hpp"
 #include "runtime/report.hpp"
 #include "runtime/runtime.hpp"
@@ -47,6 +48,7 @@ namespace pred {
 struct SessionOptions {
   RuntimeConfig runtime{};
   PredictorConfig predictor{};
+  MonitorConfig monitor{};
   std::size_t heap_size = 256 * 1024 * 1024;
 };
 
@@ -64,6 +66,21 @@ class Session {
   PredatorAllocator& allocator() { return *allocator_; }
   Predictor& predictor() { return *predictor_; }
   const SessionOptions& options() const { return options_; }
+
+  /// The live monitor (src/monitor/), configured by SessionOptions::monitor
+  /// and idle until `monitor().start()`. While running, the runtime streams
+  /// escalation/invalidation/sampling/prediction events into per-thread
+  /// lock-free rings and a background thread aggregates them;
+  /// `monitor().snapshot()` / `snapshot_text()` serve the current state
+  /// without stopping mutator threads.
+  ///
+  /// Flushing contract: `snapshot()` publishes the *calling* thread's
+  /// staged write counters first — the same guarantee `report()` gives —
+  /// so every event caused by this thread's accesses before the call
+  /// (including escalations the flush itself triggers) is visible in the
+  /// returned snapshot. Other threads flush on unbind/exit as usual; their
+  /// in-flight staged counts appear in a later snapshot.
+  Monitor& monitor() { return *monitor_; }
 
   // --- memory ---
 
@@ -109,6 +126,10 @@ class Session {
 
   /// Publishes the calling thread's staged write counters to the shared
   /// per-line counters, running any threshold checks that became due.
+  /// Ordering: `report()` and `monitor().snapshot()` both perform this
+  /// flush for the calling thread themselves, so an explicit call is only
+  /// needed when reading `ShadowSpace::writes_count` directly mid-run from
+  /// a still-bound thread.
   void flush() { flush_staged_writes(); }
 
   // --- results ---
@@ -125,6 +146,9 @@ class Session {
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<Predictor> predictor_;
   std::unique_ptr<PredatorAllocator> allocator_;
+  // Declared after runtime_ so destruction stops the aggregator and
+  // detaches from the runtime while the runtime is still alive.
+  std::unique_ptr<Monitor> monitor_;
 };
 
 /// Thread-local binding of (session, thread id) used by the access shims in

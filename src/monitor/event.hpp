@@ -1,0 +1,42 @@
+// Compact binary events published by the runtime's slow path into the
+// per-thread monitor rings (src/monitor/event_ring.hpp). One event is three
+// 64-bit words once packed; the aggregator (src/monitor/aggregator.cpp) is
+// the only consumer and resolves addresses to objects/callsites off the hot
+// path, so the emitting thread never touches the object registry.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace pred {
+
+enum class MonitorEventType : std::uint8_t {
+  /// A physical line crossed TrackingThreshold and got a CacheTracker
+  /// (including the neighbor lines escalated for prediction and the lines
+  /// escalated to carry virtual-line coverage). addr = line start.
+  kLineEscalated = 0,
+  /// A sampled access was recorded as a cache invalidation by the line's
+  /// history table. addr = line start, arg = 1 for a write.
+  kInvalidation = 1,
+  /// A sampled access inside the sampling window that did NOT invalidate.
+  /// addr = line start, arg = 1 for a write.
+  kSampleHit = 2,
+  /// The prediction engine was invoked for a line (PredictionThreshold
+  /// crossing, once per line). addr = line start.
+  kPredictionStarted = 3,
+  /// The predictor nominated a virtual line for verification.
+  /// addr = virtual line start, arg = virtual line size in bytes.
+  kVirtualLineNominated = 4,
+};
+
+const char* to_string(MonitorEventType t);
+
+struct MonitorEvent {
+  Address addr = 0;        ///< line start / virtual line start
+  std::uint64_t arg = 0;   ///< event-specific payload (see MonitorEventType)
+  ThreadId tid = kInvalidThread;
+  MonitorEventType type = MonitorEventType::kSampleHit;
+};
+
+}  // namespace pred

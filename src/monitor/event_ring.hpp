@@ -1,0 +1,155 @@
+// Lock-free single-producer event ring with drop-oldest overload policy.
+//
+// One ring exists per (monitor, OS thread); the owning mutator thread is
+// the only producer, and whoever holds the monitor's aggregation mutex (the
+// background aggregator thread, or a thread inside Monitor::snapshot) is
+// the only concurrent consumer. The producer is wait-free and NEVER blocks
+// or spins on the consumer: when the ring is full it overwrites the oldest
+// slot and counts the casualty in `dropped()`, so overload sheds visibly
+// instead of stalling the instrumented program (the same collector-side
+// shedding discipline cacheSight's sample_collector uses).
+//
+// Slot protocol (seqlock per slot, Boehm-style fences): each slot carries a
+// sequence word. For ticket t (the t-th event ever pushed), the producer
+// stores seq = 2t+1 ("being written"), a release fence, the payload as
+// relaxed atomics, a release fence, then seq = 2t+2 ("published"). The
+// consumer accepts slot contents only when seq reads 2t+2 both before and
+// after the payload copy (with acquire fences in between), so a slot
+// overwritten mid-read is detected and skipped rather than surfaced torn.
+// Payload words are themselves atomics, so the race window is well-defined.
+//
+// Accounting: `dropped()` is maintained by the producer (it increments when
+// it overwrites a slot the consumer has not passed yet). Under a concurrent
+// in-flight read the producer may count an event the consumer in fact
+// salvaged, so dropped() is an upper bound that is exact whenever producer
+// and consumer do not overlap — in particular in deterministic tests and
+// whenever the aggregator keeps up. produced == consumed + dropped holds as
+// ">=" live and as "==" at quiescence.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "monitor/event.hpp"
+
+namespace pred {
+
+class EventRing {
+ public:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  /// `capacity` is rounded up to a power of two (>= kMinCapacity).
+  explicit EventRing(std::size_t capacity) {
+    std::size_t cap = kMinCapacity;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Publishes one event. Wait-free, single producer. When the ring is full
+  /// the oldest unconsumed event is overwritten and counted as dropped.
+  void push(const MonitorEvent& ev) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t >= capacity() &&
+        head_.load(std::memory_order_relaxed) <= t - capacity()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Slot& s = slots_[t & mask_];
+    s.seq.store(2 * t + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.addr.store(ev.addr, std::memory_order_relaxed);
+    s.arg.store(ev.arg, std::memory_order_relaxed);
+    s.meta.store(static_cast<std::uint64_t>(ev.tid) |
+                     (static_cast<std::uint64_t>(ev.type) << 32),
+                 std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.seq.store(2 * t + 2, std::memory_order_relaxed);
+    tail_.store(t + 1, std::memory_order_release);
+  }
+
+  /// Consumes every currently published event in order, invoking
+  /// fn(const MonitorEvent&). Single consumer at a time (the monitor
+  /// serializes callers under its aggregation mutex). Events overwritten by
+  /// the producer while draining are skipped (they are covered by the
+  /// producer's dropped counter). Returns the number of events delivered.
+  template <typename F>
+  std::size_t drain(F&& fn) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    std::size_t n = 0;
+    while (h < t) {
+      if (t - h > capacity()) {
+        // Lapped before this pass even looked: jump to the oldest slot the
+        // producer can still be preserving.
+        h = t - capacity();
+        head_.store(h, std::memory_order_relaxed);
+        continue;
+      }
+      MonitorEvent ev;
+      if (read_slot(h, &ev)) {
+        ++h;
+        // Publish progress immediately so the producer's drop accounting
+        // sees the freshest consumer position.
+        head_.store(h, std::memory_order_relaxed);
+        fn(static_cast<const MonitorEvent&>(ev));
+        ++n;
+      } else {
+        // Overwritten mid-read; everything older than (tail - capacity) is
+        // irrecoverable now.
+        const std::uint64_t t2 = tail_.load(std::memory_order_acquire);
+        const std::uint64_t floor = t2 > capacity() ? t2 - capacity() : 0;
+        h = floor > h ? floor : h + 1;
+        head_.store(h, std::memory_order_relaxed);
+      }
+    }
+    consumed_.fetch_add(n, std::memory_order_relaxed);
+    return n;
+  }
+
+  std::uint64_t produced() const {
+    return tail_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t consumed() const {
+    return consumed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 2t+1 writing, 2t+2 published
+    std::atomic<std::uint64_t> addr{0};
+    std::atomic<std::uint64_t> arg{0};
+    std::atomic<std::uint64_t> meta{0};  ///< tid | (type << 32)
+  };
+
+  bool read_slot(std::uint64_t ticket, MonitorEvent* out) const {
+    const Slot& s = slots_[ticket & mask_];
+    const std::uint64_t want = 2 * ticket + 2;
+    if (s.seq.load(std::memory_order_relaxed) != want) return false;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    out->addr = s.addr.load(std::memory_order_relaxed);
+    out->arg = s.arg.load(std::memory_order_relaxed);
+    const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    out->tid = static_cast<ThreadId>(meta & 0xffffffffu);
+    out->type = static_cast<MonitorEventType>((meta >> 32) & 0xff);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return s.seq.load(std::memory_order_relaxed) == want;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(64) std::atomic<std::uint64_t> tail_{0};     // producer cursor
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};  // producer-maintained
+  alignas(64) std::atomic<std::uint64_t> head_{0};     // consumer cursor
+  std::atomic<std::uint64_t> consumed_{0};
+};
+
+}  // namespace pred

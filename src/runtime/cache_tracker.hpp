@@ -30,18 +30,26 @@ class CacheTracker {
     PRED_CHECK(geometry.words_per_line() <= kMaxWords);
   }
 
+  /// What one tracked access did: whether it fell inside the sampling
+  /// window (and was recorded in detail), and whether it registered as a
+  /// cache invalidation. The runtime uses `sampled` to decide virtual-line
+  /// fan-out and both fields to feed the live monitor's event stream.
+  struct AccessOutcome {
+    bool sampled = false;
+    bool invalidated = false;
+  };
+
   /// Records one access that already passed the runtime's fast path.
-  /// Returns true when the access was inside the sampling window (and was
-  /// therefore recorded in detail) — the runtime uses this to decide whether
-  /// to also update covering virtual lines.
-  bool handle_access(Address addr, AccessType type, ThreadId tid,
-                     std::uint64_t sample_window,
-                     std::uint64_t sample_interval) {
+  AccessOutcome handle_access(Address addr, AccessType type, ThreadId tid,
+                              std::uint64_t sample_window,
+                              std::uint64_t sample_interval) {
     const std::uint64_t n =
         access_counter_.fetch_add(1, std::memory_order_relaxed);
     if (n % sample_interval >= sample_window) {
-      return false;  // outside the sampling window: count only
+      return {};  // outside the sampling window: count only
     }
+    AccessOutcome outcome;
+    outcome.sampled = true;
     std::lock_guard<Spinlock> g(lock_);
     ++sampled_accesses_;
     if (type == AccessType::kWrite) {
@@ -52,8 +60,9 @@ class CacheTracker {
     words_[geometry_.word_in_line(addr)].record(tid, type);
     if (history_.access(tid, type) == HistoryOutcome::kInvalidation) {
       ++invalidations_;
+      outcome.invalidated = true;
     }
-    return true;
+    return outcome;
   }
 
   std::size_t line_index() const { return line_index_; }

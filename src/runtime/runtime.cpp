@@ -5,6 +5,21 @@
 
 #include "common/check.hpp"
 
+// Live-monitor emission. Compiled out wholesale with PREDATOR_DISABLE_MONITOR
+// (CMake option PREDATOR_MONITOR=OFF): no monitor header, no attached-monitor
+// load, no branch — the runtime is byte-identical to the pre-monitor build.
+#ifndef PREDATOR_DISABLE_MONITOR
+#include "monitor/monitor.hpp"
+#define PRED_MON_EMIT(type, addr, arg, tid)                          \
+  do {                                                               \
+    if (Monitor* mon__ = attached_monitor()) [[unlikely]] {          \
+      mon__->emit(MonitorEventType::type, (addr), (arg), (tid));     \
+    }                                                                \
+  } while (0)
+#else
+#define PRED_MON_EMIT(type, addr, arg, tid) ((void)0)
+#endif
+
 namespace pred {
 
 namespace detail {
@@ -167,16 +182,28 @@ void Runtime::handle_access_one_word(ShadowSpace& region, Address addr,
     return;
   }
 
-  const bool sampled = track->handle_access(
+  const auto outcome = track->handle_access(
       addr, type, tid, config_.sample_window, config_.sample_interval);
-  if (sampled && track->has_virtual_lines()) {
-    track->update_virtual_lines(addr, type, tid);
+  if (outcome.sampled) {
+    if (track->has_virtual_lines()) {
+      track->update_virtual_lines(addr, type, tid);
+    }
+    // One event per sampled access: an invalidation event implies the
+    // sample (the aggregator counts it for both totals).
+    if (outcome.invalidated) {
+      PRED_MON_EMIT(kInvalidation, region.line_start(idx),
+                    is_write(type) ? 1u : 0u, tid);
+    } else {
+      PRED_MON_EMIT(kSampleHit, region.line_start(idx),
+                    is_write(type) ? 1u : 0u, tid);
+    }
   }
   if (type == AccessType::kWrite) {
     const std::uint64_t w =
         region.writes(idx).fetch_add(1, std::memory_order_relaxed) + 1;
     if (w >= config_.prediction_threshold && config_.prediction_enabled &&
         hook_ && track->try_begin_prediction()) {
+      PRED_MON_EMIT(kPredictionStarted, region.line_start(idx), w, tid);
       hook_(*this, region, idx);
     }
   }
@@ -274,8 +301,24 @@ void Runtime::apply_staged(ShadowSpace& region, std::size_t line_index,
       now >= config_.prediction_threshold) {
     if (CacheTracker* t = region.tracker(line_index);
         t != nullptr && t->try_begin_prediction()) {
+      PRED_MON_EMIT(kPredictionStarted, region.line_start(line_index), now,
+                    kInvalidThread);
       hook_(*this, region, line_index);
     }
+  }
+}
+
+void Runtime::ensure_tracked_line(ShadowSpace& region,
+                                  std::size_t line_index) {
+  purge_staged(region, line_index);
+  // A lost race here (two threads both observe "no tracker") at worst emits
+  // a duplicate escalation event; the aggregator folds escalations
+  // idempotently per line.
+  const bool fresh = region.tracker(line_index) == nullptr;
+  region.ensure_tracker(line_index);
+  if (fresh) {
+    PRED_MON_EMIT(kLineEscalated, region.line_start(line_index), 0,
+                  kInvalidThread);
   }
 }
 
@@ -285,16 +328,13 @@ void Runtime::escalate(ShadowSpace& region, std::size_t line_index) {
   // adjacent-line accesses can turn into false sharing under a different
   // placement or a larger line size. Each line's staged counts are purged
   // first so the fast path stops short-circuiting lines that now track.
-  purge_staged(region, line_index);
-  region.ensure_tracker(line_index);
+  ensure_tracked_line(region, line_index);
   if (config_.prediction_enabled) {
     if (line_index > 0) {
-      purge_staged(region, line_index - 1);
-      region.ensure_tracker(line_index - 1);
+      ensure_tracked_line(region, line_index - 1);
     }
     if (line_index + 1 < region.num_lines()) {
-      purge_staged(region, line_index + 1);
-      region.ensure_tracker(line_index + 1);
+      ensure_tracked_line(region, line_index + 1);
     }
   }
 }
@@ -310,13 +350,14 @@ VirtualLineTracker* Runtime::add_virtual_line(ShadowSpace& region,
     virtual_lines_.emplace_back(start, size, kind, origin_line, hot_x, hot_y);
     vl = &virtual_lines_.back();
   }
+  PRED_MON_EMIT(kVirtualLineNominated, start, size, kInvalidThread);
   // Register coverage with every physical line the range overlaps, creating
   // trackers where needed so future accesses are seen at all.
   const std::size_t first = region.line_index(start);
   const std::size_t last = region.line_index(start + size - 1);
   for (std::size_t i = first; i <= last && i < region.num_lines(); ++i) {
-    purge_staged(region, i);
-    region.ensure_tracker(i)->add_virtual_line(vl);
+    ensure_tracked_line(region, i);
+    region.tracker(i)->add_virtual_line(vl);
   }
   return vl;
 }

@@ -31,6 +31,8 @@
 
 namespace pred {
 
+class Monitor;
+
 class Runtime {
  public:
   /// Upper bound on simultaneously tracked regions (the allocator heap plus
@@ -94,6 +96,22 @@ class Runtime {
     return virtual_lines_;
   }
 
+  // --- live monitoring (src/monitor/) ---
+
+  /// Attaches/detaches the live monitor. While attached, the slow path and
+  /// write-stage drains publish compact events (escalations, invalidations,
+  /// sampling hits, prediction verdicts) into the monitor's per-thread
+  /// rings; the inline pre-threshold fast path above is untouched. Emission
+  /// compiles out entirely with PREDATOR_DISABLE_MONITOR (CMake option
+  /// PREDATOR_MONITOR=OFF), in which case an attached monitor simply sees
+  /// no events. Called by Monitor::start()/stop().
+  void set_monitor(Monitor* monitor) {
+    monitor_.store(monitor, std::memory_order_release);
+  }
+  Monitor* attached_monitor() const {
+    return monitor_.load(std::memory_order_relaxed);
+  }
+
   // --- shared services ---
 
   ObjectRegistry& objects() { return objects_; }
@@ -125,6 +143,12 @@ class Runtime {
   friend class WriteStage;
 
   void escalate(ShadowSpace& region, std::size_t line_index);
+
+  /// Purges the calling thread's staged counts for the line and gives it a
+  /// CacheTracker, emitting a monitor escalation event if the tracker is
+  /// new. Shared by escalate() and add_virtual_line().
+  void ensure_tracked_line(ShadowSpace& region, std::size_t line_index);
+
   void handle_access_slow(Address addr, AccessType type, ThreadId tid,
                           std::size_t size);
   void handle_access_one_word(ShadowSpace& region, Address addr,
@@ -170,6 +194,8 @@ class Runtime {
   std::deque<VirtualLineTracker> virtual_lines_;  // stable addresses
 
   PredictionHook hook_;
+
+  std::atomic<Monitor*> monitor_{nullptr};
 };
 
 inline void Runtime::handle_access(Address addr, AccessType type, ThreadId tid,

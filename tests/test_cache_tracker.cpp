@@ -48,7 +48,7 @@ TEST(CacheTracker, SamplingWindowLimitsDetailedTracking) {
   // Window 10 of every 100: out of 1000 accesses, 100 are recorded.
   int sampled = 0;
   for (int i = 0; i < 1000; ++i) {
-    sampled += t.handle_access(kLineBase, W, 0, 10, 100) ? 1 : 0;
+    sampled += t.handle_access(kLineBase, W, 0, 10, 100).sampled ? 1 : 0;
   }
   EXPECT_EQ(sampled, 100);
   EXPECT_EQ(t.sampled_accesses(), 100u);
@@ -58,7 +58,7 @@ TEST(CacheTracker, SamplingWindowLimitsDetailedTracking) {
 TEST(CacheTracker, FullSamplingRecordsEverything) {
   auto t = make_tracker();
   for (int i = 0; i < 500; ++i) {
-    EXPECT_TRUE(t.handle_access(kLineBase, R, 0, 100, 100));
+    EXPECT_TRUE(t.handle_access(kLineBase, R, 0, 100, 100).sampled);
   }
   EXPECT_EQ(t.sampled_accesses(), 500u);
   EXPECT_EQ(t.sampled_reads(), 500u);

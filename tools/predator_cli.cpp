@@ -6,15 +6,23 @@
 // and reuse trace files; and can act as a CI gate (nonzero exit when false
 // sharing is found).
 //
+// The `monitor` subcommand instead runs the workload live (real threads)
+// with the session's monitor attached and prints rolling snapshot telemetry
+// while it executes, then the final report.
+//
 //   predator-cli --list
 //   predator-cli --workload histogram --threads 8 --advise
 //   predator-cli --workload linear_regression --offset 24 --json
 //   predator-cli --workload mysql --no-prediction --fail-on-findings
 //   predator-cli --workload boost --save-trace /tmp/boost.trace
+//   predator-cli monitor histogram --repeat 50 --interval-ms 250
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "advice/fix_advisor.hpp"
 #include "report_io/report_diff.hpp"
@@ -38,11 +46,16 @@ struct CliOptions {
   bool no_prediction = false;
   bool diff_fix = false;
   std::size_t replay_quantum = 1;
+  // `monitor` subcommand state.
+  bool monitor_mode = false;
+  std::uint64_t monitor_interval_ms = 200;
+  std::uint64_t monitor_repeat = 1;
 };
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s --workload NAME [options]\n"
+      "       %s monitor NAME [--interval-ms N] [--repeat N] [options]\n"
       "       %s --list\n\n"
       "workload selection:\n"
       "  --list                 list available workloads and exit\n"
@@ -66,8 +79,12 @@ void usage(const char* argv0) {
       "  --save-trace FILE      also save the captured trace\n"
       "  --fail-on-findings     exit 2 when false sharing is reported\n"
       "  --diff-fix             also run the fixed variant and print the\n"
-      "                         before/after report diff\n",
-      argv0, argv0);
+      "                         before/after report diff\n\n"
+      "monitor subcommand (live run with rolling telemetry):\n"
+      "  --interval-ms N        snapshot print period (default 200)\n"
+      "  --repeat N             run the workload N times (default 1) to\n"
+      "                         lengthen the observable window\n",
+      argv0, argv0, argv0);
 }
 
 bool parse_u64(const char* s, std::uint64_t* out) {
@@ -79,7 +96,12 @@ bool parse_u64(const char* s, std::uint64_t* out) {
 }
 
 bool parse_args(int argc, char** argv, CliOptions* opt) {
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "monitor") == 0) {
+    opt->monitor_mode = true;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
@@ -146,9 +168,20 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
       opt->fail_on_findings = true;
     } else if (arg == "--diff-fix") {
       opt->diff_fix = true;
+    } else if (arg == "--interval-ms") {
+      const char* s = next("--interval-ms");
+      if (!s || !parse_u64(s, &v) || v == 0) return false;
+      opt->monitor_interval_ms = v;
+    } else if (arg == "--repeat") {
+      const char* s = next("--repeat");
+      if (!s || !parse_u64(s, &v) || v == 0) return false;
+      opt->monitor_repeat = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
+    } else if (opt->monitor_mode && arg.rfind("--", 0) != 0 &&
+               opt->workload.empty()) {
+      opt->workload = arg;  // `monitor NAME` positional
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -169,6 +202,43 @@ int list_workloads() {
     std::printf("%-20s %-8s %s\n", w->traits().name.c_str(),
                 w->traits().suite.c_str(),
                 sites.empty() ? "(clean)" : sites.c_str());
+  }
+  return 0;
+}
+
+// `monitor` subcommand: run the workload live (real threads) with the
+// session monitor attached, print a rolling snapshot every interval, then
+// the final report. Demonstrates that snapshots are served while mutators
+// run — the printing happens from the main thread with no pauses.
+int run_monitor(const CliOptions& opt, const wl::Workload* w) {
+  Session session(opt.session);
+  session.monitor().start();
+
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    for (std::uint64_t r = 0; r < opt.monitor_repeat; ++r) {
+      w->run_live(session, opt.params);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  const auto interval = std::chrono::milliseconds(opt.monitor_interval_ms);
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(interval);
+    std::printf("%s\n", session.monitor().snapshot_text().c_str());
+    std::fflush(stdout);
+  }
+  worker.join();
+  session.monitor().stop();
+
+  std::printf("=== final snapshot ===\n%s\n",
+              session.monitor().snapshot_text().c_str());
+  std::printf("=== final report ===\n%s",
+              format_report(session.report(),
+                            session.runtime().callsites()).c_str());
+  if (opt.fail_on_findings &&
+      wl::false_sharing_findings(session.report()) > 0) {
+    return 2;
   }
   return 0;
 }
@@ -195,6 +265,7 @@ int main(int argc, char** argv) {
   }
 
   opt.session.runtime.prediction_enabled = !opt.no_prediction;
+  if (opt.monitor_mode) return run_monitor(opt, w);
   Session session(opt.session);
   const auto traces = w->capture(session, opt.params);
   if (!opt.save_trace.empty()) {
