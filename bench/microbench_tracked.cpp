@@ -1,0 +1,126 @@
+// Tracked-path ablation: sampled-access throughput on ONE hot (escalated)
+// cache line — the contention worst case. The bench drives
+// CacheTracker::handle_access directly (no region lookup, no pre-threshold
+// layers — microbench_fastpath owns those) so the measurement isolates
+// exactly the code the tentpole rebuilt: sampling decision, sampled
+// counters, word histogram, two-entry history table.
+//
+//   spin      lock_free_tracker=0   per-line spinlock + global sample clock
+//   lockfree  lock_free_tracker=1   striped clocks + CAS history (default)
+//
+// Workload: T threads, each writing its own word of the same line (classic
+// false sharing — every sampled write by a new thread invalidates), full
+// sampling so every access takes the detail path. Reported as accesses/sec
+// per thread count for both modes; `speedup_tN` = lockfree / spin.
+//
+// Usage: microbench_tracked [writes_per_thread] [--json FILE]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/cache_tracker.hpp"
+
+namespace {
+
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 4, 8, 16};
+constexpr pred::LineGeometry kGeo{};  // 64-byte line, 8-byte words
+constexpr pred::Address kLineBase = 0;
+
+// The runtime passes the sampling window/interval from RuntimeConfig, so
+// the spin reference's `n % interval` is a genuine hardware divide there.
+// Source the bench's values through a volatile so the compiler cannot
+// strength-reduce the modulo into multiply tricks and flatter the baseline.
+volatile std::uint64_t g_window = 1'000'000;
+volatile std::uint64_t g_interval = 1'000'000;
+
+double run_mode(bool lock_free, std::uint32_t nthreads,
+                std::uint64_t writes_per_thread) {
+  pred::CacheTracker tracker(0, kGeo, lock_free);
+  // window == interval: full sampling, every access walks the detail path.
+  const std::uint64_t window = g_window;
+  const std::uint64_t interval = g_interval;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&tracker, t, writes_per_thread, window, interval] {
+      const pred::Address word = kLineBase + (t % 8) * 8;
+      for (std::uint64_t i = 0; i < writes_per_thread; ++i) {
+        tracker.handle_access(word, pred::AccessType::kWrite, t, window,
+                              interval);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto end = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(end - start).count();
+
+  // Sanity: the books must balance whatever the interleaving.
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(nthreads) * writes_per_thread;
+  if (tracker.sampled_accesses() != total ||
+      tracker.sampled_writes() != total) {
+    std::fprintf(stderr, "conservation violated: %" PRIu64 " sampled of %"
+                 PRIu64 "\n", tracker.sampled_accesses(), total);
+    std::exit(1);
+  }
+  return static_cast<double>(total) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t writes = 250'000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      writes = std::strtoull(argv[i], nullptr, 10);
+      if (writes == 0) {
+        std::fprintf(stderr,
+                     "usage: %s [writes_per_thread > 0] [--json FILE]\n",
+                     argv[0]);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("tracked-path ablation: one hot line, fully sampled, %" PRIu64
+              " writes/thread\n\n",
+              writes);
+  std::printf("%8s %18s %18s %9s\n", "threads", "spin aps", "lockfree aps",
+              "speedup");
+
+  pred::bench::JsonWriter json;
+  for (std::uint32_t t : kThreadCounts) {
+    // Warm-up pass, then the measured pass, per mode.
+    run_mode(false, t, writes / 8);
+    const double spin = run_mode(false, t, writes);
+    run_mode(true, t, writes / 8);
+    const double lf = run_mode(true, t, writes);
+    const double speedup = lf / spin;
+    std::printf("%8u %18.0f %18.0f %8.2fx\n", t, spin, lf, speedup);
+    char key[32];
+    std::snprintf(key, sizeof(key), "spin_t%u_aps", t);
+    json.add(key, spin);
+    std::snprintf(key, sizeof(key), "lockfree_t%u_aps", t);
+    json.add(key, lf);
+    std::snprintf(key, sizeof(key), "speedup_t%u", t);
+    json.add(key, speedup);
+  }
+  if (!json_path.empty()) {
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "json: %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -46,6 +46,13 @@ struct LineGeometry {
 
 inline constexpr LineGeometry kDefaultGeometry{};
 
+/// Alignment/padding unit for the *host* machine's cache lines (as opposed
+/// to LineGeometry, which describes the *modeled* line). Runtime data
+/// structures that different threads update concurrently — CacheTracker,
+/// its sampling stripes — are padded to this so the detector's own metadata
+/// never falsely shares.
+inline constexpr std::size_t kCacheLineSize = 64;
+
 /// Rounds `n` up to a multiple of `align` (align need not be a power of two).
 constexpr std::size_t round_up(std::size_t n, std::size_t align) {
   return ((n + align - 1) / align) * align;

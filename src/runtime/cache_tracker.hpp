@@ -2,11 +2,41 @@
 // count crosses TrackingThreshold (Section 2.4.1). Stores the two-entry
 // history table, the invalidation counter, the per-word access histogram,
 // and the per-line sampling state of Section 2.4.3.
+//
+// Tracked-path concurrency (see docs/architecture.md, "Tracked path
+// concurrency"): the tracker runs precisely on the hottest, most
+// falsely-shared lines, so in the default lock-free mode
+// (RuntimeConfig::lock_free_tracker) one sampled access performs
+//   - a division-free sampling decision on the calling OS thread's own
+//     *stripe* — a host-line-padded block the thread owns exclusively, so
+//     the clock tick and the sampled/invalidation counters are plain
+//     relaxed load/store pairs (no lock-prefixed RMW, no shared line),
+//   - one relaxed fetch_add on the word histogram (the only state genuinely
+//     shared between threads that touch the same word) plus a monotone CAS
+//     on the word's owner slot, and
+//   - one CAS on the packed 64-bit history table, whose winner reports the
+//     invalidation —
+// and never takes a lock. The spinlock implementation is the pre-PR3 seed
+// path kept verbatim (global fetch_add access counter, `n % interval`
+// sampling modulo, one per-line spinlock around every sampled update) and
+// remains selectable (lock_free = false) as the ablation baseline for
+// bench/microbench_tracked and as the single-threaded determinism
+// reference; both modes produce bit-identical counts on any
+// single-OS-thread workload.
+//
+// Layout: the class is alignas(kCacheLineSize) and sized to a whole number
+// of host lines (static_asserts below), so adjacent trackers — and the
+// ShadowSpace arena slots that own them — never falsely share with each
+// other; each per-thread sampling stripe is likewise padded to one host
+// line.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/cacheline.hpp"
@@ -19,14 +49,81 @@
 
 namespace pred {
 
-class CacheTracker {
+namespace detail {
+/// Small dense token identifying the calling OS thread, used to index its
+/// private sampling stripe. Tokens are handed out on first use in thread
+/// creation order and never reused, so a stripe has exactly one writer for
+/// its whole life; deterministic single-OS-thread tests always use one
+/// stripe and replays behave exactly like the global-counter seed.
+inline std::atomic<std::uint32_t> next_stripe_token{0};
+inline std::uint32_t stripe_token() {
+  constexpr std::uint32_t kUnassigned = 0xffffffffu;
+  // Constant-initialized, so the hot path is a TLS load + compare with no
+  // thread_local initialization guard.
+  thread_local std::uint32_t token = kUnassigned;
+  if (token == kUnassigned) [[unlikely]] {
+    token = next_stripe_token.fetch_add(1, std::memory_order_relaxed);
+    PRED_CHECK(token != kUnassigned);
+  }
+  return token;
+}
+}  // namespace detail
+
+/// Division-free sampling clock: decides "is access number n inside the
+/// first `window` of its `interval`?" by maintaining the base of the
+/// current interval incrementally instead of the seed's `n % interval`
+/// (the interval need not be a power of two, so the modulo was a hardware
+/// divide on every tracked access).
+///
+/// Owner-exclusive: tick() is only ever called by the one OS thread that
+/// owns the enclosing stripe, so both fields advance with relaxed
+/// load/store pairs — no RMW. The fields stay atomic because *readers*
+/// (accessors, reports, reset_for_reuse) are cross-thread; a reset racing
+/// the owner is detected by the resync branch below, which starts a fresh
+/// interval instead of derailing the clock.
+struct SampleClock {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> interval_begin{0};
+
+  bool tick(std::uint64_t window, std::uint64_t interval) {
+    const std::uint64_t n = count.load(std::memory_order_relaxed);
+    count.store(n + 1, std::memory_order_relaxed);
+    std::uint64_t begin = interval_begin.load(std::memory_order_relaxed);
+    std::uint64_t off = n - begin;
+    if (off >= interval) [[unlikely]] {
+      // Ticks arrive one by one, so the owner only ever lands exactly on
+      // the interval boundary; any other offset (including the wrapped
+      // `begin > n` case) means a concurrent reset — resync to n.
+      begin = off == interval ? begin + interval : n;
+      off = n - begin;
+      interval_begin.store(begin, std::memory_order_relaxed);
+    }
+    return off < window;
+  }
+
+  void reset() {
+    count.store(0, std::memory_order_relaxed);
+    interval_begin.store(0, std::memory_order_relaxed);
+  }
+};
+
+class alignas(kCacheLineSize) CacheTracker {
  public:
   /// Upper bound on words per line we support inline (covers line sizes up to
   /// 256 bytes at 8-byte words without a secondary allocation).
   static constexpr std::size_t kMaxWords = 32;
 
-  CacheTracker(std::size_t line_index, const LineGeometry& geometry)
-      : line_index_(line_index), geometry_(geometry) {
+  /// `lock_free` selects the per-thread-stripe tracked path (default;
+  /// matches RuntimeConfig::lock_free_tracker) versus the seed's
+  /// per-line-spinlock reference. `armed` gates the sampling clock: the
+  /// runtime creates trackers disarmed and arms them once escalation
+  /// bookkeeping completes, so accesses racing an in-flight escalation no
+  /// longer consume sampling window positions (they count toward totals
+  /// only). Standalone trackers default to armed.
+  CacheTracker(std::size_t line_index, const LineGeometry& geometry,
+               bool lock_free = true, bool armed = true)
+      : armed_(armed), line_index_(line_index), geometry_(geometry),
+        lock_free_(lock_free) {
     PRED_CHECK(geometry.words_per_line() <= kMaxWords);
   }
 
@@ -43,9 +140,216 @@ class CacheTracker {
   AccessOutcome handle_access(Address addr, AccessType type, ThreadId tid,
                               std::uint64_t sample_window,
                               std::uint64_t sample_interval) {
+    if (!armed_.load(std::memory_order_acquire)) [[unlikely]] {
+      // The line is still being escalated: count, but keep the sampling
+      // phase untouched (the pre-PR3 behavior burned window positions on
+      // accesses that arrived mid-escalation).
+      unarmed_accesses_.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    if (lock_free_) [[likely]] {
+      return handle_access_lock_free(addr, type, tid, sample_window,
+                                     sample_interval);
+    }
+    return handle_access_spinlock(addr, type, tid, sample_window,
+                                  sample_interval);
+  }
+
+  /// Completes escalation: from here on accesses advance the sampling clock.
+  /// Idempotent; called by the runtime after tracker creation bookkeeping
+  /// (staged-count purge, monitor emission) is done.
+  void arm() { armed_.store(true, std::memory_order_release); }
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  bool lock_free() const { return lock_free_; }
+  std::size_t line_index() const { return line_index_; }
+
+  // --- snapshot accessors (thread-safe; used by reporting/prediction) ---
+
+  std::uint64_t invalidations() const {
+    if (lock_free_) {
+      std::uint64_t n = 0;
+      for_each_stripe([&](const Stripe& s) {
+        n += s.invalidations.load(std::memory_order_relaxed);
+      });
+      return n;
+    }
+    std::lock_guard<Spinlock> g(lock_);
+    return invalidations_;
+  }
+  std::uint64_t total_accesses() const {
+    std::uint64_t n = unarmed_accesses_.load(std::memory_order_relaxed);
+    if (lock_free_) {
+      for_each_stripe([&](const Stripe& s) {
+        n += s.clock.count.load(std::memory_order_relaxed);
+      });
+      return n;
+    }
+    return n + access_counter_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sampled_accesses() const {
+    if (lock_free_) return lf_sampled_reads() + lf_sampled_writes();
+    std::lock_guard<Spinlock> g(lock_);
+    return sampled_accesses_;
+  }
+  std::uint64_t sampled_writes() const {
+    if (lock_free_) return lf_sampled_writes();
+    std::lock_guard<Spinlock> g(lock_);
+    return sampled_writes_;
+  }
+  std::uint64_t sampled_reads() const {
+    if (lock_free_) return lf_sampled_reads();
+    std::lock_guard<Spinlock> g(lock_);
+    return sampled_reads_;
+  }
+
+  /// Copy of the word histogram (size = words_per_line).
+  std::vector<WordAccess> words_snapshot() const {
+    std::vector<WordAccess> out(geometry_.words_per_line());
+    if (lock_free_) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = atomic_words_[i].snapshot();
+      }
+      return out;
+    }
+    std::lock_guard<Spinlock> g(lock_);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = words_[i];
+    return out;
+  }
+
+  /// Bytes of tracker metadata, including lazily-grown per-thread stripes
+  /// and their published directories (Figure 8/9 accounting).
+  std::size_t metadata_bytes() const {
+    std::size_t bytes = sizeof(CacheTracker);
+    std::lock_guard<Spinlock> g(stripe_lock_);
+    bytes += stripes_.size() * sizeof(Stripe);
+    for (const auto& dir : dir_published_) {
+      bytes += dir->capacity() * sizeof(Stripe*);
+    }
+    return bytes;
+  }
+
+  // --- virtual line coverage (prediction verification, Section 3.4) ---
+
+  /// Registers a virtual line whose range overlaps this physical line. The
+  /// tracker does not own the virtual line; the runtime does. Publication
+  /// is RCU-style: a new immutable snapshot vector is built and swapped in,
+  /// so sampled-access fan-out reads the list without any lock. Superseded
+  /// snapshots are retired, not freed, until the tracker dies (nominations
+  /// are rare and finite, so retention is bounded).
+  void add_virtual_line(VirtualLineTracker* vl) {
+    std::lock_guard<Spinlock> g(vl_lock_);
+    auto next = std::make_unique<std::vector<VirtualLineTracker*>>();
+    if (const auto* cur = vl_snapshot_.load(std::memory_order_relaxed)) {
+      *next = *cur;
+    }
+    next->push_back(vl);
+    vl_snapshot_.store(next.get(), std::memory_order_release);
+    vl_published_.push_back(std::move(next));
+  }
+
+  bool has_virtual_lines() const {
+    return vl_snapshot_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Forwards a sampled access to every covering virtual line. Read-only
+  /// fan-out over the published snapshot; concurrent nominations become
+  /// visible on the next sampled access.
+  void update_virtual_lines(Address addr, AccessType type, ThreadId tid) {
+    const auto* lines = vl_snapshot_.load(std::memory_order_acquire);
+    if (lines == nullptr) return;
+    for (VirtualLineTracker* vl : *lines) {
+      vl->access(addr, type, tid);
+    }
+  }
+
+  /// Clears the word histogram and history table so a recycled object
+  /// starting on this line is not blamed for its predecessor's accesses
+  /// (the "updates recording information at memory de-allocations" rule of
+  /// Section 2.3.2). Only called for lines with zero invalidations.
+  void reset_for_reuse() {
+    {
+      std::lock_guard<Spinlock> g(lock_);
+      history_.reset();
+      invalidations_ = 0;
+      sampled_accesses_ = sampled_reads_ = sampled_writes_ = 0;
+      words_.fill(WordAccess{});
+    }
+    access_counter_.store(0, std::memory_order_relaxed);
+    packed_history_.reset();
+    for (AtomicWordAccess& w : atomic_words_) w.reset();
+    if (const auto* dir = stripe_dir_.load(std::memory_order_acquire)) {
+      // Cross-thread stores; a concurrently ticking owner resyncs (see
+      // SampleClock::tick).
+      for (Stripe* s : *dir) {
+        if (s == nullptr) continue;
+        s->clock.reset();
+        s->sampled_reads.store(0, std::memory_order_relaxed);
+        s->sampled_writes.store(0, std::memory_order_relaxed);
+        s->invalidations.store(0, std::memory_order_relaxed);
+      }
+    }
+    unarmed_accesses_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Marks that the predictor already analyzed this line (step 3 of the
+  /// Section 3.2 workflow runs once per line). Returns true for the caller
+  /// that wins the transition.
+  bool try_begin_prediction() {
+    return !prediction_done_.exchange(true, std::memory_order_acq_rel);
+  }
+
+ private:
+  /// One per-thread sampling stripe: a host-line-padded block owned
+  /// exclusively by one OS thread (stripe tokens are never reused), so
+  /// every update is a relaxed load/store pair — cross-thread readers see
+  /// atomic snapshots, and owner increments can never be lost.
+  struct alignas(kCacheLineSize) Stripe {
+    SampleClock clock;
+    std::atomic<std::uint64_t> sampled_reads{0};
+    std::atomic<std::uint64_t> sampled_writes{0};
+    std::atomic<std::uint64_t> invalidations{0};
+
+    /// Owner-exclusive increment: no lock-prefixed RMW.
+    static void bump(std::atomic<std::uint64_t>& c) {
+      c.store(c.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+    }
+  };
+  static_assert(sizeof(Stripe) == kCacheLineSize);
+
+  AccessOutcome handle_access_lock_free(Address addr, AccessType type,
+                                        ThreadId tid, std::uint64_t window,
+                                        std::uint64_t interval) {
+    Stripe& st = stripe_for_thread();
+    if (!st.clock.tick(window, interval)) {
+      return {};  // outside the sampling window: count only
+    }
+    AccessOutcome outcome;
+    outcome.sampled = true;
+    if (type == AccessType::kWrite) {
+      Stripe::bump(st.sampled_writes);
+    } else {
+      Stripe::bump(st.sampled_reads);
+    }
+    atomic_words_[geometry_.word_in_line(addr)].record(tid, type);
+    if (packed_history_.access(tid, type) == HistoryOutcome::kInvalidation) {
+      Stripe::bump(st.invalidations);
+      outcome.invalidated = true;
+    }
+    return outcome;
+  }
+
+  /// The pre-PR3 seed path, verbatim: global access counter with a
+  /// hardware-divide sampling modulo, then one per-line spinlock around
+  /// every sampled update. Kept as the ablation baseline and the
+  /// determinism reference.
+  AccessOutcome handle_access_spinlock(Address addr, AccessType type,
+                                       ThreadId tid, std::uint64_t window,
+                                       std::uint64_t interval) {
     const std::uint64_t n =
         access_counter_.fetch_add(1, std::memory_order_relaxed);
-    if (n % sample_interval >= sample_window) {
+    if (n % interval >= window) {
       return {};  // outside the sampling window: count only
     }
     AccessOutcome outcome;
@@ -65,79 +369,62 @@ class CacheTracker {
     return outcome;
   }
 
-  std::size_t line_index() const { return line_index_; }
-
-  // --- snapshot accessors (thread-safe; used by reporting/prediction) ---
-
-  std::uint64_t invalidations() const {
-    std::lock_guard<Spinlock> g(lock_);
-    return invalidations_;
-  }
-  std::uint64_t total_accesses() const {
-    return access_counter_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t sampled_accesses() const {
-    std::lock_guard<Spinlock> g(lock_);
-    return sampled_accesses_;
-  }
-  std::uint64_t sampled_writes() const {
-    std::lock_guard<Spinlock> g(lock_);
-    return sampled_writes_;
-  }
-  std::uint64_t sampled_reads() const {
-    std::lock_guard<Spinlock> g(lock_);
-    return sampled_reads_;
+  /// The calling thread's stripe: an acquire load of the published
+  /// directory plus an index — the slow (locked) registration runs once per
+  /// (thread, tracker) pair.
+  Stripe& stripe_for_thread() {
+    const std::uint32_t token = detail::stripe_token();
+    const auto* dir = stripe_dir_.load(std::memory_order_acquire);
+    if (dir != nullptr && token < dir->size() && (*dir)[token] != nullptr)
+        [[likely]] {
+      return *(*dir)[token];
+    }
+    return register_stripe(token);
   }
 
-  /// Copy of the word histogram (size = words_per_line).
-  std::vector<WordAccess> words_snapshot() const {
-    std::lock_guard<Spinlock> g(lock_);
-    return std::vector<WordAccess>(
-        words_.begin(), words_.begin() + geometry_.words_per_line());
+  Stripe& register_stripe(std::uint32_t token) {
+    std::lock_guard<Spinlock> g(stripe_lock_);
+    const auto* cur = stripe_dir_.load(std::memory_order_relaxed);
+    auto next = std::make_unique<std::vector<Stripe*>>();
+    if (cur != nullptr) *next = *cur;
+    if (next->size() <= token) next->resize(token + 1, nullptr);
+    if ((*next)[token] == nullptr) {
+      stripes_.emplace_back();
+      (*next)[token] = &stripes_.back();
+    }
+    Stripe& stripe = *(*next)[token];
+    stripe_dir_.store(next.get(), std::memory_order_release);
+    dir_published_.push_back(std::move(next));
+    return stripe;
   }
 
-  // --- virtual line coverage (prediction verification, Section 3.4) ---
-
-  /// Registers a virtual line whose range overlaps this physical line. The
-  /// tracker does not own the virtual line; the runtime does.
-  void add_virtual_line(VirtualLineTracker* vl) {
-    std::lock_guard<Spinlock> g(vl_lock_);
-    virtual_lines_.push_back(vl);
-    has_virtual_lines_.store(true, std::memory_order_release);
-  }
-
-  bool has_virtual_lines() const {
-    return has_virtual_lines_.load(std::memory_order_acquire);
-  }
-
-  /// Forwards a sampled access to every covering virtual line.
-  void update_virtual_lines(Address addr, AccessType type, ThreadId tid) {
-    std::lock_guard<Spinlock> g(vl_lock_);
-    for (VirtualLineTracker* vl : virtual_lines_) {
-      vl->access(addr, type, tid);
+  /// Iterates every registered stripe via the published directory (safe
+  /// against concurrent registration; no lock).
+  template <typename F>
+  void for_each_stripe(F&& fn) const {
+    const auto* dir = stripe_dir_.load(std::memory_order_acquire);
+    if (dir == nullptr) return;
+    for (const Stripe* s : *dir) {
+      if (s != nullptr) fn(*s);
     }
   }
 
-  /// Clears the word histogram and history table so a recycled object
-  /// starting on this line is not blamed for its predecessor's accesses
-  /// (the "updates recording information at memory de-allocations" rule of
-  /// Section 2.3.2). Only called for lines with zero invalidations.
-  void reset_for_reuse() {
-    std::lock_guard<Spinlock> g(lock_);
-    history_.reset();
-    invalidations_ = 0;
-    sampled_accesses_ = sampled_reads_ = sampled_writes_ = 0;
-    words_.fill(WordAccess{});
+  std::uint64_t lf_sampled_reads() const {
+    std::uint64_t n = 0;
+    for_each_stripe([&](const Stripe& s) {
+      n += s.sampled_reads.load(std::memory_order_relaxed);
+    });
+    return n;
+  }
+  std::uint64_t lf_sampled_writes() const {
+    std::uint64_t n = 0;
+    for_each_stripe([&](const Stripe& s) {
+      n += s.sampled_writes.load(std::memory_order_relaxed);
+    });
+    return n;
   }
 
-  /// Marks that the predictor already analyzed this line (step 3 of the
-  /// Section 3.2 workflow runs once per line). Returns true for the caller
-  /// that wins the transition.
-  bool try_begin_prediction() {
-    return !prediction_done_.exchange(true, std::memory_order_acq_rel);
-  }
-
- private:
+  // --- spinlock (seed ablation / determinism reference) state ---
   mutable Spinlock lock_;
   HistoryTable history_;
   std::uint64_t invalidations_ = 0;
@@ -145,16 +432,37 @@ class CacheTracker {
   std::uint64_t sampled_reads_ = 0;
   std::uint64_t sampled_writes_ = 0;
   std::array<WordAccess, kMaxWords> words_{};
-
   std::atomic<std::uint64_t> access_counter_{0};
 
-  mutable Spinlock vl_lock_;
-  std::vector<VirtualLineTracker*> virtual_lines_;
-  std::atomic<bool> has_virtual_lines_{false};
+  // --- lock-free state ---
+  PackedHistoryTable packed_history_;
+  std::array<AtomicWordAccess, kMaxWords> atomic_words_{};
+  mutable Spinlock stripe_lock_;  ///< serializes stripe registration only
+  std::atomic<const std::vector<Stripe*>*> stripe_dir_{nullptr};
+  std::deque<Stripe> stripes_;  ///< stable addresses; one per OS thread
+  std::vector<std::unique_ptr<std::vector<Stripe*>>> dir_published_;
+
+  // --- mode-independent ---
+  std::atomic<std::uint64_t> unarmed_accesses_{0};
+  std::atomic<bool> armed_;
   std::atomic<bool> prediction_done_{false};
+
+  mutable Spinlock vl_lock_;  ///< serializes nominations (writers only)
+  std::atomic<const std::vector<VirtualLineTracker*>*> vl_snapshot_{nullptr};
+  std::vector<std::unique_ptr<std::vector<VirtualLineTracker*>>>
+      vl_published_;
 
   const std::size_t line_index_;
   const LineGeometry geometry_;
+  const bool lock_free_;
 };
+
+// Adjacent trackers (ShadowSpace arena slots) must not themselves falsely
+// share: the tracker starts on a host line boundary and occupies a whole
+// number of host lines. alignas on the class gives both (sizeof is padded
+// to a multiple of the alignment), and C++17 aligned operator new keeps the
+// guarantee for the heap-allocated trackers the arena owns.
+static_assert(alignof(CacheTracker) == kCacheLineSize);
+static_assert(sizeof(CacheTracker) % kCacheLineSize == 0);
 
 }  // namespace pred

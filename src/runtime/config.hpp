@@ -58,6 +58,15 @@ struct RuntimeConfig {
   /// deterministic replays; see write_stage.hpp for the multi-writer bound.
   bool staged_write_counters = true;
 
+  /// Lock-free tracked path (runtime/cache_tracker.hpp): packed 64-bit
+  /// history table updated by CAS, atomic word histogram with a monotone
+  /// owner word, per-OS-thread striped sampling clocks, and RCU-published
+  /// virtual-line snapshots — no per-line spinlock on sampled accesses.
+  /// Off = the seed's spinlocked tracker, kept as the ablation baseline
+  /// (bench/microbench_tracked) and the determinism reference; the two
+  /// modes report bit-identical counts on single-OS-thread workloads.
+  bool lock_free_tracker = true;
+
   /// Convenience: set the sampling rate keeping the paper's 10k window.
   void set_sampling_rate(double rate) {
     if (rate >= 1.0) {

@@ -81,7 +81,8 @@ ShadowSpace* Runtime::register_region(Address base, std::size_t size) {
   // then publish the constructed region with a release store.
   const std::size_t slot = num_claimed_.fetch_add(1, std::memory_order_relaxed);
   PRED_CHECK(slot < kMaxRegions);
-  regions_[slot] = std::make_unique<ShadowSpace>(base, size, config_.geometry);
+  regions_[slot] = std::make_unique<ShadowSpace>(base, size, config_.geometry,
+                                                 config_.lock_free_tracker);
   ShadowSpace* region = regions_[slot].get();
   visible_[slot].store(region, std::memory_order_release);
 
@@ -315,11 +316,16 @@ void Runtime::ensure_tracked_line(ShadowSpace& region,
   // a duplicate escalation event; the aggregator folds escalations
   // idempotently per line.
   const bool fresh = region.tracker(line_index) == nullptr;
-  region.ensure_tracker(line_index);
+  // Create the tracker disarmed: accesses racing this escalation are
+  // counted but do not consume sampling-window positions (the seed burned
+  // window slots on accesses that arrived mid-escalation). arm() below
+  // opens the sampling clock once the bookkeeping is complete.
+  CacheTracker* track = region.ensure_tracker(line_index, /*armed=*/false);
   if (fresh) {
     PRED_MON_EMIT(kLineEscalated, region.line_start(line_index), 0,
                   kInvalidThread);
   }
+  track->arm();
 }
 
 void Runtime::escalate(ShadowSpace& region, std::size_t line_index) {
@@ -347,7 +353,8 @@ VirtualLineTracker* Runtime::add_virtual_line(ShadowSpace& region,
   VirtualLineTracker* vl = nullptr;
   {
     std::lock_guard<Spinlock> g(vl_lock_);
-    virtual_lines_.emplace_back(start, size, kind, origin_line, hot_x, hot_y);
+    virtual_lines_.emplace_back(start, size, kind, origin_line, hot_x, hot_y,
+                                config_.lock_free_tracker);
     vl = &virtual_lines_.back();
   }
   PRED_MON_EMIT(kVirtualLineNominated, start, size, kInvalidThread);
@@ -369,7 +376,9 @@ std::size_t Runtime::touched_metadata_bytes(
   std::size_t bytes = lines_touched * (sizeof(std::atomic<std::uint64_t>) +
                                        sizeof(std::atomic<CacheTracker*>));
   for_each_region([&](const ShadowSpace& region) {
-    bytes += region.tracker_count() * sizeof(CacheTracker);
+    region.for_each_tracker([&](std::size_t, const CacheTracker* t) {
+      bytes += t->metadata_bytes();
+    });
   });
   bytes += region_map_.bytes();
   {

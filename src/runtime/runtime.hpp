@@ -9,8 +9,10 @@
 //   2. pre-threshold write counting — staged in thread-local slots
 //      (runtime/write_stage.hpp) and drained in batches, so the common
 //      case touches no shared cache line;
-//   3. tracked path — unchanged from the paper: sampling window, word
-//      histogram, history table, virtual-line fan-out.
+//   3. tracked path — lock-free by default (RuntimeConfig::lock_free_tracker):
+//      per-OS-thread striped sampling clocks, CAS-packed history table,
+//      atomic word histogram, RCU virtual-line fan-out; a per-line-spinlock
+//      reference implementation remains selectable for ablation.
 #pragma once
 
 #include <atomic>

@@ -19,11 +19,15 @@ namespace pred {
 
 class ShadowSpace {
  public:
-  ShadowSpace(Address base, std::size_t size, const LineGeometry& geometry)
+  /// `lock_free_trackers` selects the tracked-path implementation for every
+  /// tracker this region allocates (RuntimeConfig::lock_free_tracker).
+  ShadowSpace(Address base, std::size_t size, const LineGeometry& geometry,
+              bool lock_free_trackers = true)
       : base_(geometry.line_base(base)),
         geometry_(geometry),
         num_lines_((base + size - base_ + geometry.line_size - 1) /
                    geometry.line_size),
+        lock_free_trackers_(lock_free_trackers),
         writes_(num_lines_),
         tracking_(num_lines_) {
     PRED_CHECK(size > 0);
@@ -55,11 +59,14 @@ class ShadowSpace {
   }
 
   /// Allocates (or returns the existing) tracker for a line. Mirrors the
-  /// allocCacheTrack + ATOMIC_CAS sequence of Figure 1.
-  CacheTracker* ensure_tracker(std::size_t idx) {
+  /// allocCacheTrack + ATOMIC_CAS sequence of Figure 1. `armed = false`
+  /// creates the tracker with its sampling clock gated; the caller arms it
+  /// once escalation bookkeeping completes (Runtime::ensure_tracked_line).
+  CacheTracker* ensure_tracker(std::size_t idx, bool armed = true) {
     CacheTracker* existing = tracking_[idx].load(std::memory_order_acquire);
     if (existing) return existing;
-    auto fresh = std::make_unique<CacheTracker>(idx, geometry_);
+    auto fresh = std::make_unique<CacheTracker>(idx, geometry_,
+                                                lock_free_trackers_, armed);
     CacheTracker* raw = fresh.get();
     CacheTracker* expected = nullptr;
     if (tracking_[idx].compare_exchange_strong(expected, raw,
@@ -87,12 +94,13 @@ class ShadowSpace {
   }
 
   /// Bytes of shadow metadata attributable to this region (the two side
-  /// arrays plus allocated trackers). Feeds the Figure 8/9 accounting.
+  /// arrays plus allocated trackers, including the trackers' lazily-grown
+  /// per-thread sampling stripes). Feeds the Figure 8/9 accounting.
   std::size_t metadata_bytes() const {
     std::size_t bytes = num_lines_ * (sizeof(std::atomic<std::uint64_t>) +
                                       sizeof(std::atomic<CacheTracker*>));
     std::lock_guard<Spinlock> g(arena_lock_);
-    bytes += arena_.size() * sizeof(CacheTracker);
+    for (const auto& tracker : arena_) bytes += tracker->metadata_bytes();
     return bytes;
   }
 
@@ -100,6 +108,7 @@ class ShadowSpace {
   const Address base_;
   const LineGeometry geometry_;
   const std::size_t num_lines_;
+  const bool lock_free_trackers_;
   std::vector<std::atomic<std::uint64_t>> writes_;
   std::vector<std::atomic<CacheTracker*>> tracking_;
   mutable Spinlock arena_lock_;

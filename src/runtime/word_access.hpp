@@ -6,6 +6,7 @@
 // threads).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/cacheline.hpp"
@@ -36,6 +37,52 @@ struct WordAccess {
     } else if (owner != tid && owner != kSharedWord) {
       owner = kSharedWord;
     }
+  }
+};
+
+/// Concurrent-update variant used by the lock-free tracked path: counters
+/// are relaxed fetch_adds and the owner word follows the monotone state
+/// machine  kInvalidThread → first-owner tid → kSharedWord  via CAS. Every
+/// transition moves strictly forward (the shared state is absorbing), so
+/// racing recorders can never resurrect single-owner status and the
+/// false/true-sharing classification of Section 2.3.2 stays sound without a
+/// lock. Once the word is owned by the calling thread or shared, record()
+/// performs no RMW on the owner at all.
+struct AtomicWordAccess {
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<ThreadId> owner{kInvalidThread};
+
+  void record(ThreadId tid, AccessType type) {
+    if (type == AccessType::kWrite) {
+      writes.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    ThreadId o = owner.load(std::memory_order_relaxed);
+    while (o != tid && o != WordAccess::kSharedWord) {
+      const ThreadId next =
+          (o == kInvalidThread) ? tid : WordAccess::kSharedWord;
+      if (owner.compare_exchange_weak(o, next, std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  /// Value-type copy for reporting/prediction (same shape the locked path
+  /// hands out).
+  WordAccess snapshot() const {
+    WordAccess w;
+    w.reads = reads.load(std::memory_order_relaxed);
+    w.writes = writes.load(std::memory_order_relaxed);
+    w.owner = owner.load(std::memory_order_relaxed);
+    return w;
+  }
+
+  void reset() {
+    reads.store(0, std::memory_order_relaxed);
+    writes.store(0, std::memory_order_relaxed);
+    owner.store(kInvalidThread, std::memory_order_relaxed);
   }
 };
 

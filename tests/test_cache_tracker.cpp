@@ -3,6 +3,11 @@
 // virtual-line fan-out.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include "runtime/cache_tracker.hpp"
 
 namespace pred {
@@ -15,7 +20,9 @@ constexpr LineGeometry kGeo{};  // 64-byte lines, 8-byte words
 // Line 10 covers [640, 704).
 constexpr Address kLineBase = 640;
 
-CacheTracker make_tracker() { return CacheTracker(10, kGeo); }
+CacheTracker make_tracker(bool lock_free = true) {
+  return CacheTracker(10, kGeo, lock_free);
+}
 
 TEST(CacheTracker, RecordsWordHistogram) {
   auto t = make_tracker();
@@ -106,6 +113,225 @@ TEST(CacheTracker, VirtualLineFanOut) {
   EXPECT_EQ(vl.accesses(), 1u);
 }
 
+// --- tracked-path concurrency (PR 3) --------------------------------------
+
+// Single-OS-thread workloads must be bit-identical across the lock-free and
+// spinlock modes: same invalidations, same sampled split, same word
+// histogram, access by access. This is the ablation's determinism contract.
+TEST(CacheTracker, ModesAgreeOnSingleThreadedDeterministicWorkload) {
+  auto lf = make_tracker(/*lock_free=*/true);
+  auto spin = make_tracker(/*lock_free=*/false);
+  // Mixed read/write, multiple logical threads, multiple words, partial
+  // sampling (window 10 of every 100) — all driven from one OS thread.
+  for (int i = 0; i < 5000; ++i) {
+    const ThreadId tid = static_cast<ThreadId>(i % 3);
+    const AccessType type = (i % 7 < 4) ? W : R;
+    const Address addr = kLineBase + (i % 5) * 8;
+    const auto a = lf.handle_access(addr, type, tid, 10, 100);
+    const auto b = spin.handle_access(addr, type, tid, 10, 100);
+    ASSERT_EQ(a.sampled, b.sampled) << "access " << i;
+    ASSERT_EQ(a.invalidated, b.invalidated) << "access " << i;
+  }
+  EXPECT_EQ(lf.invalidations(), spin.invalidations());
+  EXPECT_EQ(lf.total_accesses(), spin.total_accesses());
+  EXPECT_EQ(lf.sampled_accesses(), spin.sampled_accesses());
+  EXPECT_EQ(lf.sampled_reads(), spin.sampled_reads());
+  EXPECT_EQ(lf.sampled_writes(), spin.sampled_writes());
+  const auto words_lf = lf.words_snapshot();
+  const auto words_spin = spin.words_snapshot();
+  ASSERT_EQ(words_lf.size(), words_spin.size());
+  for (std::size_t w = 0; w < words_lf.size(); ++w) {
+    EXPECT_EQ(words_lf[w].reads, words_spin[w].reads) << "word " << w;
+    EXPECT_EQ(words_lf[w].writes, words_spin[w].writes) << "word " << w;
+    EXPECT_EQ(words_lf[w].owner, words_spin[w].owner) << "word " << w;
+  }
+}
+
+// N threads hammer one tracked line. Whatever the interleaving, the
+// tracker's books must balance: sampled_reads + sampled_writes ==
+// sampled_accesses, the word histogram totals sum to sampled_accesses
+// (every sampled access records exactly one word), invalidations never
+// exceed sampled writes, and owner states are only ever
+// kInvalidThread -> tid -> kSharedWord.
+void run_conservation(bool lock_free, std::uint64_t window,
+                      std::uint64_t interval) {
+  CacheTracker t(10, kGeo, lock_free);
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (std::uint32_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&t, w, window, interval] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        // Each thread owns word w; every fourth access is a read; every
+        // thread also pokes word 0 occasionally so one word goes shared.
+        const bool shared_poke = (i % 64) == 63;
+        const Address addr = kLineBase + (shared_poke ? 0 : w * 8);
+        const AccessType type = (i % 4 == 0) ? R : W;
+        t.handle_access(addr, type, static_cast<ThreadId>(w), window,
+                        interval);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::uint64_t sampled = t.sampled_accesses();
+  EXPECT_EQ(t.sampled_reads() + t.sampled_writes(), sampled);
+  EXPECT_EQ(t.total_accesses(), std::uint64_t{kThreads} * kPerThread);
+  EXPECT_LE(sampled, t.total_accesses());
+  EXPECT_LE(t.invalidations(), t.sampled_writes());
+
+  std::uint64_t word_total = 0;
+  const auto words = t.words_snapshot();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    word_total += words[wi].total();
+    if (!words[wi].touched()) {
+      EXPECT_EQ(words[wi].owner, kInvalidThread) << "word " << wi;
+    } else if (wi == 0) {
+      // Word 0 is poked by every thread: once shared, always shared (the
+      // monotone owner state machine cannot regress to a single owner).
+      EXPECT_TRUE(words[wi].owner == WordAccess::kSharedWord ||
+                  words[wi].owner < kThreads)
+          << "word 0 owner " << words[wi].owner;
+    } else {
+      // Word wi is only ever touched by thread wi.
+      EXPECT_EQ(words[wi].owner, static_cast<ThreadId>(wi)) << "word " << wi;
+    }
+  }
+  EXPECT_EQ(word_total, sampled);
+}
+
+TEST(CacheTracker, MultiThreadConservationLockFreeFullSampling) {
+  run_conservation(/*lock_free=*/true, 1'000'000, 1'000'000);
+}
+TEST(CacheTracker, MultiThreadConservationLockFreePartialSampling) {
+  run_conservation(/*lock_free=*/true, 100, 1000);
+}
+TEST(CacheTracker, MultiThreadConservationSpinlockFullSampling) {
+  run_conservation(/*lock_free=*/false, 1'000'000, 1'000'000);
+}
+TEST(CacheTracker, MultiThreadConservationSpinlockPartialSampling) {
+  run_conservation(/*lock_free=*/false, 100, 1000);
+}
+
+// One word hammered by many threads ends shared; a word touched by exactly
+// one thread keeps that owner.
+TEST(CacheTracker, OwnerWordMonotoneUnderContention) {
+  auto t = make_tracker();
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&t, w] {
+      for (int i = 0; i < 5000; ++i) {
+        t.handle_access(kLineBase + 16, W, static_cast<ThreadId>(w),
+                        1'000'000, 1'000'000);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  t.handle_access(kLineBase + 24, W, 9, 1'000'000, 1'000'000);
+  const auto words = t.words_snapshot();
+  EXPECT_EQ(words[2].owner, WordAccess::kSharedWord);
+  EXPECT_EQ(words[2].writes, 20000u);
+  EXPECT_EQ(words[3].owner, 9u);
+}
+
+// Each OS thread's sampling stripe is owner-exclusive, so its clock is
+// exact: access number n of that thread is sampled iff n % interval <
+// window. From a single OS thread (one stripe) the phase *equals* the
+// seed's global-counter phase, which is the determinism property the
+// replay tests rely on.
+TEST(CacheTracker, StripedSamplingExactFromOneThread) {
+  auto t = make_tracker(/*lock_free=*/true);
+  int sampled = 0;
+  for (int i = 0; i < 1000; ++i) {
+    // Logical tids vary; the stripe is keyed off the OS thread, so the
+    // phase is still the single global order.
+    sampled +=
+        t.handle_access(kLineBase, W, static_cast<ThreadId>(i % 5), 10, 100)
+                .sampled
+            ? 1
+            : 0;
+  }
+  EXPECT_EQ(sampled, 100);
+  EXPECT_EQ(t.sampled_accesses(), 100u);
+  EXPECT_EQ(t.total_accesses(), 1000u);
+}
+
+// With owner-exclusive stripes the sampling decision is exact *per thread*
+// no matter how many threads hammer the tracker: each thread samples the
+// first `window` of each of its own `interval`-sized runs, so the total is
+// deterministic even under contention.
+TEST(CacheTracker, StripedSamplingExactUnderThreads) {
+  CacheTracker t(10, kGeo, /*lock_free=*/true);
+  constexpr std::uint64_t kWindow = 10;
+  constexpr std::uint64_t kInterval = 100;
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (std::uint32_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        t.handle_access(kLineBase, W, 0, kWindow, kInterval);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::uint64_t total = std::uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(t.total_accesses(), total);
+  // Per thread: (10000 / 100) intervals, `window` samples in each.
+  EXPECT_EQ(t.sampled_accesses(),
+            std::uint64_t{kThreads} * (kPerThread / kInterval) * kWindow);
+}
+
+// Trackers created disarmed (mid-escalation) count accesses but do not burn
+// sampling-window positions until arm(); the phase starts at the first
+// post-arming access.
+void run_armed_gate(bool lock_free) {
+  CacheTracker t(10, kGeo, lock_free, /*armed=*/false);
+  for (int i = 0; i < 250; ++i) {
+    EXPECT_FALSE(t.handle_access(kLineBase, W, 0, 10, 100).sampled);
+  }
+  EXPECT_EQ(t.sampled_accesses(), 0u);
+  EXPECT_EQ(t.total_accesses(), 250u);
+  t.arm();
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) {
+    sampled += t.handle_access(kLineBase, W, 0, 10, 100).sampled ? 1 : 0;
+  }
+  EXPECT_EQ(sampled, 10);  // a fresh interval: first 10 of 100
+  EXPECT_EQ(t.total_accesses(), 350u);
+}
+
+TEST(CacheTracker, ArmedGateDefersSamplingLockFree) { run_armed_gate(true); }
+TEST(CacheTracker, ArmedGateDefersSamplingSpinlock) { run_armed_gate(false); }
+
+// Virtual-line fan-out under concurrent nomination: readers iterate an
+// immutable published snapshot, so a nomination during fan-out is simply
+// picked up by the next sampled access.
+TEST(CacheTracker, VirtualLineSnapshotGrowsUnderFanOut) {
+  auto t = make_tracker();
+  std::vector<std::unique_ptr<VirtualLineTracker>> vls;
+  for (int i = 0; i < 4; ++i) {
+    vls.push_back(std::make_unique<VirtualLineTracker>(
+        kLineBase, 64, VirtualLineTracker::Kind::kShifted, 10, kLineBase,
+        kLineBase + 56));
+  }
+  std::atomic<bool> stop{false};
+  std::thread fanout([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      t.update_virtual_lines(kLineBase + 8, W, 1);
+    }
+  });
+  for (auto& vl : vls) {
+    t.add_virtual_line(vl.get());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  fanout.join();
+  t.update_virtual_lines(kLineBase + 8, W, 2);
+  for (auto& vl : vls) {
+    EXPECT_GE(vl->accesses(), 1u);  // every nominated line sees the tail access
+  }
+}
+
 TEST(CacheTracker, PredictionBeginsExactlyOnce) {
   auto t = make_tracker();
   EXPECT_TRUE(t.try_begin_prediction());
@@ -122,6 +348,22 @@ TEST(VirtualLineTracker, CountsInvalidationsLikePhysicalLines) {
   }
   EXPECT_EQ(vl.invalidations(), 99u);
   EXPECT_EQ(vl.accesses(), 100u);
+}
+
+TEST(VirtualLineTracker, ModesAgreeSingleThreaded) {
+  VirtualLineTracker lf(128, 64, VirtualLineTracker::Kind::kShifted, 2, 128,
+                        184, /*lock_free=*/true);
+  VirtualLineTracker spin(128, 64, VirtualLineTracker::Kind::kShifted, 2, 128,
+                          184, /*lock_free=*/false);
+  for (int i = 0; i < 2000; ++i) {
+    const Address a = 128 + (i % 8) * 8;
+    const AccessType type = (i % 3 == 0) ? R : W;
+    const ThreadId tid = static_cast<ThreadId>(i % 2);
+    lf.access(a, type, tid);
+    spin.access(a, type, tid);
+  }
+  EXPECT_EQ(lf.accesses(), spin.accesses());
+  EXPECT_EQ(lf.invalidations(), spin.invalidations());
 }
 
 TEST(VirtualLineTracker, IgnoresOutOfRange) {

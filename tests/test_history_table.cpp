@@ -3,6 +3,10 @@
 // sequences.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/prng.hpp"
 #include "runtime/history_table.hpp"
 
@@ -170,6 +174,86 @@ TEST(HistoryTableProperty, InvalidationsBoundedByWrites) {
     }
     EXPECT_LE(invalidations, writes) << "seed " << seed;
   }
+}
+
+// --- packed (lock-free) table ---------------------------------------------
+
+// The CAS-packed table is the same automaton as BoundedHistoryTable<2>:
+// identical outcome and identical table contents after every access of a
+// random multi-thread stream.
+TEST(PackedHistoryTable, MatchesBoundedTableStepByStep) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Xorshift64 rng(seed * 131);
+    HistoryTable ref;
+    PackedHistoryTable packed;
+    for (int i = 0; i < 5000; ++i) {
+      const AccessType type = rng.next_below(3) == 0 ? W : R;
+      const ThreadId tid = static_cast<ThreadId>(rng.next_below(6));
+      ASSERT_EQ(packed.access(tid, type), ref.access(tid, type))
+          << "seed " << seed << " step " << i;
+      ASSERT_EQ(packed.size(), ref.size()) << "seed " << seed << " step " << i;
+      for (int e = 0; e < ref.size(); ++e) {
+        ASSERT_EQ(packed.thread_at(e), ref.thread_at(e));
+        ASSERT_EQ(packed.type_at(e), ref.type_at(e));
+      }
+    }
+  }
+}
+
+// A repeated write by the sole resident writer leaves the word untouched —
+// the encoding makes the no-op visible (same raw state), which is what lets
+// the hot path skip the CAS entirely for a single-owner line.
+TEST(PackedHistoryTable, SoleWriterStateIsStable) {
+  PackedHistoryTable t;
+  t.access(5, W);
+  const std::uint64_t raw = t.raw();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.access(5, W), HistoryOutcome::kNoEvent);
+  }
+  EXPECT_EQ(t.raw(), raw);
+}
+
+TEST(PackedHistoryTable, ResetClears) {
+  PackedHistoryTable t;
+  t.access(0, W);
+  t.access(1, R);
+  t.reset();
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.raw(), 0u);
+  EXPECT_EQ(t.access(2, W), HistoryOutcome::kNoEvent);
+}
+
+// Concurrent ping-pong writers: every access is either the table's resident
+// writer or an invalidator, so across all threads the invalidation total
+// must equal total writes minus the runs of same-thread consecutive wins —
+// bounded by total writes, and at least one per thread switch is impossible
+// to assert deterministically, so we pin the conservation side: outcomes
+// are exactly one per access and the final table holds one writer.
+TEST(PackedHistoryTable, ConcurrentWritersConserveOutcomes) {
+  PackedHistoryTable t;
+  constexpr int kThreads = 4;
+  constexpr int kWrites = 20000;
+  std::atomic<std::uint64_t> invalidations{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&t, &invalidations, w] {
+      std::uint64_t mine = 0;
+      for (int i = 0; i < kWrites; ++i) {
+        if (t.access(static_cast<ThreadId>(w), W) ==
+            HistoryOutcome::kInvalidation) {
+          ++mine;
+        }
+      }
+      invalidations.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every invalidation is a CAS win that displaced another thread; the
+  // total cannot exceed total writes, and the final state is one writer.
+  EXPECT_LE(invalidations.load(), std::uint64_t{kThreads} * kWrites);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.type_at(0), W);
+  EXPECT_LT(t.thread_at(0), static_cast<ThreadId>(kThreads));
 }
 
 // A full table always holds two distinct threads (the precondition for the
