@@ -1,0 +1,22 @@
+# Canonical counted loop hammering one slot — the textual-IR analogue of the
+# per-thread half of PREDATOR's classic false-sharing kernel.
+#
+# `store.8 [r0]` is loop-invariant: `predator-cli analyze` shows the pruning
+# pipeline hoisting it out of bb2 into a single trip-count report planted in
+# the preheader bb0 (1 loop batched, 1 report inserted).
+#
+#   r0 = slot address, r1 = iterations
+func hammer(2 args, 5 regs):
+bb0:
+  r2 = const 0
+  br bb1
+bb1:
+  r3 = r2 < r1
+  br r3 ? bb2 : bb3
+bb2:
+  store.8 [r0], r2
+  r4 = const 1
+  r2 = r2 + r4
+  br bb1
+bb3:
+  ret r2

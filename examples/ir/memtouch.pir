@@ -1,0 +1,14 @@
+# Intrinsics and narrow accesses: memset/memcpy sites are always
+# instrumented and counted apart from the per-address candidate ledger
+# (intrinsic sites = 2 here); the duplicate 4-byte load is removed by
+# per-block selective dedup.
+#
+#   r0 = dst, r1 = src, r2 = len
+func memtouch(3 args, 5 regs):
+bb0:
+  memset [r0], 0, len r2
+  memcpy [r0] <- [r1], len r2
+  r3 = load.4 [r1]
+  r4 = load.4 [r1]
+  store.4 [r0 + 4], r3
+  ret r4

@@ -1,0 +1,26 @@
+# Chain-merging demo: a diamond whose join (bb3) and tail (bb4) form a
+# linear block chain. Value numbering sees through the alias `r4 = r0`, so
+# the tail's store and load of [r0 + 16] fold into the join's load as
+# +1r/+1w compensation extras (2 chain merged in the analyze ledger).
+#
+#   r0 = buffer
+func stencil(1 args, 6 regs):
+bb0:
+  r1 = const 2
+  r2 = load.8 [r0 + 64]
+  r3 = r2 < r1
+  br r3 ? bb1 : bb2
+bb1:
+  store.8 [r0], r1
+  br bb3
+bb2:
+  store.8 [r0 + 8], r1
+  br bb3
+bb3:
+  r5 = load.8 [r0 + 16]
+  br bb4
+bb4:
+  r4 = r0
+  store.8 [r4 + 16], r5
+  r5 = load.8 [r4 + 16]
+  ret r5

@@ -115,6 +115,17 @@ class Session {
     runtime_->handle_access(reinterpret_cast<Address>(p), type, tid, size);
   }
 
+  /// Bulk delivery: semantically exactly `count` repetitions of record().
+  /// Used by batched instrumentation (the mini-IR's kReport and merge
+  /// compensation) to amortize call overhead; every sampling, threshold,
+  /// and history decision is made per access, so the detector's state —
+  /// and its report — is identical to `count` individual record() calls.
+  void record_n(const void* p, AccessType type, ThreadId tid,
+                std::size_t size, std::uint64_t count) {
+    runtime_->handle_access_n(reinterpret_cast<Address>(p), type, tid, size,
+                              count);
+  }
+
   PRED_DEPRECATED("use record(p, AccessType::kRead, tid, size)")
   void on_read(const void* p, ThreadId tid, std::size_t size = 8) {
     record(p, AccessType::kRead, tid, size);

@@ -1,0 +1,70 @@
+#include "instrument/analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pred::ir {
+
+namespace {
+
+/// Successors of a block, read off its (verified, unique) terminator.
+void terminator_targets(const BasicBlock& bb,
+                        std::vector<std::uint32_t>* out) {
+  out->clear();
+  PRED_CHECK(!bb.instrs.empty());
+  const Instr& t = bb.instrs.back();
+  switch (t.op) {
+    case Opcode::kBr:
+      out->push_back(t.target);
+      break;
+    case Opcode::kCondBr:
+      out->push_back(t.target);
+      if (t.target2 != t.target) out->push_back(t.target2);
+      break;
+    case Opcode::kRet:
+      break;
+    default:
+      PRED_CHECK(false && "block does not end in a terminator");
+  }
+}
+
+}  // namespace
+
+Cfg::Cfg(const Function& fn) {
+  const std::size_t n = fn.blocks.size();
+  succs_.resize(n);
+  preds_.resize(n);
+  reachable_.assign(n, false);
+  for (std::uint32_t b = 0; b < n; ++b) {
+    terminator_targets(fn.blocks[b], &succs_[b]);
+    for (std::uint32_t s : succs_[b]) preds_[s].push_back(b);
+  }
+
+  // Depth-first walk from the entry: marks reachability and records a
+  // postorder, reversed below into the RPO used by every iterative solver.
+  std::vector<std::uint32_t> post;
+  post.reserve(n);
+  // Explicit stack with a per-node successor cursor (no recursion: generated
+  // stress modules can be deep).
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  stack.emplace_back(kEntry, 0);
+  reachable_[kEntry] = true;
+  while (!stack.empty()) {
+    auto& [b, cursor] = stack.back();
+    if (cursor < succs_[b].size()) {
+      const std::uint32_t s = succs_[b][cursor++];
+      if (!reachable_[s]) {
+        reachable_[s] = true;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+  num_reachable_ = rpo_.size();
+}
+
+}  // namespace pred::ir

@@ -1,0 +1,53 @@
+// Control-flow graph over a mini-IR Function: successor/predecessor edges
+// derived from block terminators, plus reachability from the entry block.
+// This is the substrate every whole-function analysis (dominators, loops,
+// dataflow) builds on; the seed instrumentation pass never looked past a
+// single basic block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/ir.hpp"
+
+namespace pred::ir {
+
+class Cfg {
+ public:
+  static constexpr std::uint32_t kEntry = 0;
+
+  explicit Cfg(const Function& fn);
+
+  std::size_t num_blocks() const { return succs_.size(); }
+  const std::vector<std::uint32_t>& succs(std::uint32_t b) const {
+    return succs_[b];
+  }
+  const std::vector<std::uint32_t>& preds(std::uint32_t b) const {
+    return preds_[b];
+  }
+  bool reachable(std::uint32_t b) const { return reachable_[b]; }
+  std::size_t num_reachable() const { return num_reachable_; }
+
+  /// Reverse postorder over the *reachable* blocks (entry first). Forward
+  /// dataflow converges fastest visiting blocks in this order.
+  const std::vector<std::uint32_t>& reverse_postorder() const { return rpo_; }
+
+  /// True when control transferred into `from` always continues into `to`
+  /// and into nothing else: `from` ends in an unconditional branch to `to`
+  /// and `to` has no other predecessor. Blocks linked this way execute
+  /// exactly equally often, which is what makes cross-block instrumentation
+  /// merging count-exact (see pass.cpp).
+  bool linear_edge(std::uint32_t from, std::uint32_t to) const {
+    return succs_[from].size() == 1 && succs_[from][0] == to &&
+           preds_[to].size() == 1;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> succs_;
+  std::vector<std::vector<std::uint32_t>> preds_;
+  std::vector<bool> reachable_;
+  std::vector<std::uint32_t> rpo_;
+  std::size_t num_reachable_ = 0;
+};
+
+}  // namespace pred::ir

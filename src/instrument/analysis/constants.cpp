@@ -1,0 +1,16 @@
+#include "instrument/analysis/constants.hpp"
+
+namespace pred::ir {
+
+ConstantFacts analyze_constants(const Function& fn, const Cfg& cfg) {
+  ConstantFacts out;
+  out.block_entry = solve_forward(fn, cfg, ConstantAnalysis{});
+  for (std::uint32_t b : cfg.reverse_postorder()) {
+    for (const ConstLattice& c : out.block_entry[b]) {
+      if (c.is_const()) ++out.facts;
+    }
+  }
+  return out;
+}
+
+}  // namespace pred::ir

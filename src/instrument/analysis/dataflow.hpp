@@ -1,0 +1,67 @@
+// Generic forward dataflow engine: an iterative worklist solver over the
+// CFG, parameterized by the analysis domain. The domain supplies the
+// lattice; the engine supplies termination and evaluation order (reverse
+// postorder seeding, then worklist-driven re-evaluation of successors).
+//
+// A Domain must provide:
+//   using State = ...;                       // one lattice element
+//   State entry_state(const Function&);      // state at the entry block
+//   State top() const;                       // identity of meet
+//   void meet(State* into, const State& from) const;
+//   // Applies the block's instructions to `state` in place.
+//   void transfer(const Function&, std::uint32_t block, State* state) const;
+//   bool equal(const State&, const State&) const;
+//
+// The solver returns the *entry* state of every reachable block (the
+// fixpoint of meet-over-preds); clients wanting a mid-block state re-run
+// transfer over a prefix themselves. Unreachable blocks keep top().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "instrument/analysis/cfg.hpp"
+
+namespace pred::ir {
+
+template <typename Domain>
+std::vector<typename Domain::State> solve_forward(const Function& fn,
+                                                  const Cfg& cfg,
+                                                  const Domain& domain) {
+  using State = typename Domain::State;
+  const std::size_t n = cfg.num_blocks();
+  std::vector<State> in(n, domain.top());
+  if (n == 0) return in;
+  in[Cfg::kEntry] = domain.entry_state(fn);
+
+  std::vector<bool> queued(n, false);
+  std::deque<std::uint32_t> worklist;
+  for (std::uint32_t b : cfg.reverse_postorder()) {
+    worklist.push_back(b);
+    queued[b] = true;
+  }
+
+  while (!worklist.empty()) {
+    const std::uint32_t b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+
+    State out = in[b];
+    domain.transfer(fn, b, &out);
+    for (std::uint32_t s : cfg.succs(b)) {
+      State merged = in[s];
+      domain.meet(&merged, out);
+      if (!domain.equal(merged, in[s])) {
+        in[s] = std::move(merged);
+        if (!queued[s]) {
+          worklist.push_back(s);
+          queued[s] = true;
+        }
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace pred::ir

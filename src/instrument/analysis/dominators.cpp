@@ -1,0 +1,66 @@
+#include "instrument/analysis/dominators.hpp"
+
+#include <algorithm>
+
+namespace pred::ir {
+
+namespace {
+
+std::uint32_t intersect(const std::vector<std::uint32_t>& idom,
+                        const std::vector<std::uint32_t>& rpo_index,
+                        std::uint32_t a, std::uint32_t b) {
+  // Walk both fingers up the as-built tree until they meet; "up" means
+  // toward smaller RPO positions (ancestors come earlier in RPO).
+  while (a != b) {
+    while (rpo_index[a] > rpo_index[b]) a = idom[a];
+    while (rpo_index[b] > rpo_index[a]) b = idom[b];
+  }
+  return a;
+}
+
+}  // namespace
+
+DomTree::DomTree(const Cfg& cfg) {
+  const std::size_t n = cfg.num_blocks();
+  idom_.assign(n, kNone);
+  depth_.assign(n, kNone);
+  rpo_index_.assign(n, kNone);
+
+  const auto& rpo = cfg.reverse_postorder();
+  for (std::uint32_t i = 0; i < rpo.size(); ++i) rpo_index_[rpo[i]] = i;
+
+  idom_[Cfg::kEntry] = Cfg::kEntry;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t b : rpo) {
+      if (b == Cfg::kEntry) continue;
+      std::uint32_t new_idom = kNone;
+      for (std::uint32_t p : cfg.preds(b)) {
+        if (idom_[p] == kNone) continue;  // unprocessed or unreachable
+        new_idom = (new_idom == kNone)
+                       ? p
+                       : intersect(idom_, rpo_index_, new_idom, p);
+      }
+      if (new_idom != kNone && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (std::uint32_t b : rpo) {
+    depth_[b] = (b == Cfg::kEntry) ? 0 : depth_[idom_[b]] + 1;
+    height_ = std::max<std::size_t>(height_, depth_[b] + 1);
+  }
+}
+
+bool DomTree::dominates(std::uint32_t a, std::uint32_t b) const {
+  if (a >= idom_.size() || b >= idom_.size()) return false;
+  if (idom_[a] == kNone || idom_[b] == kNone) return false;
+  // Climb from b toward the entry; depths bound the walk.
+  while (depth_[b] > depth_[a]) b = idom_[b];
+  return a == b;
+}
+
+}  // namespace pred::ir

@@ -1,0 +1,47 @@
+// Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm
+// ("A Simple, Fast Dominance Algorithm"): RPO numbering plus repeated
+// two-finger intersection. O(blocks²) worst case but effectively linear on
+// the reducible CFGs the mini-IR produces, with none of Lengauer–Tarjan's
+// bookkeeping.
+//
+// Dominance is what lets the pruning passes reason across blocks: a fact
+// established at a dominating instruction holds at every instruction it
+// dominates, and back-edges (the anchor of natural loops, loops.hpp) are
+// exactly the edges whose target dominates their source.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/analysis/cfg.hpp"
+
+namespace pred::ir {
+
+class DomTree {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  explicit DomTree(const Cfg& cfg);
+
+  /// Immediate dominator of `b`; the entry's idom is itself, unreachable
+  /// blocks have kNone.
+  std::uint32_t idom(std::uint32_t b) const { return idom_[b]; }
+
+  /// Reflexive dominance: every block dominates itself. Unreachable blocks
+  /// dominate nothing and are dominated by nothing.
+  bool dominates(std::uint32_t a, std::uint32_t b) const;
+
+  /// Depth of `b` in the dominator tree (entry = 0), or kNone if
+  /// unreachable.
+  std::uint32_t depth(std::uint32_t b) const { return depth_[b]; }
+
+  std::size_t tree_height() const { return height_; }
+
+ private:
+  std::vector<std::uint32_t> idom_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> rpo_index_;  // position in RPO, for intersect
+  std::size_t height_ = 0;
+};
+
+}  // namespace pred::ir

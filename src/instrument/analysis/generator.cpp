@@ -1,0 +1,190 @@
+#include "instrument/analysis/generator.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pred::ir {
+
+namespace {
+
+class FunctionGen {
+ public:
+  FunctionGen(Xorshift64& rng, std::string name, const GeneratorOptions& opts)
+      : rng_(rng), opts_(opts), b_(std::move(name), /*num_args=*/2) {
+    // A small pool of (offset, size) slots shared by every invariant access
+    // in the function: repeats are what give the dedup and merging passes
+    // something to find.
+    const std::uint32_t pool = 3 + rng_.next_below(4);
+    for (std::uint32_t i = 0; i < pool; ++i) {
+      static constexpr std::uint32_t kSizes[] = {1, 2, 4, 8};
+      const std::uint32_t size = kSizes[rng_.next_below(4)];
+      std::int64_t off =
+          8 * static_cast<std::int64_t>(rng_.next_below(opts_.max_offset_words));
+      if (size < 8) off += size * rng_.next_below(8 / size);  // stay in-word
+      slots_.push_back({off, size});
+    }
+  }
+
+  Function build(std::uint32_t segments) {
+    emit_access_run(opts_.accesses_per_block);
+    for (std::uint32_t s = 0; s < segments; ++s) {
+      if (rng_.next_below(3) == 0) {
+        emit_diamond();
+      } else {
+        emit_loop();
+      }
+    }
+    if (opts_.allow_intrinsics && rng_.next_below(2) == 0) {
+      const Reg len =
+          b_.const_val(8 * (1 + static_cast<std::int64_t>(rng_.next_below(3))));
+      b_.mem_set(buf(), len, static_cast<std::uint8_t>(rng_.next_below(256)));
+    }
+    b_.ret(b_.const_val(0));
+    return b_.take();
+  }
+
+ private:
+  struct Slot {
+    std::int64_t offset;
+    std::uint32_t size;
+  };
+
+  Reg buf() const { return b_.arg(0); }
+  Reg bound() const { return b_.arg(1); }
+
+  /// One access at a pooled invariant address, through a randomly chosen
+  /// addressing idiom. All three idioms compute the identical address, so
+  /// value numbering must treat them as one.
+  void emit_invariant_access() {
+    const Slot slot = slots_[rng_.next_below(slots_.size())];
+    Reg base = buf();
+    std::int64_t off = slot.offset;
+    switch (rng_.next_below(3)) {
+      case 0:  // direct: [buf + off]
+        break;
+      case 1: {  // aliased register: t = buf; [t + off]
+        const Reg t = b_.fresh_reg();
+        b_.move(t, base);
+        base = t;
+        break;
+      }
+      default: {  // offset split into the register: t = buf + k; [t + off-k]
+        const std::int64_t k =
+            off > 0 ? static_cast<std::int64_t>(
+                          rng_.next_below(static_cast<std::uint64_t>(off) + 1))
+                    : 0;
+        base = b_.add(base, b_.const_val(k));
+        off -= k;
+        break;
+      }
+    }
+    if (rng_.next_below(2) == 0) {
+      b_.store(base, b_.const_val(static_cast<std::int64_t>(rng_.next_below(64))),
+               off, slot.size);
+    } else {
+      b_.load(base, off, slot.size);
+    }
+  }
+
+  /// One access whose address depends on the induction variable — never
+  /// hoistable, keeps the pruned loops honest.
+  void emit_varying_access(Reg i) {
+    const Reg scaled = b_.mul(i, b_.const_val(8));
+    const Reg addr = b_.add(buf(), scaled);
+    const std::int64_t off = 8 * static_cast<std::int64_t>(rng_.next_below(2));
+    if (rng_.next_below(2) == 0) {
+      b_.store(addr, b_.const_val(static_cast<std::int64_t>(rng_.next_below(64))),
+               off, 8);
+    } else {
+      b_.load(addr, off, 8);
+    }
+  }
+
+  void emit_access_run(std::uint32_t count, Reg i = kNoReg) {
+    for (std::uint32_t a = 0; a < count; ++a) {
+      if (i != kNoReg && rng_.next_below(4) == 0) {
+        emit_varying_access(i);
+      } else {
+        emit_invariant_access();
+      }
+    }
+  }
+
+  /// Canonical counted loop: preheader (tail of the current block), a
+  /// header testing `i < n`, a single body/latch block stepping i by a
+  /// constant, and an exit that becomes the new current block.
+  void emit_loop() {
+    const Reg i = b_.fresh_reg();
+    b_.move(i, b_.const_val(0));
+    const std::uint32_t header = b_.new_block();
+    const std::uint32_t body = b_.new_block();
+    const std::uint32_t exit = b_.new_block();
+    b_.br(header);
+
+    b_.set_block(header);
+    b_.cond_br(b_.cmp_lt(i, bound()), body, exit);
+
+    b_.set_block(body);
+    emit_access_run(opts_.accesses_per_block, i);
+    const Reg step =
+        b_.const_val(1 + static_cast<std::int64_t>(rng_.next_below(3)));
+    b_.move(i, b_.add(i, step));
+    b_.br(header);
+
+    b_.set_block(exit);
+  }
+
+  /// Diamond picked by a runtime property of n (both arms are live across
+  /// inputs, so pruning cannot treat either as dead).
+  void emit_diamond() {
+    const Reg k =
+        b_.const_val(2 + static_cast<std::int64_t>(rng_.next_below(3)));
+    const Reg cond = b_.cmp_eq(b_.rem(bound(), k), b_.const_val(0));
+    const std::uint32_t then_bb = b_.new_block();
+    const std::uint32_t else_bb = b_.new_block();
+    const std::uint32_t join = b_.new_block();
+    b_.cond_br(cond, then_bb, else_bb);
+
+    b_.set_block(then_bb);
+    emit_access_run(opts_.accesses_per_block);
+    b_.br(join);
+
+    b_.set_block(else_bb);
+    emit_access_run(opts_.accesses_per_block);
+    b_.br(join);
+
+    b_.set_block(join);
+  }
+
+  static constexpr Reg kNoReg = 0xffffffffu;
+
+  Xorshift64& rng_;
+  const GeneratorOptions& opts_;
+  FunctionBuilder b_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace
+
+Module generate_module(std::uint64_t seed, const GeneratorOptions& opts) {
+  Xorshift64 rng(seed ^ 0xd1b54a32d192ed03ull);
+  Module m;
+  const std::uint32_t functions = 1 + static_cast<std::uint32_t>(
+                                          rng.next_below(2));
+  for (std::uint32_t f = 0; f < functions; ++f) {
+    const std::string name = f == 0 ? "gen_main" : "gen_aux";
+    const std::uint32_t segments =
+        f == 0 ? opts.segments : 1 + static_cast<std::uint32_t>(
+                                         rng.next_below(2));
+    FunctionGen gen(rng, name, opts);
+    m.functions.push_back(gen.build(segments));
+  }
+  const std::string err = verify(m);
+  PRED_CHECK(err.empty());
+  return m;
+}
+
+}  // namespace pred::ir

@@ -1,0 +1,30 @@
+// Seeded random module generator for property tests. Produces verified,
+// executable, workload-shaped modules: counted loops in the canonical
+// header/body/latch form the batching pass recognizes, diamonds whose arm
+// is picked by the runtime argument, straight-line access runs with
+// deliberate duplicates, aliased address chains (moves and split constant
+// offsets) that only value numbering can unify, and occasional memory
+// intrinsics.
+//
+// Contract: every generated function takes (buf, n) and, run with any
+// n >= 0, touches only [buf, buf + 8 * (n + max_offset_words)). Tests size
+// the buffer from the same options they generate with.
+#pragma once
+
+#include <cstdint>
+
+#include "instrument/ir.hpp"
+
+namespace pred::ir {
+
+struct GeneratorOptions {
+  std::uint32_t segments = 4;           ///< loop/diamond regions per function
+  std::uint32_t accesses_per_block = 3;
+  std::uint32_t max_offset_words = 24;  ///< invariant offsets live below this
+  bool allow_intrinsics = true;
+};
+
+/// Deterministic in `seed`; the result always passes verify().
+Module generate_module(std::uint64_t seed, const GeneratorOptions& opts = {});
+
+}  // namespace pred::ir

@@ -1,0 +1,85 @@
+#include "instrument/analysis/loops.hpp"
+
+#include <algorithm>
+
+namespace pred::ir {
+
+bool NaturalLoop::contains(std::uint32_t b) const {
+  return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DomTree& dom) {
+  std::vector<NaturalLoop> loops;
+
+  // One loop per header; bodies of multiple back-edges to one header merge.
+  for (std::uint32_t b : cfg.reverse_postorder()) {
+    for (std::uint32_t s : cfg.succs(b)) {
+      if (!dom.dominates(s, b)) continue;  // not a back-edge
+      const std::uint32_t header = s;
+      auto it = std::find_if(loops.begin(), loops.end(), [&](const auto& l) {
+        return l.header == header;
+      });
+      if (it == loops.end()) {
+        loops.push_back(NaturalLoop{});
+        it = std::prev(loops.end());
+        it->header = header;
+        it->blocks.push_back(header);
+      }
+      it->latches.push_back(b);
+      // Backward flood from the latch, stopping at the header.
+      std::vector<std::uint32_t> stack{b};
+      while (!stack.empty()) {
+        const std::uint32_t n = stack.back();
+        stack.pop_back();
+        if (std::find(it->blocks.begin(), it->blocks.end(), n) !=
+            it->blocks.end()) {
+          continue;
+        }
+        it->blocks.push_back(n);
+        for (std::uint32_t p : cfg.preds(n)) {
+          if (cfg.reachable(p)) stack.push_back(p);
+        }
+      }
+    }
+  }
+
+  for (NaturalLoop& l : loops) {
+    std::sort(l.blocks.begin(), l.blocks.end());
+    std::sort(l.latches.begin(), l.latches.end());
+  }
+
+  // Nesting depth: one per enclosing loop whose body contains this header
+  // (every block of a nested loop, its header included, belongs to the
+  // enclosing loop's body).
+  for (NaturalLoop& l : loops) {
+    for (const NaturalLoop& outer : loops) {
+      if (outer.header != l.header && outer.contains(l.header)) ++l.depth;
+    }
+  }
+
+  // Preheader: the unique predecessor of the header from outside the loop,
+  // provided it transfers control nowhere else.
+  for (NaturalLoop& l : loops) {
+    std::uint32_t candidate = NaturalLoop::kNone;
+    bool unique = true;
+    for (std::uint32_t p : cfg.preds(l.header)) {
+      if (l.contains(p)) continue;  // a latch
+      if (candidate != NaturalLoop::kNone) unique = false;
+      candidate = p;
+    }
+    if (unique && candidate != NaturalLoop::kNone &&
+        cfg.succs(candidate).size() == 1) {
+      l.preheader = candidate;
+    }
+  }
+
+  std::sort(loops.begin(), loops.end(),
+            [](const NaturalLoop& a, const NaturalLoop& b) {
+              return a.depth != b.depth ? a.depth < b.depth
+                                        : a.header < b.header;
+            });
+  return loops;
+}
+
+}  // namespace pred::ir

@@ -1,0 +1,34 @@
+// Natural loop discovery: back-edges (edges whose target dominates their
+// source) anchor loops; the loop body is everything that reaches the latch
+// without passing through the header. Loops sharing a header are merged,
+// nesting depth counts enclosing loops, and a preheader — the unique
+// fall-through predecessor outside the loop — is identified when it exists,
+// since that is where the batching pass parks hoisted reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/analysis/cfg.hpp"
+#include "instrument/analysis/dominators.hpp"
+
+namespace pred::ir {
+
+struct NaturalLoop {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::uint32_t header = 0;
+  std::vector<std::uint32_t> blocks;   ///< sorted; includes the header
+  std::vector<std::uint32_t> latches;  ///< back-edge sources
+  std::uint32_t preheader = kNone;     ///< see file comment
+  std::uint32_t depth = 1;             ///< 1 = outermost
+
+  bool contains(std::uint32_t b) const;
+};
+
+/// All natural loops of the (reducible parts of the) CFG, one entry per
+/// header, outermost-first within a nest.
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DomTree& dom);
+
+}  // namespace pred::ir

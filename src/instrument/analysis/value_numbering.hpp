@@ -1,0 +1,128 @@
+// Local value numbering specialized for address expressions. Every register
+// value is tracked as  base + constant offset  where the base is either the
+// literal zero (the value is a known constant), the value some register
+// held at the start of the numbered region, or an opaque fresh value (a
+// load result, a call result, arithmetic we do not model).
+//
+// Two accesses whose (base, offset) coincide touch the same memory address
+// in every execution — even when the address registers differ textually
+// (`r5 = r0; load [r5]` vs `load [r0]`) or the offset moved between the
+// register and the instruction immediate (`r6 = r0 + 8; load [r6]` vs
+// `load [r0 + 8]`). The seed pass keyed on raw register names and missed
+// all of these; it also had to invalidate facts on register redefinition,
+// which value identity makes unnecessary (a redefined register simply maps
+// to a new value, old facts stay valid for the old value).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/analysis/constants.hpp"
+#include "instrument/ir.hpp"
+
+namespace pred::ir {
+
+class ValueNumbering {
+ public:
+  struct Value {
+    enum class Base : std::uint8_t {
+      kZero,      ///< value == offset (a compile-time constant)
+      kEntryReg,  ///< value == (register `id` at region start) + offset
+      kOpaque,    ///< unique unknown value `id`, + offset
+    };
+    Base base = Base::kOpaque;
+    std::uint32_t id = 0;
+    std::int64_t offset = 0;
+
+    bool operator==(const Value&) const = default;
+    bool is_const() const { return base == Base::kZero; }
+  };
+
+  /// Starts a numbering region: register r holds Value{kEntryReg, r, 0}.
+  explicit ValueNumbering(const Function& fn)
+      : vals_(fn.num_regs), next_opaque_(0) {
+    for (std::uint32_t r = 0; r < fn.num_regs; ++r) {
+      vals_[r] = Value{Value::Base::kEntryReg, r, 0};
+    }
+  }
+
+  /// Folds in block-entry constant facts (constants.hpp): a register proven
+  /// to hold constant c numbers as the literal value c, letting constant
+  /// steps and bases unify across the whole function, not just locally.
+  void seed_constants(const ConstantAnalysis::State& consts) {
+    for (std::size_t r = 0; r < consts.size() && r < vals_.size(); ++r) {
+      if (consts[r].is_const()) {
+        vals_[r] = Value{Value::Base::kZero, 0, consts[r].value};
+      }
+    }
+  }
+
+  /// Applies one instruction's effect on the numbering.
+  void apply(const Instr& in) {
+    switch (in.op) {
+      case Opcode::kConst:
+        vals_[in.dst] = Value{Value::Base::kZero, 0, in.imm};
+        break;
+      case Opcode::kMove:
+        vals_[in.dst] = vals_[in.a];
+        break;
+      case Opcode::kAdd:
+        if (vals_[in.b].is_const()) {
+          vals_[in.dst] = offset_by(vals_[in.a], vals_[in.b].offset);
+        } else if (vals_[in.a].is_const()) {
+          vals_[in.dst] = offset_by(vals_[in.b], vals_[in.a].offset);
+        } else {
+          vals_[in.dst] = fresh();
+        }
+        break;
+      case Opcode::kSub:
+        if (vals_[in.b].is_const()) {
+          vals_[in.dst] = offset_by(vals_[in.a], -vals_[in.b].offset);
+        } else if (vals_[in.a] == vals_[in.b]) {
+          vals_[in.dst] = Value{Value::Base::kZero, 0, 0};
+        } else {
+          vals_[in.dst] = fresh();
+        }
+        break;
+      default:
+        if (defines(in)) vals_[in.dst] = fresh();
+        break;
+    }
+  }
+
+  Value value_of(Reg r) const { return vals_[r]; }
+
+  /// Canonical address of a load/store: value of the base register plus the
+  /// instruction's immediate offset.
+  Value address_of(const Instr& access) const {
+    return offset_by(vals_[access.a], access.imm);
+  }
+
+ private:
+  static bool defines(const Instr& in) {
+    switch (in.op) {
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kRem:
+      case Opcode::kCmpLt:
+      case Opcode::kCmpEq:
+      case Opcode::kLoad:
+      case Opcode::kCall:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static Value offset_by(Value v, std::int64_t delta) {
+    v.offset += delta;
+    return v;
+  }
+
+  Value fresh() { return Value{Value::Base::kOpaque, next_opaque_++, 0}; }
+
+  std::vector<Value> vals_;
+  std::uint32_t next_opaque_;
+};
+
+}  // namespace pred::ir

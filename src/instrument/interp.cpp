@@ -91,12 +91,22 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
 
   auto instrument = [&](Address addr, AccessType type, std::uint32_t size) {
     if (session_) {
-      if (type == AccessType::kRead) {
-        session_->on_read(reinterpret_cast<void*>(addr), tid, size);
-      } else {
-        session_->on_write(reinterpret_cast<void*>(addr), tid, size);
-      }
+      session_->record(reinterpret_cast<void*>(addr), type, tid, size);
       ++result.runtime_calls;
+      ++result.accesses_delivered;
+    }
+  };
+
+  // Bulk delivery (kReport, compensation extras): one call, `count`
+  // accesses. The runtime handles each access individually, so the
+  // detector's state is exactly as if `count` plain calls had been made.
+  auto instrument_n = [&](Address addr, AccessType type, std::uint32_t size,
+                          std::uint64_t count) {
+    if (session_ && count > 0) {
+      session_->record_n(reinterpret_cast<void*>(addr), type, tid, size,
+                         count);
+      ++result.runtime_calls;
+      result.accesses_delivered += count;
     }
   };
 
@@ -143,13 +153,21 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
         break;
       case Opcode::kLoad: {
         const Address addr = static_cast<Address>(regs[in.a] + in.imm);
-        if (in.instrumented) instrument(addr, AccessType::kRead, in.size);
+        if (in.instrumented) {
+          instrument(addr, AccessType::kRead, in.size);
+          instrument_n(addr, AccessType::kRead, in.size, in.extra_reads);
+          instrument_n(addr, AccessType::kWrite, in.size, in.extra_writes);
+        }
         regs[in.dst] = load_sized(addr, in.size);
         break;
       }
       case Opcode::kStore: {
         const Address addr = static_cast<Address>(regs[in.a] + in.imm);
-        if (in.instrumented) instrument(addr, AccessType::kWrite, in.size);
+        if (in.instrumented) {
+          instrument(addr, AccessType::kWrite, in.size);
+          instrument_n(addr, AccessType::kRead, in.size, in.extra_reads);
+          instrument_n(addr, AccessType::kWrite, in.size, in.extra_writes);
+        }
         store_sized(addr, regs[in.b], in.size);
         break;
       }
@@ -193,6 +211,20 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
           }
           std::memmove(reinterpret_cast<void*>(dst + off),
                        reinterpret_cast<void*>(src + off), chunk);
+        }
+        break;
+      }
+      case Opcode::kReport: {
+        if (in.instrumented) {
+          const Address addr = static_cast<Address>(regs[in.a] + in.imm);
+          // A negative count means the loop never ran (e.g. trip count
+          // (n - i + C - 1) / C with n < i): deliver nothing.
+          const std::int64_t cnt = regs[in.b];
+          if (cnt > 0) {
+            instrument_n(addr,
+                         in.target ? AccessType::kWrite : AccessType::kRead,
+                         in.size, static_cast<std::uint64_t>(cnt));
+          }
         }
         break;
       }

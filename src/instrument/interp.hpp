@@ -16,8 +16,13 @@ namespace pred::ir {
 
 struct ExecResult {
   std::int64_t return_value = 0;
-  std::uint64_t steps = 0;              ///< instructions retired
-  std::uint64_t runtime_calls = 0;      ///< instrumentation calls issued
+  std::uint64_t steps = 0;          ///< instructions retired
+  std::uint64_t runtime_calls = 0;  ///< instrumentation call events issued
+  /// Access units delivered to the runtime. A plain instrumented load is
+  /// one call and one access; a kReport of count n or a merged access with
+  /// compensation extras is one call but many accesses. The pruning passes
+  /// reduce runtime_calls while conserving accesses_delivered exactly.
+  std::uint64_t accesses_delivered = 0;
   bool step_limit_exceeded = false;
 };
 

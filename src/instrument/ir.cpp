@@ -95,6 +95,12 @@ void FunctionBuilder::mem_copy(Reg dst_addr, Reg src_addr, Reg len) {
   emit({.op = Opcode::kMemCopy, .dst = len, .a = dst_addr, .b = src_addr});
 }
 
+void FunctionBuilder::report(Reg base, Reg count, bool is_write,
+                             std::int64_t offset, std::uint32_t size) {
+  emit({.op = Opcode::kReport, .a = base, .b = count, .imm = offset,
+        .size = size, .target = is_write ? 1u : 0u, .instrumented = true});
+}
+
 void FunctionBuilder::br(std::uint32_t target) {
   emit({.op = Opcode::kBr, .target = target});
 }
@@ -156,6 +162,7 @@ bool reads_b(Opcode op) {
     case Opcode::kStore:
     case Opcode::kMemSet:
     case Opcode::kMemCopy:
+    case Opcode::kReport:
       return true;
     default:
       return false;
@@ -193,9 +200,16 @@ std::string verify_function(const Module& module, const Function& fn) {
       if (in.op == Opcode::kMemCopy && in.dst >= fn.num_regs) {
         return problem(fn, b, i, "length register out of range");
       }
-      if (is_memory_access(in.op) &&
+      if ((is_memory_access(in.op) || is_report(in.op)) &&
           (in.size == 0 || in.size > 8)) {
         return problem(fn, b, i, "access size must be 1..8");
+      }
+      if (is_report(in.op) && in.target > 1) {
+        return problem(fn, b, i, "report kind must be read (0) or write (1)");
+      }
+      if ((in.extra_reads || in.extra_writes) && !is_memory_access(in.op)) {
+        return problem(fn, b, i,
+                       "compensation extras on a non-load/store instruction");
       }
       if (in.op == Opcode::kBr && in.target >= fn.blocks.size()) {
         return problem(fn, b, i, "branch target out of range");
@@ -241,6 +255,13 @@ namespace {
 std::string instr_to_string(const Instr& in) {
   auto r = [](Reg reg) { return "r" + std::to_string(reg); };
   const std::string mark = in.instrumented ? "* " : "  ";
+  // " +Nr +Nw" suffix carrying the merge compensation counts.
+  auto extras = [&in] {
+    std::string s;
+    if (in.extra_reads) s += " +" + std::to_string(in.extra_reads) + "r";
+    if (in.extra_writes) s += " +" + std::to_string(in.extra_writes) + "w";
+    return s;
+  };
   switch (in.op) {
     case Opcode::kConst:
       return mark + r(in.dst) + " = const " + std::to_string(in.imm);
@@ -262,11 +283,12 @@ std::string instr_to_string(const Instr& in) {
       return mark + r(in.dst) + " = " + r(in.a) + " == " + r(in.b);
     case Opcode::kLoad:
       return mark + r(in.dst) + " = load." + std::to_string(in.size) + " [" +
-             r(in.a) + (in.imm ? " + " + std::to_string(in.imm) : "") + "]";
+             r(in.a) + (in.imm ? " + " + std::to_string(in.imm) : "") + "]" +
+             extras();
     case Opcode::kStore:
       return mark + "store." + std::to_string(in.size) + " [" + r(in.a) +
              (in.imm ? " + " + std::to_string(in.imm) : "") + "], " +
-             r(in.b);
+             r(in.b) + extras();
     case Opcode::kCall:
       return mark + r(in.dst) + " = call @" + std::to_string(in.imm) + "(" +
              r(in.a) + " .. " + std::to_string(in.b) + " args)";
@@ -276,6 +298,10 @@ std::string instr_to_string(const Instr& in) {
     case Opcode::kMemCopy:
       return mark + "memcpy [" + r(in.a) + "] <- [" + r(in.b) + "], len " +
              r(in.dst);
+    case Opcode::kReport:
+      return mark + "report." + std::to_string(in.size) + " [" + r(in.a) +
+             (in.imm ? " + " + std::to_string(in.imm) : "") + "] x " +
+             r(in.b) + ", " + (in.target ? "write" : "read");
     case Opcode::kBr:
       return mark + "br bb" + std::to_string(in.target);
     case Opcode::kCondBr:

@@ -32,6 +32,10 @@ enum class Opcode : std::uint8_t {
   kCall,     // dst = call functions[imm](regs[a] .. regs[a + b - 1])
   kMemSet,   // memset(regs[a], imm & 0xff, regs[b]) — word-wise writes
   kMemCopy,  // memcpy(regs[a], regs[b], regs[dst]) — word-wise read+write
+  kReport,   // deliver regs[b] accesses of kind `target` (0=read, 1=write)
+             // at regs[a] + imm, width `size` — no memory is touched; the
+             // loop-batching pass plants these at preheaders to stand in
+             // for hoisted per-iteration instrumentation
   kBr,       // jump to block `target`
   kCondBr,   // regs[a] != 0 ? block target : block target2
   kRet,      // return regs[a]
@@ -45,6 +49,9 @@ constexpr bool is_memory_access(Opcode op) {
 constexpr bool is_memory_intrinsic(Opcode op) {
   return op == Opcode::kMemSet || op == Opcode::kMemCopy;
 }
+/// Pure instrumentation annotation: touches no memory, computes nothing,
+/// only feeds the runtime when executed.
+constexpr bool is_report(Opcode op) { return op == Opcode::kReport; }
 constexpr bool is_terminator(Opcode op) {
   return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kRet;
 }
@@ -56,9 +63,17 @@ struct Instr {
   Reg b = 0;
   std::int64_t imm = 0;       ///< constant, or load/store address offset
   std::uint32_t size = 8;     ///< access width in bytes (loads/stores)
-  std::uint32_t target = 0;   ///< branch target block
+  std::uint32_t target = 0;   ///< branch target block; access kind (kReport)
   std::uint32_t target2 = 0;  ///< false-branch target (kCondBr)
   bool instrumented = false;  ///< set by the instrumentation pass
+
+  /// Compensation annotations (loads/stores only), set when the merging
+  /// pass folds provably-same-address accesses into this one: when this
+  /// instruction's runtime call fires it additionally delivers this many
+  /// reads/writes of the same address and width, keeping the detector's
+  /// view count-identical to the unmerged program.
+  std::uint32_t extra_reads = 0;
+  std::uint32_t extra_writes = 0;
 };
 
 struct BasicBlock {
@@ -134,6 +149,11 @@ class FunctionBuilder {
   void mem_set(Reg addr, Reg len, std::uint8_t value);
   /// memcpy(regs[dst_addr], regs[src_addr], regs[len]).
   void mem_copy(Reg dst_addr, Reg src_addr, Reg len);
+  /// Bulk instrumentation report: regs[count] accesses (writes when
+  /// `is_write`) at [regs[base] + offset], width `size`. Emitted marked
+  /// instrumented — a report that calls nothing is dead weight.
+  void report(Reg base, Reg count, bool is_write, std::int64_t offset = 0,
+              std::uint32_t size = 8);
   void br(std::uint32_t target);
   void cond_br(Reg cond, std::uint32_t if_true, std::uint32_t if_false);
   void ret(Reg value);

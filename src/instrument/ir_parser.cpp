@@ -7,7 +7,9 @@ namespace pred::ir {
 
 namespace {
 
-/// Cursor over one line of text with tiny combinators.
+/// Cursor over one line of text with tiny combinators. Tracks the furthest
+/// position any match attempt reached, so a failed parse can report the
+/// column where progress stopped rather than just the line.
 class LineScanner {
  public:
   explicit LineScanner(const std::string& line) : s_(line) {}
@@ -17,12 +19,18 @@ class LineScanner {
                                    s_[pos_]))) {
       ++pos_;
     }
+    if (pos_ > best_) best_ = pos_;
   }
+
+  /// 1-based column of the furthest token boundary reached — where the
+  /// first unparseable character sits when the line failed to parse.
+  std::size_t column() const { return best_ + 1; }
 
   bool eat(const std::string& token) {
     skip_ws();
     if (s_.compare(pos_, token.size(), token) == 0) {
       pos_ += token.size();
+      if (pos_ > best_) best_ = pos_;
       return true;
     }
     return false;
@@ -62,6 +70,7 @@ class LineScanner {
       return false;
     }
     *out = std::stoll(s_.substr(start, pos_ - start));
+    if (pos_ > best_) best_ = pos_;
     return true;
   }
 
@@ -75,6 +84,7 @@ class LineScanner {
     }
     if (pos_ == start) return false;
     *out = s_.substr(start, pos_ - start);
+    if (pos_ > best_) best_ = pos_;
     return true;
   }
 
@@ -86,6 +96,7 @@ class LineScanner {
  private:
   const std::string& s_;
   std::size_t pos_ = 0;
+  std::size_t best_ = 0;  ///< furthest position reached (column reporting)
 };
 
 /// Parses "[rA]" or "[rA + OFF]" (also accepts negative offsets).
@@ -112,6 +123,23 @@ bool parse_block_ref(LineScanner& sc, std::uint32_t* out) {
   return sc.number_u32(out);
 }
 
+/// Optional " +Nr +Nw" compensation suffix after a load or store.
+bool parse_extras(LineScanner& sc, Instr* out) {
+  while (sc.peek("+")) {
+    sc.eat("+");
+    std::uint32_t n = 0;
+    if (!sc.number_u32(&n)) return false;
+    if (sc.eat("r")) {
+      out->extra_reads += n;
+    } else if (sc.eat("w")) {
+      out->extra_writes += n;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Parses the right-hand side of "rD = ..." forms.
 bool parse_assignment_rhs(LineScanner& sc, Reg dst, Instr* out) {
   out->dst = dst;
@@ -122,7 +150,7 @@ bool parse_assignment_rhs(LineScanner& sc, Reg dst, Instr* out) {
   if (sc.eat("load")) {
     out->op = Opcode::kLoad;
     return parse_size_suffix(sc, &out->size) &&
-           parse_address(sc, &out->a, &out->imm);
+           parse_address(sc, &out->a, &out->imm) && parse_extras(sc, out);
   }
   if (sc.eat("call")) {
     out->op = Opcode::kCall;
@@ -165,7 +193,24 @@ bool parse_instruction(LineScanner& sc, Instr* out) {
     out->op = Opcode::kStore;
     return parse_size_suffix(sc, &out->size) &&
            parse_address(sc, &out->a, &out->imm) && sc.eat(",") &&
-           sc.reg(&out->b);
+           sc.reg(&out->b) && parse_extras(sc, out);
+  }
+  if (sc.eat("report")) {
+    // "report.SZ [rA (+ OFF)?] x rB, (read|write)"
+    out->op = Opcode::kReport;
+    if (!parse_size_suffix(sc, &out->size) ||
+        !parse_address(sc, &out->a, &out->imm) || !sc.eat("x") ||
+        !sc.reg(&out->b) || !sc.eat(",")) {
+      return false;
+    }
+    if (sc.eat("write")) {
+      out->target = 1;
+    } else if (sc.eat("read")) {
+      out->target = 0;
+    } else {
+      return false;
+    }
+    return true;
   }
   if (sc.eat("memset")) {
     out->op = Opcode::kMemSet;
@@ -219,9 +264,11 @@ ParseResult parse_module(const std::string& text) {
   Function* fn = nullptr;
   BasicBlock* block = nullptr;
 
-  auto fail = [&](const std::string& msg) {
+  // Columns point at where the scanner stopped making progress (1-based).
+  auto fail = [&](const std::string& msg, std::size_t col) {
     result.ok = false;
-    result.error = "line " + std::to_string(line_no) + ": " + msg;
+    result.error = "line " + std::to_string(line_no) + ", col " +
+                   std::to_string(col) + ": " + msg;
     return result;
   };
 
@@ -238,7 +285,7 @@ ParseResult parse_module(const std::string& text) {
       if (!sc.identifier(&name) || !sc.eat("(") || !sc.number_u32(&args) ||
           !sc.eat("args") || !sc.eat(",") || !sc.number_u32(&regs) ||
           !sc.eat("regs") || !sc.eat(")") || !sc.eat(":")) {
-        return fail("malformed function header");
+        return fail("malformed function header", sc.column());
       }
       f.name = std::move(name);
       f.num_args = args;
@@ -256,9 +303,12 @@ ParseResult parse_module(const std::string& text) {
       LineScanner label(line);
       if (label.eat("bb") && label.number_u32(&index) && label.eat(":") &&
           label.at_end()) {
-        if (fn == nullptr) return fail("block label outside a function");
+        if (fn == nullptr) {
+          return fail("block label outside a function", label.column());
+        }
         if (index != fn->blocks.size()) {
-          return fail("block labels must be dense and in order");
+          return fail("block labels must be dense and in order",
+                      label.column());
         }
         fn->blocks.emplace_back();
         block = &fn->blocks.back();
@@ -266,12 +316,12 @@ ParseResult parse_module(const std::string& text) {
       }
     }
 
-    if (fn == nullptr) return fail("instruction outside a function");
-    if (block == nullptr) return fail("instruction outside a block");
+    if (fn == nullptr) return fail("instruction outside a function", 1);
+    if (block == nullptr) return fail("instruction outside a block", 1);
     Instr instr;
     LineScanner body(line);
     if (!parse_instruction(body, &instr) || !body.at_end()) {
-      return fail("cannot parse instruction: '" + line + "'");
+      return fail("cannot parse instruction: '" + line + "'", body.column());
     }
     block->instrs.push_back(instr);
   }

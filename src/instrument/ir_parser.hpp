@@ -10,17 +10,20 @@
 //     rD = const IMM
 //     rD = rA
 //     rD = rA (+|-|*|/|%|<|==) rB
-//     rD = load.SZ [rA (+ OFF)?]
-//     store.SZ [rA (+ OFF)?], rB
+//     rD = load.SZ [rA (+ OFF)?] (+Nr)? (+Nw)?
+//     store.SZ [rA (+ OFF)?], rB (+Nr)? (+Nw)?
 //     rD = call @F(rA .. N args)
 //     memset [rA], VAL, len rB
 //     memcpy [rA] <- [rB], len rC
+//     report.SZ [rA (+ OFF)?] x rB, (read|write)
 //     br bbK
 //     br rA ? bbK : bbJ
 //     ret rA
 //
 // A leading '*' before any instruction marks it instrumented (as the
-// disassembler prints).
+// disassembler prints). The optional '+Nr'/'+Nw' suffixes on loads and
+// stores are the merging pass's compensation counts; 'report' is the bulk
+// delivery instruction planted by loop batching.
 #pragma once
 
 #include <string>
@@ -32,7 +35,7 @@ namespace pred::ir {
 struct ParseResult {
   Module module;
   bool ok = false;
-  std::string error;  ///< "line N: message" on failure
+  std::string error;  ///< "line N, col C: message" on failure
 };
 
 ParseResult parse_module(const std::string& text);

@@ -1,7 +1,17 @@
 #include "instrument/pass.hpp"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 #include <set>
+#include <tuple>
+#include <vector>
+
+#include "instrument/analysis/cfg.hpp"
+#include "instrument/analysis/constants.hpp"
+#include "instrument/analysis/dominators.hpp"
+#include "instrument/analysis/loops.hpp"
+#include "instrument/analysis/value_numbering.hpp"
 
 namespace pred::ir {
 
@@ -10,6 +20,29 @@ namespace {
 bool contains(const std::vector<std::string>& names, const std::string& n) {
   return std::find(names.begin(), names.end(), n) != names.end();
 }
+
+bool defines_register(const Instr& in) {
+  switch (in.op) {
+    case Opcode::kConst:
+    case Opcode::kMove:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpEq:
+    case Opcode::kLoad:
+    case Opcode::kCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: selective per-block dedup (Section 2.4.2)
+// ---------------------------------------------------------------------------
 
 /// Key identifying "the same address, same access type" within one block:
 /// the address register, the constant offset, the access width, and whether
@@ -30,10 +63,10 @@ void instrument_function(Function& fn, const PassOptions& options,
       if (is_memory_intrinsic(instr.op)) {
         // memset/memcpy touch a dynamic range: always instrumented (the
         // per-address dedup cannot apply), subject to writes-only mode for
-        // the pure-read half handled at runtime.
-        ++stats.candidate_accesses;
+        // the pure-read half handled at runtime. Counted apart from the
+        // per-address candidates so the dedup/merge arithmetic reconciles.
+        ++stats.intrinsic_accesses;
         instr.instrumented = true;
-        ++stats.instrumented_accesses;
         continue;
       }
       if (is_memory_access(instr.op)) {
@@ -53,14 +86,221 @@ void instrument_function(Function& fn, const PassOptions& options,
       }
       // A redefinition of a register invalidates remembered address
       // expressions built on it: "the same address" must mean the same
-      // value, not merely the same register name.
-      const bool defines =
-          instr.op != Opcode::kStore && instr.op != Opcode::kBr &&
-          instr.op != Opcode::kCondBr && instr.op != Opcode::kRet;
-      if (defines) {
+      // value, not merely the same register name. (kReport reads its
+      // operands and defines nothing.)
+      if (defines_register(instr)) {
         for (auto it = seen.begin(); it != seen.end();) {
           it = it->base == instr.dst ? seen.erase(it) : std::next(it);
         }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: loop batching
+// ---------------------------------------------------------------------------
+
+/// The canonical counted-loop shape batching recognizes:
+///
+///   preheader:  ... ; br header            (unique, outside the loop)
+///   header:     c = ind < bound ; br c ? body : exit
+///   body:       ... accesses, net effect ind += step ... ; br header
+///
+/// The body is the loop's only latch, `bound` is untouched inside the loop,
+/// and the net effect of one body execution on `ind` — established by value
+/// numbering, so any instruction mix qualifies — is exactly +step for a
+/// positive constant step. Under those conditions the body executes exactly
+/// max(0, ceil((bound - ind0) / step)) times per preheader visit, which is
+/// the count the planted kReport computes at run time.
+struct BatchableLoop {
+  std::uint32_t header;
+  std::uint32_t body;
+  std::uint32_t preheader;
+  Reg ind;
+  Reg bound;
+  std::int64_t step;
+};
+
+std::optional<BatchableLoop> match_batchable(const Function& fn,
+                                             const NaturalLoop& loop,
+                                             const ConstantFacts& consts) {
+  if (loop.blocks.size() != 2 || loop.latches.size() != 1 ||
+      loop.preheader == NaturalLoop::kNone) {
+    return std::nullopt;
+  }
+  const std::uint32_t body = loop.latches[0];
+  if (body == loop.header || !loop.contains(body)) return std::nullopt;
+
+  const auto& h = fn.blocks[loop.header].instrs;
+  if (h.size() != 2 || h[0].op != Opcode::kCmpLt ||
+      h[1].op != Opcode::kCondBr || h[1].a != h[0].dst ||
+      h[1].target != body || loop.contains(h[1].target2)) {
+    return std::nullopt;
+  }
+  const Reg ind = h[0].a;
+  const Reg bound = h[0].b;
+  if (ind == bound || h[0].dst == ind || h[0].dst == bound) {
+    return std::nullopt;
+  }
+
+  // `bound` must be loop-invariant the strong way: never assigned inside.
+  for (const std::uint32_t b : loop.blocks) {
+    for (const Instr& in : fn.blocks[b].instrs) {
+      if (defines_register(in) && in.dst == bound) return std::nullopt;
+    }
+  }
+
+  // Net effect of one body execution on the induction register.
+  ValueNumbering vn(fn);
+  vn.seed_constants(consts.block_entry[body]);
+  for (const Instr& in : fn.blocks[body].instrs) vn.apply(in);
+  const ValueNumbering::Value v = vn.value_of(ind);
+  if (v.base != ValueNumbering::Value::Base::kEntryReg || v.id != ind ||
+      v.offset < 1) {
+    return std::nullopt;
+  }
+  return BatchableLoop{loop.header, body, loop.preheader, ind, bound,
+                       v.offset};
+}
+
+void batch_loops(Function& fn, PassStats& stats) {
+  const Cfg cfg(fn);
+  const DomTree dom(cfg);
+  const ConstantFacts consts = analyze_constants(fn, cfg);
+  const std::vector<NaturalLoop> loops = find_natural_loops(cfg, dom);
+
+  for (const NaturalLoop& loop : loops) {
+    const std::optional<BatchableLoop> m = match_batchable(fn, loop, consts);
+    if (!m) continue;
+
+    // Registers assigned anywhere in the loop; an address built only from
+    // registers outside this set has the same value in every iteration —
+    // and, because the preheader dominates the body with no intervening
+    // assignment, the *same* value at the preheader's end.
+    std::vector<bool> defined(fn.num_regs, false);
+    for (const std::uint32_t b : loop.blocks) {
+      for (const Instr& in : fn.blocks[b].instrs) {
+        if (defines_register(in)) defined[in.dst] = true;
+      }
+    }
+
+    struct Hoist {
+      Instr* access;
+      ValueNumbering::Value addr;
+    };
+    std::vector<Hoist> hoists;
+    ValueNumbering vn(fn);
+    vn.seed_constants(consts.block_entry[m->body]);
+    for (Instr& in : fn.blocks[m->body].instrs) {
+      if (is_memory_access(in.op) && in.instrumented && in.extra_reads == 0 &&
+          in.extra_writes == 0) {
+        const ValueNumbering::Value v = vn.address_of(in);
+        if (v.base == ValueNumbering::Value::Base::kEntryReg &&
+            !defined[v.id]) {
+          hoists.push_back({&in, v});
+        }
+      }
+      vn.apply(in);
+    }
+    if (hoists.empty()) continue;
+
+    // Emit the trip count ahead of the preheader's terminator:
+    //   cnt = (bound - ind + step - 1) / step
+    // (signed; a non-positive result means "loop never entered" and the
+    // interpreter delivers nothing for it).
+    const Reg t_diff = fn.num_regs++;
+    const Reg t_cm1 = fn.num_regs++;
+    const Reg t_sum = fn.num_regs++;
+    const Reg t_step = fn.num_regs++;
+    const Reg t_cnt = fn.num_regs++;
+    std::vector<Instr> planted;
+    planted.push_back({.op = Opcode::kSub, .dst = t_diff, .a = m->bound,
+                       .b = m->ind});
+    planted.push_back({.op = Opcode::kConst, .dst = t_cm1,
+                       .imm = m->step - 1});
+    planted.push_back({.op = Opcode::kAdd, .dst = t_sum, .a = t_diff,
+                       .b = t_cm1});
+    planted.push_back({.op = Opcode::kConst, .dst = t_step, .imm = m->step});
+    planted.push_back({.op = Opcode::kDiv, .dst = t_cnt, .a = t_sum,
+                       .b = t_step});
+    for (const Hoist& hst : hoists) {
+      planted.push_back({.op = Opcode::kReport, .a = hst.addr.id,
+                         .b = t_cnt, .imm = hst.addr.offset,
+                         .size = hst.access->size,
+                         .target = hst.access->op == Opcode::kStore ? 1u : 0u,
+                         .instrumented = true});
+      hst.access->instrumented = false;
+      ++stats.loop_batched;
+      --stats.instrumented_accesses;
+      ++stats.reports_inserted;
+    }
+    auto& pre = fn.blocks[m->preheader].instrs;
+    pre.insert(pre.end() - 1, planted.begin(), planted.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: dominance/chain merging
+// ---------------------------------------------------------------------------
+
+/// Folds repeated instrumentation of one value-numbered (address, width)
+/// into the first instrumented access along a linear block chain — a
+/// maximal path B0 → B1 → ... where every edge is single-successor into
+/// single-predecessor, so all blocks provably execute the same number of
+/// times. The later access keeps running; only its runtime call moves onto
+/// the first access as a +1r/+1w compensation extra. Within one block this
+/// also subsumes what per-block dedup missed: aliased registers and offsets
+/// split between register and immediate, which value numbering unifies.
+void merge_chains(Function& fn, PassStats& stats) {
+  const Cfg cfg(fn);
+  const ConstantFacts consts = analyze_constants(fn, cfg);
+
+  auto has_linear_pred = [&](std::uint32_t b) {
+    for (const std::uint32_t p : cfg.preds(b)) {
+      if (cfg.linear_edge(p, b)) return true;
+    }
+    return false;
+  };
+
+  for (const std::uint32_t head : cfg.reverse_postorder()) {
+    if (has_linear_pred(head)) continue;  // interior of some chain
+
+    using Key = std::tuple<ValueNumbering::Value::Base, std::uint32_t,
+                           std::int64_t, std::uint32_t>;
+    std::map<Key, Instr*> first;  // canonical (addr, width) → kept access
+    ValueNumbering vn(fn);
+    vn.seed_constants(consts.block_entry[head]);
+
+    for (std::uint32_t cur = head;;) {
+      for (Instr& in : fn.blocks[cur].instrs) {
+        if (is_memory_access(in.op) && in.instrumented) {
+          const ValueNumbering::Value v = vn.address_of(in);
+          const Key key{v.base, v.id, v.offset, in.size};
+          auto [it, inserted] = first.try_emplace(key, &in);
+          if (!inserted) {
+            Instr& kept = *it->second;
+            if (in.op == Opcode::kStore) {
+              kept.extra_writes += 1 + in.extra_writes;
+              kept.extra_reads += in.extra_reads;
+            } else {
+              kept.extra_reads += 1 + in.extra_reads;
+              kept.extra_writes += in.extra_writes;
+            }
+            in.instrumented = false;
+            in.extra_reads = 0;
+            in.extra_writes = 0;
+            ++stats.dominance_merged;
+            --stats.instrumented_accesses;
+          }
+        }
+        vn.apply(in);
+      }
+      const auto& succs = cfg.succs(cur);
+      if (succs.size() == 1 && cfg.linear_edge(cur, succs[0])) {
+        cur = succs[0];
+      } else {
+        break;
       }
     }
   }
@@ -80,6 +320,12 @@ PassStats run_instrumentation_pass(Module& module,
       continue;
     }
     instrument_function(fn, options, stats);
+    // Batching runs before merging so hoisted accesses are out of the way:
+    // merging an access and then multiplying its extras by a trip count
+    // would double-deliver. In this order each access is claimed by at most
+    // one whole-function transformation.
+    if (options.loop_batching) batch_loops(fn, stats);
+    if (options.dominance_elim) merge_chains(fn, stats);
   }
   return stats;
 }

@@ -2,12 +2,25 @@
 // stores get a runtime call. It runs after any IR "optimization" the program
 // author did (our mini-IR programs are written post-optimization, mirroring
 // the paper's placement of the pass at the very end of LLVM's pipeline) and
-// applies:
+// applies, in order:
 //   * selective per-block dedup — at most one instrumentation per (address
 //     expression, access type) per basic block, with correct invalidation
 //     when the address register is redefined mid-block;
 //   * writes-only mode (detects only write-write false sharing, as SHERIFF);
-//   * function black/whitelists.
+//   * function black/whitelists;
+//   * (opt-in) loop batching — a provably loop-invariant instrumented
+//     address inside a canonical counted loop is un-instrumented and
+//     replaced by one kReport at the preheader delivering trip-count many
+//     accesses;
+//   * (opt-in) dominance/chain merging — along single-entry/single-exit
+//     block chains (equal execution counts by construction), accesses whose
+//     value-numbered address and width coincide fold into the first one as
+//     compensation extras (+Nr/+Nw).
+//
+// Both whole-function passes are count- and type-exact: the runtime sees
+// the same multiset of (address, width, kind) accesses per execution, only
+// through fewer calls — tests/test_analysis.cpp proves the resulting
+// detector reports are bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -28,14 +41,33 @@ struct PassOptions {
   /// Per-block (address, type) dedup of Section 2.4.2. Disable to measure
   /// its effect (ablation bench).
   bool selective = true;
+  /// Whole-function passes over the analysis/ framework. Off by default:
+  /// the seed pipeline is per-block only, and these change the *placement*
+  /// (never the content) of what reaches the runtime.
+  bool loop_batching = false;
+  bool dominance_elim = false;
 };
 
 struct PassStats {
   std::uint64_t candidate_accesses = 0;    ///< loads/stores seen
-  std::uint64_t instrumented_accesses = 0; ///< marked for runtime calls
+  std::uint64_t intrinsic_accesses = 0;    ///< memset/memcpy sites
+  std::uint64_t instrumented_accesses = 0; ///< loads/stores left marked
   std::uint64_t skipped_duplicates = 0;    ///< removed by per-block dedup
   std::uint64_t skipped_reads = 0;         ///< removed by writes-only mode
   std::uint64_t skipped_functions = 0;     ///< functions excluded by lists
+  std::uint64_t loop_batched = 0;          ///< hoisted into preheader reports
+  std::uint64_t dominance_merged = 0;      ///< folded into an earlier access
+  std::uint64_t reports_inserted = 0;      ///< kReport instructions planted
+
+  /// Every load/store candidate is accounted for exactly once:
+  ///   candidate = instrumented + duplicates + reads + batched + merged.
+  /// (Intrinsic sites are tracked separately; reports_inserted counts new
+  /// instructions, not candidates.) test_instrument.cpp asserts this.
+  bool reconciles() const {
+    return candidate_accesses == instrumented_accesses + skipped_duplicates +
+                                     skipped_reads + loop_batched +
+                                     dominance_merged;
+  }
 };
 
 /// Marks Instr::instrumented across the module and returns statistics.

@@ -68,6 +68,20 @@ class Runtime {
   void handle_access(Address addr, AccessType type, ThreadId tid,
                      std::size_t size = 8);
 
+  /// Exactly `count` repetitions of handle_access. Deliberately a literal
+  /// loop, not a counter shortcut: every per-access decision (staging,
+  /// sampling clocks, escalation and prediction thresholds, history-table
+  /// transitions) must match the unbatched execution bit for bit — that is
+  /// the contract the instrumentation pruning passes' report-equivalence
+  /// proof rests on. The savings batching buys live at the call site (one
+  /// dispatch, one address computation), not here.
+  void handle_access_n(Address addr, AccessType type, ThreadId tid,
+                       std::size_t size, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      handle_access(addr, type, tid, size);
+    }
+  }
+
   // --- threads ---
 
   /// Hands out dense thread ids in registration order.

@@ -103,6 +103,36 @@ TEST(Pass, MarksEveryUniqueAccessOnce) {
   EXPECT_EQ(stats.candidate_accesses, 5u);
   EXPECT_EQ(stats.instrumented_accesses, 3u);
   EXPECT_EQ(stats.skipped_duplicates, 2u);
+  EXPECT_TRUE(stats.reconciles());
+}
+
+TEST(Pass, IntrinsicsAreCountedApartAndTotalsReconcile) {
+  // memset/memcpy sites are not per-address candidates: they land in
+  // intrinsic_accesses, and the candidate ledger must still balance:
+  //   candidate = instrumented + duplicates + reads + batched + merged.
+  Module m;
+  {
+    FunctionBuilder b("mixed", 3);  // r0 = dst, r1 = src, r2 = len
+    b.mem_set(b.arg(0), b.arg(2), 0);
+    (void)b.load(b.arg(0));
+    (void)b.load(b.arg(0));  // per-block duplicate
+    b.mem_copy(b.arg(0), b.arg(1), b.arg(2));
+    b.store(b.arg(0), b.const_val(1), 8);
+    b.ret(b.const_val(0));
+    m.functions.push_back(b.take());
+  }
+  PassOptions opt;
+  opt.mode = InstrumentMode::kWritesOnly;
+  const PassStats stats = run_instrumentation_pass(m, opt);
+  EXPECT_EQ(stats.intrinsic_accesses, 2u);  // memset + memcpy
+  EXPECT_EQ(stats.candidate_accesses, 3u);  // two loads + one store
+  EXPECT_EQ(stats.skipped_reads, 2u);
+  EXPECT_EQ(stats.instrumented_accesses, 1u);
+  EXPECT_EQ(stats.skipped_duplicates, 0u);
+  EXPECT_TRUE(stats.reconciles());
+  // Intrinsics are instrumented regardless of writes-only mode (the runtime
+  // sees their writes; memcpy's read half is a runtime-side decision).
+  EXPECT_TRUE(m.functions[0].blocks[0].instrs[0].instrumented);
 }
 
 TEST(Pass, RedefinitionInvalidatesRememberedAddresses) {
@@ -157,6 +187,7 @@ TEST(Pass, WritesOnlyModeSkipsReads) {
   const PassStats stats = run_instrumentation_pass(m, opt);
   EXPECT_EQ(stats.skipped_reads, 1u);
   EXPECT_EQ(stats.instrumented_accesses, 1u);
+  EXPECT_TRUE(stats.reconciles());
 }
 
 TEST(Pass, BlacklistAndWhitelist) {

@@ -3,6 +3,7 @@
 // modules (including instrumented ones).
 #include <gtest/gtest.h>
 
+#include "instrument/analysis/generator.hpp"
 #include "instrument/interp.hpp"
 #include "instrument/ir_parser.hpp"
 #include "instrument/pass.hpp"
@@ -13,7 +14,8 @@ namespace {
 bool instr_equal(const Instr& a, const Instr& b) {
   return a.op == b.op && a.dst == b.dst && a.a == b.a && a.b == b.b &&
          a.imm == b.imm && a.size == b.size && a.target == b.target &&
-         a.target2 == b.target2 && a.instrumented == b.instrumented;
+         a.target2 == b.target2 && a.instrumented == b.instrumented &&
+         a.extra_reads == b.extra_reads && a.extra_writes == b.extra_writes;
 }
 
 bool module_equal(const Module& a, const Module& b) {
@@ -93,6 +95,61 @@ TEST(IrParser, ReportsLineNumbersOnErrors) {
   EXPECT_NE(r.error.find("line 3"), std::string::npos);
 }
 
+TEST(IrParser, ReportsColumnOfTheOffendingToken) {
+  // "  frob": the unknown mnemonic starts at column 3.
+  const ParseResult bad_op =
+      parse_module("func f(0 args, 1 regs):\nbb0:\n  frob");
+  EXPECT_FALSE(bad_op.ok);
+  EXPECT_NE(bad_op.error.find("line 3, col 3"), std::string::npos)
+      << bad_op.error;
+  // A load missing its closing bracket: the scanner's high-water mark sits
+  // past everything successfully consumed — "  r1 = load.4 [r0 + 16" stops
+  // where ']' should be, column 24.
+  const ParseResult bad_load = parse_module(
+      "func f(1 args, 2 regs):\nbb0:\n  r1 = load.4 [r0 + 16\n  ret r1");
+  EXPECT_FALSE(bad_load.ok);
+  EXPECT_NE(bad_load.error.find("line 3, col"), std::string::npos)
+      << bad_load.error;
+  // Header errors carry position too.
+  const ParseResult bad_header = parse_module("func f(0 args 1 regs):");
+  EXPECT_FALSE(bad_header.ok);
+  EXPECT_NE(bad_header.error.find("line 1, col"), std::string::npos)
+      << bad_header.error;
+}
+
+TEST(IrParser, ParsesCompensationExtrasAndReports) {
+  const char* text = R"(
+func pruned(2 args, 4 regs):
+bb0:
+* r2 = load.8 [r0 + 8] +2r +1w
+* store.8 [r0 + 16], r2 +3w
+  r3 = const 5
+* report.8 [r0 + 24] x r3, write
+* report.4 [r0] x r3, read
+  ret r2
+)";
+  const ParseResult parsed = parse_module(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& instrs = parsed.module.functions[0].blocks[0].instrs;
+  EXPECT_EQ(instrs[0].extra_reads, 2u);
+  EXPECT_EQ(instrs[0].extra_writes, 1u);
+  EXPECT_EQ(instrs[1].extra_writes, 3u);
+  EXPECT_EQ(instrs[1].extra_reads, 0u);
+  ASSERT_EQ(instrs[3].op, Opcode::kReport);
+  EXPECT_EQ(instrs[3].imm, 24);
+  EXPECT_EQ(instrs[3].size, 8u);
+  EXPECT_EQ(instrs[3].b, 3u);
+  EXPECT_EQ(instrs[3].target, 1u);  // write
+  ASSERT_EQ(instrs[4].op, Opcode::kReport);
+  EXPECT_EQ(instrs[4].target, 0u);  // read
+  EXPECT_EQ(instrs[4].size, 4u);
+  EXPECT_TRUE(instrs[4].instrumented);
+  // And the new forms survive a print/parse cycle.
+  const ParseResult again = parse_module(to_string(parsed.module));
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(module_equal(parsed.module, again.module));
+}
+
 TEST(IrParser, RejectsInstructionOutsideBlocks) {
   EXPECT_FALSE(parse_module("  ret r0").ok);
   EXPECT_FALSE(parse_module("func f(0 args, 1 regs):\n  ret r0").ok);
@@ -162,6 +219,28 @@ TEST(IrParser, RoundTripPreservesInstrumentationMarks) {
   EXPECT_TRUE(module_equal(original, reparsed.module));
   // And a second print round agrees textually.
   EXPECT_EQ(to_string(original), to_string(reparsed.module));
+}
+
+// The property over *random* modules: parse(print(M)) == M for generated
+// CFGs, both pristine and after the full pruning pipeline (which exercises
+// kReport and the +Nr/+Nw compensation extras in the text format).
+TEST(IrParser, RoundTripHoldsOverRandomGeneratedModules) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Module m = generate_module(seed);
+    ASSERT_EQ(verify(m), "") << "seed " << seed;
+    if (seed % 2 == 0) {
+      PassOptions opt;
+      opt.loop_batching = true;
+      opt.dominance_elim = true;
+      run_instrumentation_pass(m, opt);
+    }
+    const std::string text = to_string(m);
+    const ParseResult reparsed = parse_module(text);
+    ASSERT_TRUE(reparsed.ok) << "seed " << seed << ": " << reparsed.error
+                             << "\n" << text;
+    EXPECT_TRUE(module_equal(m, reparsed.module)) << "seed " << seed;
+    EXPECT_EQ(text, to_string(reparsed.module)) << "seed " << seed;
+  }
 }
 
 }  // namespace
