@@ -36,10 +36,12 @@ class Cfg {
   /// and into nothing else: `from` ends in an unconditional branch to `to`
   /// and `to` has no other predecessor. Blocks linked this way execute
   /// exactly equally often, which is what makes cross-block instrumentation
-  /// merging count-exact (see pass.cpp).
+  /// merging count-exact (see pass.cpp). The entry block is never the `to`
+  /// side: function entry arrives without a CFG edge, so even with a single
+  /// predecessor the entry block runs once more than that predecessor.
   bool linear_edge(std::uint32_t from, std::uint32_t to) const {
-    return succs_[from].size() == 1 && succs_[from][0] == to &&
-           preds_[to].size() == 1;
+    return to != kEntry && succs_[from].size() == 1 &&
+           succs_[from][0] == to && preds_[to].size() == 1;
   }
 
  private:

@@ -31,10 +31,16 @@ class FunctionGen {
   Function build(std::uint32_t segments) {
     emit_access_run(opts_.accesses_per_block);
     for (std::uint32_t s = 0; s < segments; ++s) {
-      if (rng_.next_below(3) == 0) {
-        emit_diamond();
-      } else {
-        emit_loop();
+      switch (rng_.next_below(4)) {
+        case 0:
+          emit_diamond();
+          break;
+        case 1:
+          emit_early_exit_loop();
+          break;
+        default:
+          emit_loop();
+          break;
       }
     }
     if (opts_.allow_intrinsics && rng_.next_below(2) == 0) {
@@ -133,6 +139,35 @@ class FunctionGen {
         b_.const_val(1 + static_cast<std::int64_t>(rng_.next_below(3)));
     b_.move(i, b_.add(i, step));
     b_.br(header);
+
+    b_.set_block(exit);
+  }
+
+  /// Counted loop whose latch is a *conditional* branch: after stepping i,
+  /// the body may leave the loop early when a runtime property of i holds.
+  /// The header still bounds the loop (i < n), so execution terminates, but
+  /// the trip count is NOT ceil((n - i0) / step) — batching must reject this
+  /// shape or it over-delivers.
+  void emit_early_exit_loop() {
+    const Reg i = b_.fresh_reg();
+    b_.move(i, b_.const_val(0));
+    const std::uint32_t header = b_.new_block();
+    const std::uint32_t body = b_.new_block();
+    const std::uint32_t exit = b_.new_block();
+    b_.br(header);
+
+    b_.set_block(header);
+    b_.cond_br(b_.cmp_lt(i, bound()), body, exit);
+
+    b_.set_block(body);
+    emit_access_run(opts_.accesses_per_block, i);
+    const Reg step =
+        b_.const_val(1 + static_cast<std::int64_t>(rng_.next_below(3)));
+    b_.move(i, b_.add(i, step));
+    const Reg k =
+        b_.const_val(3 + static_cast<std::int64_t>(rng_.next_below(4)));
+    const Reg leave = b_.cmp_eq(b_.rem(i, k), b_.const_val(0));
+    b_.cond_br(leave, exit, header);
 
     b_.set_block(exit);
   }

@@ -1,6 +1,8 @@
 // Seeded random module generator for property tests. Produces verified,
 // executable, workload-shaped modules: counted loops in the canonical
-// header/body/latch form the batching pass recognizes, diamonds whose arm
+// header/body/latch form the batching pass recognizes, early-exit loops
+// whose latch is a conditional branch (the shape batching must reject),
+// diamonds whose arm
 // is picked by the runtime argument, straight-line access runs with
 // deliberate duplicates, aliased address chains (moves and split constant
 // offsets) that only value numbering can unify, and occasional memory

@@ -107,7 +107,9 @@ void instrument_function(Function& fn, const PassOptions& options,
 ///   header:     c = ind < bound ; br c ? body : exit
 ///   body:       ... accesses, net effect ind += step ... ; br header
 ///
-/// The body is the loop's only latch, `bound` is untouched inside the loop,
+/// The body is the loop's only latch and ends in an *unconditional* branch
+/// to the header (a conditional latch could exit before `ind` reaches
+/// `bound`), `bound` is untouched inside the loop,
 /// and the net effect of one body execution on `ind` — established by value
 /// numbering, so any instruction mix qualifies — is exactly +step for a
 /// positive constant step. Under those conditions the body executes exactly
@@ -131,6 +133,15 @@ std::optional<BatchableLoop> match_batchable(const Function& fn,
   }
   const std::uint32_t body = loop.latches[0];
   if (body == loop.header || !loop.contains(body)) return std::nullopt;
+
+  // The header's comparison must be the *only* way out: the body has to
+  // fall back into the header unconditionally. A conditional latch
+  // (condbr c ? header : out) can leave the loop before `ind` reaches
+  // `bound`, so the preheader trip count would over-deliver.
+  const Instr& latch_term = fn.blocks[body].instrs.back();
+  if (latch_term.op != Opcode::kBr || latch_term.target != loop.header) {
+    return std::nullopt;
+  }
 
   const auto& h = fn.blocks[loop.header].instrs;
   if (h.size() != 2 || h[0].op != Opcode::kCmpLt ||
@@ -252,6 +263,16 @@ void batch_loops(Function& fn, PassStats& stats) {
 /// the first access as a +1r/+1w compensation extra. Within one block this
 /// also subsumes what per-block dedup missed: aliased registers and offsets
 /// split between register and immediate, which value numbering unifies.
+///
+/// Equivalence caveat: extras are delivered reads-then-writes at the kept
+/// access, so an original per-address sequence like R,W,R reaches the
+/// detector as R,R,W. Counts and kinds are conserved exactly, but the
+/// within-thread order of same-address, same-width accesses is not. This is
+/// sound for the current runtime — the history automaton and word histogram
+/// are insensitive to permuting one thread's consecutive same-address R/W
+/// deliveries (the property test in test_analysis.cpp checks bit-identical
+/// reports) — and must be revisited if the detector ever becomes
+/// order-sensitive within a thread.
 void merge_chains(Function& fn, PassStats& stats) {
   const Cfg cfg(fn);
   const ConstantFacts consts = analyze_constants(fn, cfg);

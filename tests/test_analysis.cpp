@@ -82,6 +82,60 @@ Module make_loop_module() {
   return m;
 }
 
+/// Counted loop whose body latch is CONDITIONAL: after stepping i the body
+/// may branch straight to the exit (when i % 3 == 0) instead of returning
+/// to the header. bb0 preheader -> bb1 header -> bb2 body/latch; bb3 exit.
+/// The body stores a loop-invariant slot — tempting to batch, but the trip
+/// count is not ceil((n - i0) / step).
+Module make_early_exit_loop_module() {
+  Module m;
+  FunctionBuilder b("early_exit", 2);
+  const Reg buf = b.arg(0);
+  const Reg n = b.arg(1);
+  const Reg i = b.fresh_reg();
+  b.move(i, b.const_val(0));
+  const std::uint32_t header = b.new_block();
+  const std::uint32_t body = b.new_block();
+  const std::uint32_t exit = b.new_block();
+  b.br(header);
+  b.set_block(header);
+  b.cond_br(b.cmp_lt(i, n), body, exit);
+  b.set_block(body);
+  b.store(buf, i, 0);  // loop-invariant address
+  b.move(i, b.add(i, b.const_val(1)));
+  const Reg leave = b.cmp_eq(b.rem(i, b.const_val(3)), b.const_val(0));
+  b.cond_br(leave, exit, header);
+  b.set_block(exit);
+  b.ret(i);
+  m.functions.push_back(b.take());
+  return m;
+}
+
+/// A back-edge into the ENTRY block: bb0 (entry) loads [buf], steps i, and
+/// loops via bb1 — which also loads [buf] — until i reaches n. bb1 -> bb0
+/// is single-succ into single-pred, yet bb0 executes once more than bb1
+/// (function entry arrives without a CFG edge), so merging across that edge
+/// would drop one delivery.
+Module make_entry_backedge_module() {
+  Module m;
+  FunctionBuilder b("entry_backedge", 2);
+  const Reg buf = b.arg(0);
+  const Reg n = b.arg(1);
+  const Reg i = b.fresh_reg();  // reads as zero on entry
+  (void)b.load(buf, 0);
+  b.move(i, b.add(i, b.const_val(1)));
+  const std::uint32_t back = b.new_block();
+  const std::uint32_t done = b.new_block();
+  b.cond_br(b.cmp_lt(i, n), back, done);
+  b.set_block(back);
+  (void)b.load(buf, 0);
+  b.br(Cfg::kEntry);
+  b.set_block(done);
+  b.ret(i);
+  m.functions.push_back(b.take());
+  return m;
+}
+
 // ---------------------------------------------------------------------------
 // CFG
 // ---------------------------------------------------------------------------
@@ -350,6 +404,39 @@ TEST(Pass, LoopBatchingHoistsInvariantAccesses) {
   EXPECT_EQ(still_marked, 1u);
 }
 
+TEST(Pass, LoopBatchingRejectsConditionalLatch) {
+  Module m = make_early_exit_loop_module();
+  PassOptions opt;
+  opt.loop_batching = true;
+  const PassStats stats = run_instrumentation_pass(m, opt);
+  EXPECT_EQ(stats.loop_batched, 0u);
+  EXPECT_EQ(stats.reports_inserted, 0u);
+  EXPECT_TRUE(stats.reconciles());
+  // The invariant store stays instrumented in place; no kReport appears.
+  for (const BasicBlock& bb : m.functions[0].blocks) {
+    for (const Instr& in : bb.instrs) {
+      EXPECT_NE(in.op, Opcode::kReport);
+      if (in.op == Opcode::kStore && in.a == 0) {
+        EXPECT_TRUE(in.instrumented);
+      }
+    }
+  }
+}
+
+TEST(Pass, ChainMergingNeverFoldsIntoEntryBlock) {
+  Module m = make_entry_backedge_module();
+  PassOptions opt;
+  opt.dominance_elim = true;
+  const PassStats stats = run_instrumentation_pass(m, opt);
+  // bb1 -> bb0 must not count as a linear edge, so nothing merges and both
+  // loads keep their own runtime calls.
+  EXPECT_EQ(stats.dominance_merged, 0u);
+  EXPECT_EQ(stats.instrumented_accesses, 2u);
+  EXPECT_TRUE(stats.reconciles());
+  const Cfg cfg(m.functions[0]);
+  EXPECT_FALSE(cfg.linear_edge(1, Cfg::kEntry));
+}
+
 TEST(Pass, ChainMergingFoldsAcrossLinearBlocksWithCompensation) {
   // bb0: load [a]; br bb1. bb1: t = a; load [t] (same address, aliased);
   // store [a], v; ret. bb0 -> bb1 is a linear edge, so both the aliased
@@ -466,6 +553,33 @@ TEST(ReportEquivalence, PrunedModulesProduceBitIdenticalReports) {
     EXPECT_LE(pruned_totals.calls, base_totals.calls) << "seed " << seed;
     // ...and concluded exactly the same thing, byte for byte.
     EXPECT_EQ(base_json, pruned_json) << "seed " << seed;
+  }
+}
+
+// Direct regressions for the two count-exactness holes the random sweep can
+// miss: a conditional latch (early loop exit) and a back-edge into the entry
+// block. In both, a wrong prune changes the delivered-access count.
+TEST(ReportEquivalence, ConditionalLatchAndEntryBackedgeStayExact) {
+  const Module shapes[] = {make_early_exit_loop_module(),
+                           make_entry_backedge_module()};
+  for (const Module& generated : shapes) {
+    Module base = generated;
+    Module pruned = generated;
+    run_instrumentation_pass(base, {});
+    PassOptions all;
+    all.loop_batching = true;
+    all.dominance_elim = true;
+    run_instrumentation_pass(pruned, all);
+    for (const std::int64_t n : {0, 1, 2, 3, 7, 19}) {
+      RunTotals bt;
+      RunTotals pt;
+      const std::string base_json = run_module_report(base, n, &bt);
+      const std::string pruned_json = run_module_report(pruned, n, &pt);
+      EXPECT_EQ(bt.delivered, pt.delivered)
+          << generated.functions[0].name << " n=" << n;
+      EXPECT_EQ(base_json, pruned_json)
+          << generated.functions[0].name << " n=" << n;
+    }
   }
 }
 
