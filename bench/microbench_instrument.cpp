@@ -10,6 +10,13 @@
 //   +batching    plus loop-invariant hoisting into trip-count reports
 //   all          both whole-function passes
 //
+// A second, call-heavy workload set (generated with a callee pool) then
+// measures what the interprocedural layer adds on top: exact callee
+// summaries let loops batch THROUGH calls ("+interproc"), retargeting them
+// to uninstrumented "$bare" clones — the headline criterion is the
+// additional dynamic runtime-call reduction over the intraprocedural
+// passes alone.
+//
 //   microbench_instrument [--json]   (--json also writes BENCH_instrument.json)
 #include <chrono>
 #include <cstdint>
@@ -30,6 +37,7 @@ struct Config {
   const char* name;
   bool dominance;
   bool batching;
+  bool interproc = false;
 };
 
 struct Result {
@@ -49,8 +57,13 @@ Result run_config(const std::vector<ir::Module>& modules, const Config& cfg,
   ir::PassOptions opt;
   opt.dominance_elim = cfg.dominance;
   opt.loop_batching = cfg.batching;
-  for (ir::Module& m : pruned) {
-    const ir::PassStats stats = ir::run_instrumentation_pass(m, opt);
+  opt.interprocedural = cfg.interproc;
+  // An interprocedural pass may append "$bare" clones; drive only the
+  // original functions so every configuration runs the same entry points.
+  std::vector<std::size_t> original(pruned.size());
+  for (std::size_t i = 0; i < pruned.size(); ++i) {
+    original[i] = pruned[i].functions.size();
+    const ir::PassStats stats = ir::run_instrumentation_pass(pruned[i], opt);
     res.static_sites += stats.instrumented_accesses + stats.intrinsic_accesses +
                         stats.reports_inserted;
   }
@@ -77,9 +90,10 @@ Result run_config(const std::vector<ir::Module>& modules, const Config& cfg,
   const auto t0 = std::chrono::steady_clock::now();
   for (int round = 0; round < rounds; ++round) {
     for (ThreadId tid = 0; tid < 2; ++tid) {
-      for (const ir::Module& m : pruned) {
-        for (const ir::Function& fn : m.functions) {
-          const auto r = interp.run(m, fn, args, tid);
+      for (std::size_t i = 0; i < pruned.size(); ++i) {
+        const ir::Module& m = pruned[i];
+        for (std::size_t f = 0; f < original[i]; ++f) {
+          const auto r = interp.run(m, m.functions[f], args, tid);
           res.runtime_calls += r.runtime_calls;
           res.delivered += r.accesses_delivered;
         }
@@ -146,6 +160,58 @@ int main(int argc, char** argv) {
   std::printf("delivered access stream conserved: %s\n",
               conserved ? "yes" : "NO — pruning is unsound");
 
+  // Call-heavy set: the same generator with a callee pool, so hot loops
+  // spend their iterations inside calls — the workloads the intraprocedural
+  // passes cannot touch and call batching through summaries can.
+  ir::GeneratorOptions copts;
+  copts.segments = 5;
+  copts.accesses_per_block = 4;
+  copts.callees = 5;
+  copts.summarizable_callees = true;  // hot accessor-helper shape
+  std::vector<ir::Module> call_modules;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    call_modules.push_back(ir::generate_module(seed, copts));
+  }
+
+  const Config call_configs[] = {
+      {"selective", false, false, false},
+      {"intra", true, true, false},     // PR 4 pipeline: no call knowledge
+      {"+interproc", true, true, true}, // plus summaries + call batching
+  };
+  std::printf("\ncall-heavy modules (callee pool %u):\n", copts.callees);
+  std::printf("%-12s %12s %14s %14s %10s %12s\n", "config", "static sites",
+              "runtime calls", "delivered", "seconds", "ns/delivered");
+  bench::print_rule();
+  std::vector<Result> call_results;
+  for (const Config& cfg : call_configs) {
+    call_results.push_back(run_config(call_modules, cfg, /*iterations=*/128,
+                                      /*rounds=*/6));
+    const Result& r = call_results.back();
+    std::printf("%-12s %12llu %14llu %14llu %10.4f %12.2f\n", cfg.name,
+                static_cast<unsigned long long>(r.static_sites),
+                static_cast<unsigned long long>(r.runtime_calls),
+                static_cast<unsigned long long>(r.delivered), r.seconds,
+                r.delivered ? r.seconds * 1e9 / static_cast<double>(r.delivered)
+                            : 0.0);
+  }
+  const Result& c_intra = call_results[1];
+  const Result& c_inter = call_results[2];
+  const double callheavy_reduction =
+      c_intra.runtime_calls
+          ? 100.0 *
+                static_cast<double>(c_intra.runtime_calls -
+                                    c_inter.runtime_calls) /
+                static_cast<double>(c_intra.runtime_calls)
+          : 0.0;
+  const bool call_conserved =
+      call_results[0].delivered == c_intra.delivered &&
+      call_results[0].delivered == c_inter.delivered;
+  std::printf(
+      "\nadditional runtime-call reduction (+interproc vs intra): %.1f%%\n",
+      callheavy_reduction);
+  std::printf("delivered access stream conserved: %s\n",
+              call_conserved ? "yes" : "NO — pruning is unsound");
+
   if (json) {
     bench::JsonWriter w;
     w.add("static_sites_selective", static_cast<double>(base.static_sites));
@@ -160,11 +226,21 @@ int main(int argc, char** argv) {
     w.add("delivered_conserved", conserved ? 1.0 : 0.0);
     w.add("seconds_selective", base.seconds);
     w.add("seconds_all", all.seconds);
+    w.add("runtime_calls_callheavy_selective",
+          static_cast<double>(call_results[0].runtime_calls));
+    w.add("runtime_calls_callheavy_intra",
+          static_cast<double>(c_intra.runtime_calls));
+    w.add("runtime_calls_callheavy_interproc",
+          static_cast<double>(c_inter.runtime_calls));
+    w.add("call_reduction_callheavy_pct", callheavy_reduction);
+    w.add("delivered_conserved_callheavy", call_conserved ? 1.0 : 0.0);
+    w.add("seconds_callheavy_intra", c_intra.seconds);
+    w.add("seconds_callheavy_interproc", c_inter.seconds);
     if (!w.write_file("BENCH_instrument.json")) {
       std::fprintf(stderr, "cannot write BENCH_instrument.json\n");
       return 1;
     }
     std::printf("wrote BENCH_instrument.json\n");
   }
-  return conserved ? 0 : 1;
+  return conserved && call_conserved ? 0 : 1;
 }

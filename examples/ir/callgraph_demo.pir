@@ -1,0 +1,79 @@
+# Call-graph demo: a straight-line leaf (exactly summarizable), a
+# constant-bound loop callee (summarizable by unrolling), a self-recursive
+# callee (unsummarizable by cycle membership), and a driver whose hot loop
+# calls the leaf with loop-invariant arguments — the shape the
+# interprocedural call-batching pass expands into preheader reports.
+#
+# Run `predator-cli analyze examples/ir/callgraph_demo.pir` to see the
+# call-graph section and the pruning ledger: the loop in @3 batches through
+# @0's summary, so per-iteration deliveries collapse into trip-count
+# reports against an uninstrumented "$bare" clone.
+
+# @0: leaf(buf, k) — three accesses per invocation, always.
+func leaf(2 args, 4 regs):
+bb0:
+  r2 = const 1
+  store.8 [r0], r2
+  store.8 [r0 + 8], r2
+  r3 = load.8 [r0 + 8]
+  ret r2
+
+# @1: quad(buf, k) — four iterations decided by constants alone.
+func quad(2 args, 10 regs):
+bb0:
+  r2 = const 0
+  r3 = const 4
+  r5 = const 8
+  r9 = const 1
+  br bb1
+bb1:
+  r4 = r2 < r3
+  br r4 ? bb2 : bb3
+bb2:
+  store.8 [r0 + 16], r2
+  r6 = r2 * r5
+  r7 = r0 + r6
+  r8 = load.8 [r7]
+  r2 = r2 + r9
+  br bb1
+bb3:
+  ret r2
+
+# @2: spin(buf, k) — folds its depth through k % 7, then recurses.
+func spin(2 args, 9 regs):
+bb0:
+  r2 = const 7
+  r3 = r1 % r2
+  store.8 [r0], r3
+  r4 = const 1
+  r5 = r3 < r4
+  br r5 ? bb2 : bb1
+bb1:
+  r6 = r0
+  r7 = r3 - r4
+  r8 = call @2(r6 .. 2 args)
+  ret r8
+bb2:
+  ret r3
+
+# @3: main(buf, n) — counted loop calling @0 with invariant (buf, 3), then
+# one straight call to @1.
+func main(2 args, 11 regs):
+bb0:
+  r2 = const 0
+  r3 = const 1
+  r4 = r0
+  r5 = const 3
+  br bb1
+bb1:
+  r6 = r2 < r1
+  br r6 ? bb2 : bb3
+bb2:
+  r7 = call @0(r4 .. 2 args)
+  r2 = r2 + r3
+  br bb1
+bb3:
+  r8 = r0
+  r9 = const 2
+  r10 = call @1(r8 .. 2 args)
+  ret r2

@@ -6,7 +6,12 @@ Address ThreadHeap::allocate(std::size_t size) {
   if (size == 0) size = 1;
   const std::size_t cls = SizeClasses::index_for(size);
   if (cls == SizeClasses::kNumClasses) {
-    return region_.allocate_span(size);  // large: dedicated line-aligned span
+    // Large: dedicated line-aligned span, owned like any other carving.
+    const Address span = region_.allocate_span(size);
+    if (span != 0 && ownership_ != nullptr) {
+      ownership_->record_span(span, size, owner_);
+    }
+    return span;
   }
   auto& list = free_lists_[cls];
   if (!list.empty()) {
@@ -19,6 +24,7 @@ Address ThreadHeap::allocate(std::size_t size) {
     const std::size_t chunk = std::max(kChunkSize, obj_size);
     Address span = region_.allocate_span(chunk);
     if (span == 0) return 0;
+    if (ownership_ != nullptr) ownership_->record_span(span, chunk, owner_);
     chunk_bytes_ += chunk;
     bump_[cls] = span;
     bump_end_[cls] = span + chunk;

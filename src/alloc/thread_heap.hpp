@@ -11,14 +11,22 @@
 
 #include "common/cacheline.hpp"
 #include "alloc/heap_region.hpp"
+#include "alloc/ownership_map.hpp"
 #include "alloc/size_class.hpp"
 
 namespace pred {
 
 class ThreadHeap {
  public:
-  explicit ThreadHeap(HeapRegion& region, std::size_t line_size = 64)
-      : region_(region), line_size_(line_size) {}
+  /// When `ownership` is given, every span this heap carves out of the
+  /// region is recorded there as owned by logical thread `owner` — the map
+  /// the thread-escape analysis consumes to prove accesses thread-private.
+  explicit ThreadHeap(HeapRegion& region, std::size_t line_size = 64,
+                      OwnershipMap* ownership = nullptr, ThreadId owner = 0)
+      : region_(region),
+        line_size_(line_size),
+        ownership_(ownership),
+        owner_(owner) {}
 
   /// Allocates `size` bytes. Small requests are segregated-fit from
   /// thread-private chunks; large requests take a dedicated span. Returns 0
@@ -37,6 +45,8 @@ class ThreadHeap {
 
   HeapRegion& region_;
   const std::size_t line_size_;
+  OwnershipMap* ownership_;
+  const ThreadId owner_;
   std::array<std::vector<Address>, SizeClasses::kNumClasses> free_lists_{};
   std::array<Address, SizeClasses::kNumClasses> bump_{};      // next free
   std::array<Address, SizeClasses::kNumClasses> bump_end_{};  // chunk end

@@ -1,0 +1,118 @@
+#include "instrument/analysis/callgraph.hpp"
+
+#include <algorithm>
+
+namespace pred::ir {
+
+namespace {
+
+/// Iterative Tarjan SCC. Recursive formulations overflow the stack on deep
+/// call chains; the explicit frame stack has no such limit.
+struct Tarjan {
+  const std::vector<std::vector<std::uint32_t>>& succs;
+  std::vector<std::uint32_t> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<std::uint32_t> stack;
+  std::vector<std::vector<std::uint32_t>> components;
+  std::uint32_t next_index = 0;
+
+  static constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+  explicit Tarjan(const std::vector<std::vector<std::uint32_t>>& s)
+      : succs(s),
+        index(s.size(), kUnvisited),
+        lowlink(s.size(), 0),
+        on_stack(s.size(), false) {}
+
+  void run(std::uint32_t root) {
+    struct Frame {
+      std::uint32_t v;
+      std::size_t next_edge;
+    };
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      if (fr.next_edge < succs[fr.v].size()) {
+        const std::uint32_t w = succs[fr.v][fr.next_edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[fr.v] = std::min(lowlink[fr.v], index[w]);
+        }
+      } else {
+        const std::uint32_t v = fr.v;
+        if (lowlink[v] == index[v]) {
+          components.emplace_back();
+          std::uint32_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            components.back().push_back(w);
+          } while (w != v);
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CallGraph::CallGraph(const Module& module) {
+  const std::size_t n = module.functions.size();
+  callees_.resize(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const BasicBlock& bb : module.functions[f].blocks) {
+      for (const Instr& in : bb.instrs) {
+        if (in.op == Opcode::kCall) {
+          ++call_sites_;
+          callees_[f].push_back(static_cast<std::uint32_t>(in.imm));
+        }
+      }
+    }
+    std::sort(callees_[f].begin(), callees_[f].end());
+    callees_[f].erase(std::unique(callees_[f].begin(), callees_[f].end()),
+                      callees_[f].end());
+  }
+
+  Tarjan t(callees_);
+  for (std::uint32_t f = 0; f < n; ++f) {
+    if (t.index[f] == Tarjan::kUnvisited) t.run(f);
+  }
+
+  // Tarjan pops a component only after everything it reaches outside itself
+  // has been popped, so component emission order IS a bottom-up order.
+  scc_members_ = std::move(t.components);
+  scc_of_.assign(n, 0);
+  in_cycle_.assign(n, false);
+  for (std::uint32_t c = 0; c < scc_members_.size(); ++c) {
+    for (const std::uint32_t f : scc_members_[c]) {
+      scc_of_[f] = c;
+      in_cycle_[f] = scc_members_[c].size() > 1;
+    }
+  }
+  for (std::uint32_t f = 0; f < n; ++f) {
+    if (std::binary_search(callees_[f].begin(), callees_[f].end(), f)) {
+      in_cycle_[f] = true;  // direct self-recursion within a singleton SCC
+    }
+  }
+
+  bottom_up_.reserve(n);
+  for (const auto& comp : scc_members_) {
+    for (const std::uint32_t f : comp) bottom_up_.push_back(f);
+  }
+}
+
+}  // namespace pred::ir

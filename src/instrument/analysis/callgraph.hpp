@@ -1,0 +1,64 @@
+// Module call graph: which functions call which, condensed into strongly
+// connected components so recursion is explicit. The interprocedural passes
+// (summaries.hpp, escape.hpp, and the call-batching stage of pass.cpp) all
+// need the same two facts this structure provides:
+//
+//   * a bottom-up order — callees before callers — so a caller is analyzed
+//     only after every function it can reach has been, and
+//   * cycle membership — a function inside a recursive SCC (or calling
+//     itself) has no statically bounded per-invocation behavior, so exact
+//     summarization refuses it up front (⊤).
+//
+// kCall targets are function indices baked into the instruction, so the
+// graph is exact: there are no indirect calls in the mini-IR and no edges
+// the builder can miss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/ir.hpp"
+
+namespace pred::ir {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const Module& module);
+
+  std::size_t num_functions() const { return callees_.size(); }
+
+  /// Distinct callees of `f`, sorted ascending.
+  const std::vector<std::uint32_t>& callees(std::uint32_t f) const {
+    return callees_[f];
+  }
+
+  /// Total kCall sites across the module (counting duplicates).
+  std::uint64_t num_call_sites() const { return call_sites_; }
+
+  /// SCC id of `f`. Ids are numbered so that scc_of(callee) <= scc_of(caller)
+  /// for every edge not inside one component (Tarjan emits components in
+  /// reverse topological order).
+  std::uint32_t scc_of(std::uint32_t f) const { return scc_of_[f]; }
+  std::size_t num_sccs() const { return scc_members_.size(); }
+  const std::vector<std::vector<std::uint32_t>>& scc_members() const {
+    return scc_members_;
+  }
+
+  /// True when `f` sits on a call cycle: its SCC has more than one member,
+  /// or it calls itself directly.
+  bool in_cycle(std::uint32_t f) const { return in_cycle_[f]; }
+
+  /// Function indices ordered callees-first: by ascending SCC id, so every
+  /// function outside `f`'s component that `f` can call precedes `f`.
+  const std::vector<std::uint32_t>& bottom_up() const { return bottom_up_; }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> callees_;
+  std::vector<std::uint32_t> scc_of_;
+  std::vector<std::vector<std::uint32_t>> scc_members_;
+  std::vector<bool> in_cycle_;
+  std::vector<std::uint32_t> bottom_up_;
+  std::uint64_t call_sites_ = 0;
+};
+
+}  // namespace pred::ir

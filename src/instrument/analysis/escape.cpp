@@ -1,0 +1,218 @@
+#include "instrument/analysis/escape.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "instrument/analysis/cfg.hpp"
+#include "instrument/analysis/constants.hpp"
+#include "instrument/analysis/value_numbering.hpp"
+
+namespace pred::ir {
+
+// ---------------------------------------------------------------------------
+// Harness contract
+// ---------------------------------------------------------------------------
+
+void EscapeBindings::declare_root(const std::string& function) {
+  roots_.try_emplace(function);
+}
+
+bool EscapeBindings::bind(const OwnershipMap& ownership,
+                          const std::string& function, std::uint32_t arg,
+                          Address addr, pred::ThreadId tid) {
+  declare_root(function);
+  ArgBinding& b = roots_[function][arg];
+  const auto span = ownership.span_of(addr);
+  if (!span.has_value() || span->owner != tid) {
+    // The promise is false for this invocation; no later bind can restore
+    // confinement, because the analysis must hold over ALL invocations.
+    b.poisoned = true;
+    b.len = 0;
+    return false;
+  }
+  const std::uint64_t headroom = span->base + span->len - addr;
+  if (b.poisoned) return false;
+  b.len = b.bound ? std::min(b.len, headroom) : headroom;
+  b.bound = true;
+  return true;
+}
+
+bool EscapeBindings::is_root(const std::string& function) const {
+  return roots_.find(function) != roots_.end();
+}
+
+std::uint64_t EscapeBindings::bound_len(const std::string& function,
+                                        std::uint32_t arg) const {
+  const auto fit = roots_.find(function);
+  if (fit == roots_.end()) return 0;
+  const auto ait = fit->second.find(arg);
+  if (ait == fit->second.end()) return 0;
+  const ArgBinding& b = ait->second;
+  return (b.bound && !b.poisoned) ? b.len : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-module propagation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// ⊤ of the decreasing lattice: "no constraint observed yet". Survives to
+/// the end only for functions never entered at all, where it collapses to 0
+/// (nothing proven) rather than claiming vacuous confinement.
+constexpr std::uint64_t kUnconstrained =
+    std::numeric_limits<std::uint64_t>::max();
+
+bool defines_register(const Instr& in) {
+  switch (in.op) {
+    case Opcode::kConst:
+    case Opcode::kMove:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpEq:
+    case Opcode::kLoad:
+    case Opcode::kCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One call site's effect on a callee argument, precomputed: the passed
+/// value is either (stable caller argument + non-negative constant) — so the
+/// callee inherits the caller's proven headroom minus that constant — or
+/// anything else, which constrains the callee argument to shared.
+struct SiteEdge {
+  std::uint32_t caller = 0;
+  std::uint32_t callee = 0;
+  std::uint32_t callee_arg = 0;
+  bool known = false;
+  std::uint32_t caller_arg = 0;
+  std::uint64_t off = 0;
+};
+
+}  // namespace
+
+std::vector<bool> stable_args(const Function& fn) {
+  std::vector<bool> stable(fn.num_args, true);
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Instr& in : bb.instrs) {
+      if (defines_register(in) && in.dst < fn.num_args) {
+        stable[in.dst] = false;
+      }
+    }
+  }
+  return stable;
+}
+
+EscapeFacts analyze_escape(const Module& module, const CallGraph& cg,
+                           const EscapeBindings& bindings) {
+  const std::size_t nf = module.functions.size();
+  PRED_CHECK(cg.num_functions() == nf);
+
+  // Static part: evaluate every call site's passed values once. Value
+  // numbering is per block (seeded with block-entry constant facts), and
+  // `kEntryReg k` means "argument k" only when register k is never
+  // reassigned anywhere in the function — block entry then equals function
+  // entry on every path.
+  std::vector<SiteEdge> edges;
+  for (std::uint32_t f = 0; f < nf; ++f) {
+    const Function& fn = module.functions[f];
+    const std::vector<bool> stable = stable_args(fn);
+    const Cfg cfg(fn);
+    const ConstantFacts consts = analyze_constants(fn, cfg);
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      ValueNumbering vn(fn);
+      vn.seed_constants(consts.block_entry[b]);
+      for (const Instr& in : fn.blocks[b].instrs) {
+        if (in.op == Opcode::kCall) {
+          const auto callee = static_cast<std::uint32_t>(in.imm);
+          const Function& g = module.functions[callee];
+          for (std::uint32_t j = 0; j < g.num_args; ++j) {
+            const ValueNumbering::Value v = vn.value_of(in.a + j);
+            SiteEdge e{f, callee, j, false, 0, 0};
+            if (v.base == ValueNumbering::Value::Base::kEntryReg &&
+                v.id < fn.num_args && stable[v.id] && v.offset >= 0) {
+              e.known = true;
+              e.caller_arg = v.id;
+              e.off = static_cast<std::uint64_t>(v.offset);
+            }
+            edges.push_back(e);
+          }
+        }
+        vn.apply(in);
+      }
+    }
+  }
+
+  // Decreasing fixpoint from ⊤: roots start at their verified bind
+  // headroom, everything else unconstrained; every call site then meets in
+  // its contribution. Values only ever decrease, so in-place min
+  // accumulation converges to the greatest fixpoint.
+  EscapeFacts facts;
+  facts.confined_len.resize(nf);
+  for (std::uint32_t f = 0; f < nf; ++f) {
+    const Function& fn = module.functions[f];
+    if (bindings.is_root(fn.name)) {
+      facts.confined_len[f].resize(fn.num_args);
+      for (std::uint32_t j = 0; j < fn.num_args; ++j) {
+        facts.confined_len[f][j] = bindings.bound_len(fn.name, j);
+      }
+    } else {
+      facts.confined_len[f].assign(fn.num_args, kUnconstrained);
+    }
+  }
+
+  const auto sweep = [&]() {
+    bool changed = false;
+    for (const SiteEdge& e : edges) {
+      std::uint64_t contrib = 0;
+      if (e.known) {
+        const std::uint64_t base = facts.confined_len[e.caller][e.caller_arg];
+        contrib = base == kUnconstrained ? kUnconstrained
+                  : base > e.off        ? base - e.off
+                                        : 0;
+      }
+      std::uint64_t& slot = facts.confined_len[e.callee][e.callee_arg];
+      if (contrib < slot) {
+        slot = contrib;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  // Recursive calls at a positive offset shave the headroom by that offset
+  // per sweep — a chain as long as headroom/offset. Cap the sweeps; if the
+  // cap is hit, collapse every cycle member to shared (sound: 0 is the
+  // lattice bottom) and let the now-acyclic remainder settle, which takes at
+  // most one sweep per condensation level.
+  const std::size_t cap = 4 * nf + 8;
+  std::size_t sweeps = 0;
+  while (sweep()) {
+    if (++sweeps >= cap) {
+      for (std::uint32_t f = 0; f < nf; ++f) {
+        if (cg.in_cycle(f)) {
+          facts.confined_len[f].assign(facts.confined_len[f].size(), 0);
+        }
+      }
+      for (std::size_t i = 0; i <= nf + 1 && sweep(); ++i) {
+      }
+      break;
+    }
+  }
+
+  for (auto& per_fn : facts.confined_len) {
+    for (std::uint64_t& len : per_fn) {
+      if (len == kUnconstrained) len = 0;  // never entered: nothing proven
+      if (len > 0) ++facts.confined_args;
+    }
+  }
+  return facts;
+}
+
+}  // namespace pred::ir

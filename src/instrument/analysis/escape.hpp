@@ -1,0 +1,104 @@
+// Thread-escape analysis: proves that the memory behind a pointer argument
+// is confined to the invoking thread's private heap span, so accesses to it
+// can never participate in a cross-thread cache-line invalidation (§2.3.1
+// needs two threads on one line; per-thread spans are line-aligned and
+// single-owner by construction, see alloc/thread_heap.hpp) — and therefore
+// may skip instrumentation entirely without changing the detector report.
+//
+// The analysis has two halves:
+//
+//   * a HARNESS CONTRACT (EscapeBindings): the code that executes the module
+//     declares every function it invokes directly (a "root") and, per
+//     pointer argument, promises — verified against the allocator's
+//     OwnershipMap at binding time — that every invocation passes an address
+//     inside a span owned by the invoking thread, with a known number of
+//     bytes of headroom;
+//
+//   * a WHOLE-MODULE PROPAGATION (analyze_escape): a greatest-fixpoint over
+//     the call graph computes, per (function, argument), the headroom that
+//     holds across ALL ways the function is ever entered — its root bindings
+//     meet every call site, where a call site contributes only if it passes
+//     a stable confined argument of its caller plus a non-negative constant
+//     (headroom shrinks by that constant). An argument register that is ever
+//     reassigned, an unanalyzable passed value, or an unbound root
+//     invocation forces "shared".
+//
+// The pass then drops instrumentation from accesses whose value-numbered
+// address is (stable confined argument + constant offset) with the whole
+// access inside the proven headroom. tests/test_interprocedural.cpp checks
+// soundness against an execution oracle: no address ever touched by two
+// threads may be classified thread-private.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/ownership_map.hpp"
+#include "instrument/analysis/callgraph.hpp"
+#include "instrument/ir.hpp"
+
+namespace pred::ir {
+
+/// The harness contract for the functions it invokes directly.
+class EscapeBindings {
+ public:
+  /// Declares `function` as invoked directly by the harness. Arguments
+  /// without a successful bind() are treated as shared. Every function the
+  /// harness runs MUST be declared, or the analysis would wrongly treat its
+  /// unbound invocations as nonexistent.
+  void declare_root(const std::string& function);
+
+  /// Promises that an invocation of `function` on logical thread `tid`
+  /// passes `addr` in argument `arg`, and verifies the promise against the
+  /// ownership map: `addr` must lie in a span owned by `tid`. On success the
+  /// argument's proven headroom becomes the min over all binds (span end
+  /// minus addr). On failure (unowned address or owner mismatch) the
+  /// argument is poisoned to shared for good, and false is returned.
+  bool bind(const OwnershipMap& ownership, const std::string& function,
+            std::uint32_t arg, Address addr, pred::ThreadId tid);
+
+  bool is_root(const std::string& function) const;
+  /// Proven headroom of (function, arg) in bytes; 0 = shared/unbound.
+  std::uint64_t bound_len(const std::string& function,
+                          std::uint32_t arg) const;
+
+ private:
+  struct ArgBinding {
+    std::uint64_t len = 0;
+    bool bound = false;     ///< at least one successful bind()
+    bool poisoned = false;  ///< a bind() failed: shared forever
+  };
+  std::map<std::string, std::map<std::uint32_t, ArgBinding>> roots_;
+};
+
+/// Result of the whole-module propagation.
+struct EscapeFacts {
+  /// Per function, per argument: proven confined headroom in bytes
+  /// (0 = may be shared — never skip).
+  std::vector<std::vector<std::uint64_t>> confined_len;
+  std::uint64_t confined_args = 0;  ///< (function, arg) pairs proven private
+};
+
+EscapeFacts analyze_escape(const Module& module, const CallGraph& cg,
+                           const EscapeBindings& bindings);
+
+/// Per argument index: true when the register is never reassigned anywhere
+/// in the function, so a value-numbered `kEntryReg` of it — in any block —
+/// is the argument itself. Shared by the propagation above and the pass's
+/// skip application.
+std::vector<bool> stable_args(const Function& fn);
+
+/// One access the pass dropped as provably thread-private — enough for an
+/// oracle to reconstruct the concrete address of every skipped delivery
+/// given the arguments of an invocation.
+struct EscapeSkip {
+  std::string function;
+  std::uint32_t arg = 0;     ///< argument the address is relative to
+  std::int64_t offset = 0;
+  std::uint32_t width = 0;
+  bool is_write = false;
+};
+
+}  // namespace pred::ir

@@ -12,13 +12,17 @@ namespace {
 
 class FunctionGen {
  public:
-  FunctionGen(Xorshift64& rng, std::string name, const GeneratorOptions& opts)
-      : rng_(rng), opts_(opts), b_(std::move(name), /*num_args=*/2) {
+  /// `pool`, when non-null and non-empty, lists module function indices the
+  /// generated code may call; segments then include call shapes.
+  FunctionGen(Xorshift64& rng, std::string name, const GeneratorOptions& opts,
+              const std::vector<std::uint32_t>* pool = nullptr)
+      : rng_(rng), opts_(opts), pool_(pool),
+        b_(std::move(name), /*num_args=*/2) {
     // A small pool of (offset, size) slots shared by every invariant access
     // in the function: repeats are what give the dedup and merging passes
     // something to find.
-    const std::uint32_t pool = 3 + rng_.next_below(4);
-    for (std::uint32_t i = 0; i < pool; ++i) {
+    const std::uint32_t pool_size = 3 + rng_.next_below(4);
+    for (std::uint32_t i = 0; i < pool_size; ++i) {
       static constexpr std::uint32_t kSizes[] = {1, 2, 4, 8};
       const std::uint32_t size = kSizes[rng_.next_below(4)];
       std::int64_t off =
@@ -30,7 +34,34 @@ class FunctionGen {
 
   Function build(std::uint32_t segments) {
     emit_access_run(opts_.accesses_per_block);
+    const bool calls = pool_ != nullptr && !pool_->empty();
     for (std::uint32_t s = 0; s < segments; ++s) {
+      // The call-free arm must draw exactly the RNG sequence it always has:
+      // modules generated with callees == 0 stay byte-identical across the
+      // introduction of the call shapes.
+      if (calls) {
+        switch (rng_.next_below(6)) {
+          case 0:
+            emit_diamond();
+            break;
+          case 1:
+            emit_early_exit_loop();
+            break;
+          case 2:
+            emit_call_run();
+            break;
+          case 3:
+            emit_call_loop(/*varying=*/false);
+            break;
+          case 4:
+            emit_call_loop(/*varying=*/true);
+            break;
+          default:
+            emit_loop();
+            break;
+        }
+        continue;
+      }
       switch (rng_.next_below(4)) {
         case 0:
           emit_diamond();
@@ -194,19 +225,262 @@ class FunctionGen {
     b_.set_block(join);
   }
 
+  /// One or two calls with loop-free, provably invariant arguments: the
+  /// pointer is buf itself, the count a small constant or n.
+  void emit_call_run() {
+    const std::uint32_t count = 1 + rng_.next_below(2);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t callee =
+          (*pool_)[rng_.next_below(pool_->size())];
+      const Reg a0 = b_.fresh_reg();
+      const Reg a1 = b_.fresh_reg();  // consecutive with a0, as kCall needs
+      b_.move(a0, buf());
+      if (rng_.next_below(2) == 0) {
+        b_.move(a1, b_.const_val(
+                        1 + static_cast<std::int64_t>(rng_.next_below(8))));
+      } else {
+        b_.move(a1, bound());
+      }
+      b_.call(callee, a0, 2);
+    }
+  }
+
+  /// Canonical counted loop around a call. With `varying` false the callee
+  /// gets (buf, small const) every iteration — the exact shape
+  /// interprocedural batching expands through a summarizable callee. With
+  /// `varying` true the pointer is buf + i*8, so the per-iteration access
+  /// set moves and batching must keep its hands off.
+  void emit_call_loop(bool varying) {
+    const std::uint32_t callee = (*pool_)[rng_.next_below(pool_->size())];
+    const Reg i = b_.fresh_reg();
+    b_.move(i, b_.const_val(0));
+    const std::uint32_t header = b_.new_block();
+    const std::uint32_t body = b_.new_block();
+    const std::uint32_t exit = b_.new_block();
+    b_.br(header);
+
+    b_.set_block(header);
+    b_.cond_br(b_.cmp_lt(i, bound()), body, exit);
+
+    b_.set_block(body);
+    if (rng_.next_below(2) == 0) emit_invariant_access();
+    const Reg a0 = b_.fresh_reg();
+    const Reg a1 = b_.fresh_reg();
+    if (varying) {
+      const Reg scaled = b_.mul(i, b_.const_val(8));
+      b_.move(a0, b_.add(buf(), scaled));
+      b_.move(a1, b_.const_val(
+                      1 + static_cast<std::int64_t>(rng_.next_below(4))));
+    } else {
+      b_.move(a0, buf());
+      b_.move(a1, b_.const_val(
+                      1 + static_cast<std::int64_t>(rng_.next_below(8))));
+    }
+    b_.call(callee, a0, 2);
+    b_.move(i, b_.add(i, b_.const_val(1)));
+    b_.br(header);
+
+    b_.set_block(exit);
+  }
+
   static constexpr Reg kNoReg = 0xffffffffu;
 
   Xorshift64& rng_;
   const GeneratorOptions& opts_;
+  const std::vector<std::uint32_t>* pool_;
   FunctionBuilder b_;
   std::vector<Slot> slots_;
 };
+
+std::int64_t random_word_offset(Xorshift64& rng,
+                                const GeneratorOptions& opts) {
+  return 8 * static_cast<std::int64_t>(rng.next_below(opts.max_offset_words));
+}
+
+/// Constant-bound loop leaf: the whole control flow is decided by constants,
+/// so the summarizer unrolls it and stays exact — including the access whose
+/// address varies with the (constant-valued) induction variable.
+Function make_const_loop_leaf(Xorshift64& rng, std::string name,
+                              const GeneratorOptions& opts) {
+  FunctionBuilder b(std::move(name), /*num_args=*/2);
+  const std::int64_t off = random_word_offset(rng, opts);
+  const Reg i = b.fresh_reg();
+  b.move(i, b.const_val(0));
+  const Reg k =
+      b.const_val(2 + static_cast<std::int64_t>(rng.next_below(4)));
+  const std::uint32_t header = b.new_block();
+  const std::uint32_t body = b.new_block();
+  const std::uint32_t exit = b.new_block();
+  b.br(header);
+
+  b.set_block(header);
+  b.cond_br(b.cmp_lt(i, k), body, exit);
+
+  b.set_block(body);
+  b.store(b.arg(0), b.const_val(7), off, 8);
+  const Reg scaled = b.mul(i, b.const_val(8));
+  b.load(b.add(b.arg(0), scaled), 0, 8);
+  b.move(i, b.add(i, b.const_val(1)));
+  b.br(header);
+
+  b.set_block(exit);
+  b.load(b.arg(0), off, 8);
+  b.ret(b.const_val(0));
+  return b.take();
+}
+
+/// Data-dependent leaf: the store's address hinges on n, which no caller
+/// context can make constant — summarization must bail to ⊤.
+Function make_data_dep_leaf(Xorshift64& rng, std::string name) {
+  FunctionBuilder b(std::move(name), /*num_args=*/2);
+  const Reg m = b.rem(b.arg(1), b.const_val(4));
+  const Reg scaled = b.mul(m, b.const_val(8));
+  b.store(b.add(b.arg(0), scaled),
+          b.const_val(static_cast<std::int64_t>(rng.next_below(64))), 0, 8);
+  b.load(b.arg(0), 0, 8);
+  b.ret(b.const_val(0));
+  return b.take();
+}
+
+/// Intrinsic leaf: an instrumented memset delivers a length-dependent range
+/// of accesses — ⊤ by definition.
+Function make_intrinsic_leaf(Xorshift64& rng, std::string name) {
+  FunctionBuilder b(std::move(name), /*num_args=*/2);
+  const Reg len = b.const_val(
+      16 + 8 * static_cast<std::int64_t>(rng.next_below(3)));
+  b.mem_set(b.arg(0), len, static_cast<std::uint8_t>(rng.next_below(256)));
+  b.ret(b.const_val(0));
+  return b.take();
+}
+
+/// Self-recursive leaf (⊤ by cycle membership). The recursion depth is
+/// folded through n % 9 up front, so even a caller passing large n keeps
+/// the call stack within the interpreter's depth limit.
+Function make_recursive_leaf(Xorshift64& rng, std::string name,
+                             std::uint32_t self,
+                             const GeneratorOptions& opts) {
+  FunctionBuilder b(std::move(name), /*num_args=*/2);
+  const std::int64_t off = random_word_offset(rng, opts);
+  const Reg k = b.rem(b.arg(1), b.const_val(9));
+  b.store(b.arg(0), b.const_val(5), off, 8);
+  const std::uint32_t rec = b.new_block();
+  const std::uint32_t base = b.new_block();
+  b.cond_br(b.cmp_lt(k, b.const_val(1)), base, rec);
+
+  b.set_block(rec);
+  const Reg a0 = b.fresh_reg();
+  const Reg a1 = b.fresh_reg();
+  b.move(a0, b.arg(0));
+  b.move(a1, b.sub(k, b.const_val(1)));
+  b.call(self, a0, 2);
+  b.ret(b.const_val(0));
+
+  b.set_block(base);
+  b.ret(b.const_val(0));
+  return b.take();
+}
+
+/// First half of a mutually recursive pair: calls its partner with n - 1
+/// when n >= 1.
+Function make_mutual_a(Xorshift64& rng, std::string name,
+                       std::uint32_t partner, const GeneratorOptions& opts) {
+  FunctionBuilder b(std::move(name), /*num_args=*/2);
+  const std::int64_t off = random_word_offset(rng, opts);
+  b.load(b.arg(0), off, 8);
+  const std::uint32_t rec = b.new_block();
+  const std::uint32_t done = b.new_block();
+  b.cond_br(b.cmp_lt(b.arg(1), b.const_val(1)), done, rec);
+
+  b.set_block(rec);
+  const Reg a0 = b.fresh_reg();
+  const Reg a1 = b.fresh_reg();
+  b.move(a0, b.arg(0));
+  b.move(a1, b.sub(b.arg(1), b.const_val(1)));
+  b.call(partner, a0, 2);
+  b.ret(b.const_val(0));
+
+  b.set_block(done);
+  b.ret(b.const_val(0));
+  return b.take();
+}
+
+/// Second half: bounces back to the first with (n % 5) - 1, so the mutual
+/// chain shrinks fast and terminates for every n.
+Function make_mutual_b(Xorshift64& rng, std::string name,
+                       std::uint32_t partner, const GeneratorOptions& opts) {
+  FunctionBuilder b(std::move(name), /*num_args=*/2);
+  const std::int64_t off = random_word_offset(rng, opts);
+  const Reg k = b.rem(b.arg(1), b.const_val(5));
+  b.store(b.arg(0), b.const_val(3), off, 8);
+  const std::uint32_t rec = b.new_block();
+  const std::uint32_t done = b.new_block();
+  b.cond_br(b.cmp_lt(k, b.const_val(1)), done, rec);
+
+  b.set_block(rec);
+  const Reg a0 = b.fresh_reg();
+  const Reg a1 = b.fresh_reg();
+  b.move(a0, b.arg(0));
+  b.move(a1, b.sub(k, b.const_val(1)));
+  b.call(partner, a0, 2);
+  b.ret(b.const_val(0));
+
+  b.set_block(done);
+  b.ret(b.const_val(0));
+  return b.take();
+}
 
 }  // namespace
 
 Module generate_module(std::uint64_t seed, const GeneratorOptions& opts) {
   Xorshift64 rng(seed ^ 0xd1b54a32d192ed03ull);
   Module m;
+  std::vector<std::uint32_t> pool;
+  if (opts.callees > 0) {
+    GeneratorOptions leaf_opts = opts;
+    leaf_opts.allow_intrinsics = false;  // leaves get intrinsics explicitly
+    std::uint32_t c = 0;
+    while (c < opts.callees) {
+      const auto idx = static_cast<std::uint32_t>(m.functions.size());
+      const std::string name = "callee" + std::to_string(c);
+      switch (opts.summarizable_callees ? rng.next_below(2)
+                                        : rng.next_below(6)) {
+        case 0: {
+          FunctionGen gen(rng, name, leaf_opts);
+          m.functions.push_back(gen.build(0));
+          break;
+        }
+        case 1:
+          m.functions.push_back(make_const_loop_leaf(rng, name, leaf_opts));
+          break;
+        case 2:
+          m.functions.push_back(make_data_dep_leaf(rng, name));
+          break;
+        case 3:
+          m.functions.push_back(make_recursive_leaf(rng, name, idx,
+                                                    leaf_opts));
+          break;
+        case 4:
+          if (c + 1 < opts.callees) {
+            m.functions.push_back(make_mutual_a(rng, name, idx + 1,
+                                                leaf_opts));
+            pool.push_back(idx);
+            ++c;
+            m.functions.push_back(make_mutual_b(
+                rng, "callee" + std::to_string(c), idx, leaf_opts));
+            pool.push_back(idx + 1);
+            ++c;
+            continue;
+          }
+          m.functions.push_back(make_intrinsic_leaf(rng, name));
+          break;
+        default:
+          m.functions.push_back(make_intrinsic_leaf(rng, name));
+          break;
+      }
+      pool.push_back(idx);
+      ++c;
+    }
+  }
   const std::uint32_t functions = 1 + static_cast<std::uint32_t>(
                                           rng.next_below(2));
   for (std::uint32_t f = 0; f < functions; ++f) {
@@ -214,7 +488,7 @@ Module generate_module(std::uint64_t seed, const GeneratorOptions& opts) {
     const std::uint32_t segments =
         f == 0 ? opts.segments : 1 + static_cast<std::uint32_t>(
                                          rng.next_below(2));
-    FunctionGen gen(rng, name, opts);
+    FunctionGen gen(rng, name, opts, pool.empty() ? nullptr : &pool);
     m.functions.push_back(gen.build(segments));
   }
   const std::string err = verify(m);

@@ -8,9 +8,20 @@
 // offsets) that only value numbering can unify, and occasional memory
 // intrinsics.
 //
+// With `callees > 0` the module gains a pool of callee functions emitted
+// before the mains — straight-line leaves (exactly summarizable),
+// constant-bound loop leaves (summarizable by unrolling), data-dependent
+// and intrinsic leaves (⊤ by design), self-recursive and mutually recursive
+// pairs (⊤ by cycle membership) — and the main functions' segments may then
+// contain bare call runs, loops with loop-invariant call arguments (the
+// call-batching shape), and loops whose passed pointer varies with the
+// induction variable (a shape batching must reject).
+//
 // Contract: every generated function takes (buf, n) and, run with any
-// n >= 0, touches only [buf, buf + 8 * (n + max_offset_words)). Tests size
-// the buffer from the same options they generate with.
+// n >= 0, touches only [buf, buf + 8 * (n + max_offset_words)) — plus, in
+// call-enabled modules, up to kCalleeSlackWords further words (callees are
+// handed pointers up to buf + 8*(n-1) and constant counts of at most 8).
+// Tests size the buffer from the same options they generate with.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +35,18 @@ struct GeneratorOptions {
   std::uint32_t accesses_per_block = 3;
   std::uint32_t max_offset_words = 24;  ///< invariant offsets live below this
   bool allow_intrinsics = true;
+  /// Callee-pool size. 0 keeps modules (and the RNG stream) byte-identical
+  /// to call-free generation.
+  std::uint32_t callees = 0;
+  /// Draw callees only from the exactly-summarizable kinds (straight-line
+  /// and constant-bound-loop leaves) — call-heavy workloads shaped like hot
+  /// accessor helpers, where interprocedural batching has full leverage.
+  bool summarizable_callees = false;
 };
+
+/// Extra buffer headroom, in words, a call-enabled module may touch past
+/// the call-free contract.
+inline constexpr std::uint32_t kCalleeSlackWords = 16;
 
 /// Deterministic in `seed`; the result always passes verify().
 Module generate_module(std::uint64_t seed, const GeneratorOptions& opts = {});

@@ -90,6 +90,7 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
   std::size_t pc = 0;
 
   auto instrument = [&](Address addr, AccessType type, std::uint32_t size) {
+    if (delivery_observer_) delivery_observer_(addr, size, type, tid, 1);
     if (session_) {
       session_->record(reinterpret_cast<void*>(addr), type, tid, size);
       ++result.runtime_calls;
@@ -102,12 +103,18 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
   // detector's state is exactly as if `count` plain calls had been made.
   auto instrument_n = [&](Address addr, AccessType type, std::uint32_t size,
                           std::uint64_t count) {
-    if (session_ && count > 0) {
+    if (count == 0) return;
+    if (delivery_observer_) delivery_observer_(addr, size, type, tid, count);
+    if (session_) {
       session_->record_n(reinterpret_cast<void*>(addr), type, tid, size,
                          count);
       ++result.runtime_calls;
       result.accesses_delivered += count;
     }
+  };
+
+  auto touch = [&](Address addr, AccessType type, std::uint32_t size) {
+    if (touch_observer_) touch_observer_(addr, size, type, tid);
   };
 
   while (true) {
@@ -153,6 +160,7 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
         break;
       case Opcode::kLoad: {
         const Address addr = static_cast<Address>(regs[in.a] + in.imm);
+        touch(addr, AccessType::kRead, in.size);
         if (in.instrumented) {
           instrument(addr, AccessType::kRead, in.size);
           instrument_n(addr, AccessType::kRead, in.size, in.extra_reads);
@@ -163,6 +171,7 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
       }
       case Opcode::kStore: {
         const Address addr = static_cast<Address>(regs[in.a] + in.imm);
+        touch(addr, AccessType::kWrite, in.size);
         if (in.instrumented) {
           instrument(addr, AccessType::kWrite, in.size);
           instrument_n(addr, AccessType::kRead, in.size, in.extra_reads);
@@ -191,6 +200,7 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
         for (std::uint64_t off = 0; off < len; off += 8) {
           const std::uint32_t chunk =
               static_cast<std::uint32_t>(std::min<std::uint64_t>(8, len - off));
+          touch(base + off, AccessType::kWrite, chunk);
           if (in.instrumented) {
             instrument(base + off, AccessType::kWrite, chunk);
           }
@@ -205,6 +215,8 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
         for (std::uint64_t off = 0; off < len; off += 8) {
           const std::uint32_t chunk =
               static_cast<std::uint32_t>(std::min<std::uint64_t>(8, len - off));
+          touch(src + off, AccessType::kRead, chunk);
+          touch(dst + off, AccessType::kWrite, chunk);
           if (in.instrumented) {
             instrument(src + off, AccessType::kRead, chunk);
             instrument(dst + off, AccessType::kWrite, chunk);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "api/predator.hpp"
@@ -47,6 +48,28 @@ class Interpreter {
   ExecResult run(const Module& module, const Function& fn,
                  std::span<const std::int64_t> args, ThreadId tid = 0);
 
+  /// Ground-truth shadow: called for EVERY executed load, store, and
+  /// intrinsic word chunk — instrumented or not — with the concrete address,
+  /// width, kind, and thread. This is "what the program actually touched",
+  /// independent of what the pass chose to deliver; the escape-soundness
+  /// oracle uses it to find addresses shared between threads.
+  using TouchObserver =
+      std::function<void(Address, std::uint32_t, AccessType, ThreadId)>;
+  void set_touch_observer(TouchObserver obs) {
+    touch_observer_ = std::move(obs);
+  }
+
+  /// Delivery shadow: called for every access delivery that would reach the
+  /// runtime (plain instrumented accesses, compensation extras, kReport
+  /// batches — the latter once with their whole count). Fires even when the
+  /// session is null, so tests can diff the delivered multisets of two
+  /// pass configurations without a detector in the loop.
+  using DeliveryObserver = std::function<void(
+      Address, std::uint32_t, AccessType, ThreadId, std::uint64_t)>;
+  void set_delivery_observer(DeliveryObserver obs) {
+    delivery_observer_ = std::move(obs);
+  }
+
  private:
   std::int64_t execute(const Module* module, const Function& fn,
                        std::span<const std::int64_t> args, ThreadId tid,
@@ -54,6 +77,8 @@ class Interpreter {
 
   Session* session_;
   std::uint64_t step_limit_;
+  TouchObserver touch_observer_;
+  DeliveryObserver delivery_observer_;
 };
 
 }  // namespace pred::ir

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <numeric>
 #include <optional>
 #include <set>
 #include <tuple>
 #include <vector>
 
+#include "common/check.hpp"
+#include "instrument/analysis/callgraph.hpp"
 #include "instrument/analysis/cfg.hpp"
 #include "instrument/analysis/constants.hpp"
 #include "instrument/analysis/dominators.hpp"
@@ -175,7 +179,63 @@ std::optional<BatchableLoop> match_batchable(const Function& fn,
                        v.offset};
 }
 
-void batch_loops(Function& fn, PassStats& stats) {
+/// Shared state of the interprocedural stage, threaded into batch_loops so
+/// a call inside a matched loop can be expanded through its callee summary.
+struct InterprocCtx {
+  Module& module;
+  SummaryTable& summaries;          ///< grows as "$bare" clones are added
+  std::vector<std::int32_t>& clone_of;  ///< original index → clone index
+  std::size_t original_count;
+};
+
+/// Returns (building on demand) the uninstrumented "$bare" clone of `f`:
+/// the same code with every instrumented flag and compensation extra
+/// cleared, and every inner call retargeted to the callee's own clone, so
+/// running it delivers nothing to the runtime, transitively. Clones are
+/// appended after the original functions; the module's vector was reserved
+/// for them up front, so references to earlier functions stay valid.
+/// (Cycles cannot occur: a clone is only requested for a function with an
+/// exact summary, and summarization refuses recursion.)
+std::uint32_t ensure_bare_clone(InterprocCtx& ctx, std::uint32_t f,
+                                PassStats& stats) {
+  if (ctx.clone_of[f] >= 0) return static_cast<std::uint32_t>(ctx.clone_of[f]);
+  Function copy = ctx.module.functions[f];
+  copy.name += "$bare";
+  for (BasicBlock& bb : copy.blocks) {
+    for (Instr& in : bb.instrs) {
+      in.instrumented = false;
+      in.extra_reads = 0;
+      in.extra_writes = 0;
+    }
+  }
+  const auto idx = static_cast<std::uint32_t>(ctx.module.functions.size());
+  PRED_CHECK(ctx.module.functions.capacity() > idx);  // reserved: no realloc
+  ctx.clone_of[f] = static_cast<std::int32_t>(idx);
+  ctx.module.functions.push_back(std::move(copy));
+  // A clone delivers nothing, so its summary is exactly empty — recorded so
+  // summarizing a caller that now calls the clone stays exact.
+  ctx.summaries.per_function.resize(ctx.module.functions.size());
+  ctx.summaries.per_function[idx].exact = true;
+  ++stats.bare_clones;
+  // Retarget inner calls by index: the recursive call below may append more
+  // clones, so no references into the vector are held across it.
+  for (std::size_t b = 0; b < ctx.module.functions[idx].blocks.size(); ++b) {
+    const std::size_t n = ctx.module.functions[idx].blocks[b].instrs.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ctx.module.functions[idx].blocks[b].instrs[i].op == Opcode::kCall) {
+        const auto inner = static_cast<std::uint32_t>(
+            ctx.module.functions[idx].blocks[b].instrs[i].imm);
+        const std::uint32_t inner_clone =
+            inner < ctx.original_count ? ensure_bare_clone(ctx, inner, stats)
+                                       : inner;  // already a clone
+        ctx.module.functions[idx].blocks[b].instrs[i].imm = inner_clone;
+      }
+    }
+  }
+  return idx;
+}
+
+void batch_loops(Function& fn, PassStats& stats, InterprocCtx* ctx) {
   const Cfg cfg(fn);
   const DomTree dom(cfg);
   const ConstantFacts consts = analyze_constants(fn, cfg);
@@ -200,7 +260,16 @@ void batch_loops(Function& fn, PassStats& stats) {
       Instr* access;
       ValueNumbering::Value addr;
     };
+    /// A call whose summarized per-invocation access set can be delivered
+    /// wholesale from the preheader: the callee summary is exact and every
+    /// argument any entry is relative to is loop-invariant.
+    struct CallHoist {
+      Instr* call;
+      std::uint32_t callee;
+      std::vector<ValueNumbering::Value> bases;  ///< per summary entry
+    };
     std::vector<Hoist> hoists;
+    std::vector<CallHoist> call_hoists;
     ValueNumbering vn(fn);
     vn.seed_constants(consts.block_entry[m->body]);
     for (Instr& in : fn.blocks[m->body].instrs) {
@@ -211,10 +280,28 @@ void batch_loops(Function& fn, PassStats& stats) {
             !defined[v.id]) {
           hoists.push_back({&in, v});
         }
+      } else if (ctx != nullptr && in.op == Opcode::kCall) {
+        const auto callee = static_cast<std::uint32_t>(in.imm);
+        const AccessSummary& s = ctx->summaries.per_function[callee];
+        if (s.exact && !s.entries.empty()) {
+          CallHoist ch{&in, callee, {}};
+          ch.bases.reserve(s.entries.size());
+          bool invariant = true;
+          for (const AccessSummary::Entry& e : s.entries) {
+            const ValueNumbering::Value v = vn.value_of(in.a + e.arg);
+            if (v.base != ValueNumbering::Value::Base::kEntryReg ||
+                defined[v.id]) {
+              invariant = false;
+              break;
+            }
+            ch.bases.push_back(v);
+          }
+          if (invariant) call_hoists.push_back(std::move(ch));
+        }
       }
       vn.apply(in);
     }
-    if (hoists.empty()) continue;
+    if (hoists.empty() && call_hoists.empty()) continue;
 
     // Emit the trip count ahead of the preheader's terminator:
     //   cnt = (bound - ind + step - 1) / step
@@ -246,8 +333,80 @@ void batch_loops(Function& fn, PassStats& stats) {
       --stats.instrumented_accesses;
       ++stats.reports_inserted;
     }
+    for (CallHoist& ch : call_hoists) {
+      // The call keeps running — return value and memory effects are real —
+      // but against the silent clone; the preheader reports deliver what
+      // the instrumented callee would have, times the trip count. A
+      // non-positive trip count makes every planted count non-positive
+      // (entry counts are >= 1), so a never-entered loop delivers nothing.
+      const AccessSummary& s = ctx->summaries.per_function[ch.callee];
+      for (std::size_t i = 0; i < s.entries.size(); ++i) {
+        const AccessSummary::Entry& e = s.entries[i];
+        Reg count_reg = t_cnt;
+        if (e.count != 1) {
+          const Reg t_ec = fn.num_regs++;
+          const Reg t_n = fn.num_regs++;
+          planted.push_back({.op = Opcode::kConst, .dst = t_ec,
+                             .imm = static_cast<std::int64_t>(e.count)});
+          planted.push_back({.op = Opcode::kMul, .dst = t_n, .a = t_cnt,
+                             .b = t_ec});
+          count_reg = t_n;
+        }
+        planted.push_back({.op = Opcode::kReport, .a = ch.bases[i].id,
+                           .b = count_reg,
+                           .imm = ch.bases[i].offset + e.offset,
+                           .size = e.width,
+                           .target = e.is_write ? 1u : 0u,
+                           .instrumented = true});
+        ++stats.reports_inserted;
+      }
+      ch.call->imm = ensure_bare_clone(*ctx, ch.callee, stats);
+      ++stats.call_batched;
+    }
     auto& pre = fn.blocks[m->preheader].instrs;
     pre.insert(pre.end() - 1, planted.begin(), planted.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-escape skipping
+// ---------------------------------------------------------------------------
+
+/// Drops instrumentation from accesses proven confined to the invoking
+/// thread's private heap span: the value-numbered address is (stable
+/// argument k) + c with the whole [c, c + size) window inside the proven
+/// headroom of (fn, k). Runs before batching/merging, so extras are still
+/// zero and the later stages simply never see the dropped accesses.
+void apply_escape(Function& fn, const std::vector<std::uint64_t>& confined,
+                  const PassOptions& options, PassStats& stats) {
+  bool any = false;
+  for (const std::uint64_t len : confined) any = any || len > 0;
+  if (!any) return;
+
+  const std::vector<bool> stable = stable_args(fn);
+  const Cfg cfg(fn);
+  const ConstantFacts consts = analyze_constants(fn, cfg);
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    ValueNumbering vn(fn);
+    vn.seed_constants(consts.block_entry[b]);
+    for (Instr& in : fn.blocks[b].instrs) {
+      if (is_memory_access(in.op) && in.instrumented) {
+        const ValueNumbering::Value v = vn.address_of(in);
+        if (v.base == ValueNumbering::Value::Base::kEntryReg &&
+            v.id < fn.num_args && stable[v.id] && v.offset >= 0 &&
+            confined[v.id] > 0 &&
+            static_cast<std::uint64_t>(v.offset) + in.size <= confined[v.id]) {
+          in.instrumented = false;
+          ++stats.escape_skipped;
+          --stats.instrumented_accesses;
+          if (options.escape_log != nullptr) {
+            options.escape_log->push_back({fn.name, v.id, v.offset, in.size,
+                                           in.op == Opcode::kStore});
+          }
+        }
+      }
+      vn.apply(in);
+    }
   }
 }
 
@@ -329,26 +488,77 @@ void merge_chains(Function& fn, PassStats& stats) {
 
 }  // namespace
 
-PassStats run_instrumentation_pass(Module& module,
-                                   const PassOptions& options) {
+PassStats run_instrumentation_pass(Module& module, const PassOptions& options,
+                                   SummaryTable* summaries_out) {
   PassStats stats;
-  for (Function& fn : module.functions) {
+  const std::size_t original_count = module.functions.size();
+  const bool interproc =
+      options.interprocedural || options.escape != nullptr;
+
+  // Without the interprocedural layer, functions are processed in module
+  // order, exactly as before. With it, callees come first so every summary
+  // a caller consults is already final — and the vector is reserved for one
+  // clone per original up front, so Function references held while clones
+  // are appended stay valid.
+  std::unique_ptr<CallGraph> cg;
+  std::vector<std::uint32_t> order(original_count);
+  std::iota(order.begin(), order.end(), 0u);
+  if (interproc) {
+    cg = std::make_unique<CallGraph>(module);
+    order = cg->bottom_up();
+    module.functions.reserve(2 * original_count);
+  }
+
+  EscapeFacts escape_facts;
+  if (options.escape != nullptr) {
+    escape_facts = analyze_escape(module, *cg, *options.escape);
+  }
+
+  SummaryTable summaries;
+  std::vector<std::int32_t> clone_of(original_count, -1);
+  InterprocCtx ctx{module, summaries, clone_of, original_count};
+  if (interproc) summaries.per_function.resize(original_count);
+
+  for (const std::uint32_t f : order) {
+    Function& fn = module.functions[f];
     const bool allowed =
         (options.whitelist.empty() || contains(options.whitelist, fn.name)) &&
         !contains(options.blacklist, fn.name);
-    if (!allowed) {
+    if (allowed) {
+      instrument_function(fn, options, stats);
+      if (options.escape != nullptr) {
+        apply_escape(fn, escape_facts.confined_len[f], options, stats);
+      }
+      // Batching runs before merging so hoisted accesses are out of the way:
+      // merging an access and then multiplying its extras by a trip count
+      // would double-deliver. In this order each access is claimed by at
+      // most one whole-function transformation.
+      if (options.loop_batching) {
+        batch_loops(fn, stats, interproc ? &ctx : nullptr);
+      }
+      if (options.dominance_elim) merge_chains(fn, stats);
+    } else {
       ++stats.skipped_functions;
-      continue;
     }
-    instrument_function(fn, options, stats);
-    // Batching runs before merging so hoisted accesses are out of the way:
-    // merging an access and then multiplying its extras by a trip count
-    // would double-deliver. In this order each access is claimed by at most
-    // one whole-function transformation.
-    if (options.loop_batching) batch_loops(fn, stats);
-    if (options.dominance_elim) merge_chains(fn, stats);
+    // Summarize even excluded functions: uninstrumented code deliverably
+    // does nothing, which is itself an exact (often empty) summary callers
+    // can batch through.
+    if (interproc) {
+      summaries.per_function[f] = summarize_function(module, f, *cg, summaries);
+      if (summaries.per_function[f].exact) {
+        ++stats.callee_summaries;
+      } else {
+        ++stats.summary_top;
+      }
+    }
   }
+  if (summaries_out != nullptr) *summaries_out = std::move(summaries);
   return stats;
+}
+
+PassStats run_instrumentation_pass(Module& module,
+                                   const PassOptions& options) {
+  return run_instrumentation_pass(module, options, nullptr);
 }
 
 }  // namespace pred::ir

@@ -15,18 +15,33 @@
 //   * (opt-in) dominance/chain merging — along single-entry/single-exit
 //     block chains (equal execution counts by construction), accesses whose
 //     value-numbered address and width coincide fold into the first one as
-//     compensation extras (+Nr/+Nw).
+//     compensation extras (+Nr/+Nw);
+//   * (opt-in) interprocedural call batching — functions are processed
+//     callees-first and each gets an exact access summary
+//     (analysis/summaries.hpp); a call inside a batchable loop whose
+//     summarized callee touches only loop-invariant argument pointers is
+//     retargeted to an uninstrumented "$bare" clone while trip-count
+//     kReports for the callee's whole per-invocation access set are planted
+//     at the preheader;
+//   * (opt-in) thread-escape skipping — accesses proven confined to the
+//     invoking thread's private heap span (analysis/escape.hpp) lose their
+//     instrumentation entirely.
 //
-// Both whole-function passes are count- and type-exact: the runtime sees
+// The whole-function passes are count- and type-exact: the runtime sees
 // the same multiset of (address, width, kind) accesses per execution, only
-// through fewer calls — tests/test_analysis.cpp proves the resulting
-// detector reports are bit-identical.
+// through fewer calls — tests/test_analysis.cpp and
+// tests/test_interprocedural.cpp prove the resulting detector reports are
+// bit-identical. Escape skipping is the one deliberate exception: it drops
+// deliveries outright, and is report-preserving only because a dropped
+// access provably lands on a cache line no other thread ever touches.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "instrument/analysis/escape.hpp"
+#include "instrument/analysis/summaries.hpp"
 #include "instrument/ir.hpp"
 #include "runtime/config.hpp"
 
@@ -46,6 +61,18 @@ struct PassOptions {
   /// (never the content) of what reaches the runtime.
   bool loop_batching = false;
   bool dominance_elim = false;
+  /// Interprocedural layer: process callees before callers, summarize every
+  /// function, and let loop batching see through kCall via "$bare" clones.
+  /// Implies nothing else — combine with loop_batching for the call-batching
+  /// effect (a call in a loop cannot batch without the loop matcher).
+  bool interprocedural = false;
+  /// Thread-escape facts from the harness (analysis/escape.hpp). When set,
+  /// accesses proven thread-private are skipped. Requires interprocedural
+  /// call-graph context and is independent of loop_batching/dominance_elim.
+  const EscapeBindings* escape = nullptr;
+  /// When set alongside `escape`, every skipped access is appended here so
+  /// an oracle can re-derive exactly which concrete addresses went silent.
+  std::vector<EscapeSkip>* escape_log = nullptr;
 };
 
 struct PassStats {
@@ -58,19 +85,36 @@ struct PassStats {
   std::uint64_t loop_batched = 0;          ///< hoisted into preheader reports
   std::uint64_t dominance_merged = 0;      ///< folded into an earlier access
   std::uint64_t reports_inserted = 0;      ///< kReport instructions planted
+  std::uint64_t escape_skipped = 0;        ///< proven thread-private, dropped
+  std::uint64_t call_batched = 0;          ///< kCall sites expanded at preheader
+  std::uint64_t callee_summaries = 0;      ///< functions with an exact summary
+  std::uint64_t summary_top = 0;           ///< functions summarized as ⊤
+  std::uint64_t bare_clones = 0;           ///< "$bare" functions appended
 
   /// Every load/store candidate is accounted for exactly once:
-  ///   candidate = instrumented + duplicates + reads + batched + merged.
+  ///   candidate = instrumented + duplicates + reads + batched + merged
+  ///             + escape-skipped.
   /// (Intrinsic sites are tracked separately; reports_inserted counts new
-  /// instructions, not candidates.) test_instrument.cpp asserts this.
+  /// instructions, not candidates; call_batched counts kCall sites, which
+  /// are not load/store candidates.) test_instrument.cpp asserts this.
   bool reconciles() const {
     return candidate_accesses == instrumented_accesses + skipped_duplicates +
                                      skipped_reads + loop_batched +
-                                     dominance_merged;
+                                     dominance_merged + escape_skipped;
   }
 };
 
-/// Marks Instr::instrumented across the module and returns statistics.
+/// Marks Instr::instrumented across the module and returns statistics. With
+/// `interprocedural` the module may GROW: uninstrumented "$bare" clones of
+/// batched-through callees are appended after the original functions, so
+/// callers that only care about the original code should iterate the first
+/// `old functions.size()` entries (clone names carry the "$bare" suffix).
 PassStats run_instrumentation_pass(Module& module, const PassOptions& options);
+
+/// The summaries computed for the ORIGINAL functions during an
+/// interprocedural pass run (empty table otherwise). Filled when the caller
+/// passes a non-null `summaries_out` below.
+PassStats run_instrumentation_pass(Module& module, const PassOptions& options,
+                                   SummaryTable* summaries_out);
 
 }  // namespace pred::ir

@@ -32,10 +32,12 @@
 #include <thread>
 
 #include "advice/fix_advisor.hpp"
+#include "instrument/analysis/callgraph.hpp"
 #include "instrument/analysis/cfg.hpp"
 #include "instrument/analysis/constants.hpp"
 #include "instrument/analysis/dominators.hpp"
 #include "instrument/analysis/loops.hpp"
+#include "instrument/analysis/summaries.hpp"
 #include "instrument/ir_parser.hpp"
 #include "instrument/pass.hpp"
 #include "report_io/report_diff.hpp"
@@ -262,10 +264,11 @@ int run_monitor(const CliOptions& opt, const wl::Workload* w) {
 
 // `analyze` subcommand: static-analysis report for a textual IR module.
 // For every function, the CFG/dominator/loop/constant view the pruning
-// passes operate on; then the module-wide instrumentation ledger comparing
-// baseline selective dedup against the full pipeline (loop batching +
-// dominance/chain merging), whose report-equivalence is proven in
-// tests/test_analysis.cpp.
+// passes operate on; the call graph and each function's access summary;
+// then the module-wide instrumentation ledger comparing baseline selective
+// dedup against the full pipeline (loop batching + dominance/chain merging
+// + interprocedural call batching), whose report-equivalence is proven in
+// tests/test_analysis.cpp and tests/test_interprocedural.cpp.
 int run_analyze(const char* path) {
   std::FILE* f = std::fopen(path, "rb");
   if (f == nullptr) {
@@ -308,13 +311,49 @@ int run_analyze(const char* path) {
     }
   }
 
+  const ir::CallGraph cg(parsed.module);
+  std::size_t recursive = 0;
+  for (std::uint32_t fi = 0; fi < cg.num_functions(); ++fi) {
+    if (cg.in_cycle(fi)) ++recursive;
+  }
+  std::printf(
+      "\ncall graph: %llu call site(s), %zu SCC(s), %zu recursive "
+      "function(s)\n",
+      static_cast<unsigned long long>(cg.num_call_sites()), cg.num_sccs(),
+      recursive);
+  for (std::uint32_t fi = 0; fi < cg.num_functions(); ++fi) {
+    if (cg.callees(fi).empty()) continue;
+    std::printf("  %s ->", parsed.module.functions[fi].name.c_str());
+    for (const std::uint32_t c : cg.callees(fi)) {
+      std::printf(" %s", parsed.module.functions[c].name.c_str());
+    }
+    std::printf("%s\n", cg.in_cycle(fi) ? "  [cycle]" : "");
+  }
+
   ir::Module base = parsed.module;
   ir::Module pruned = parsed.module;
   const ir::PassStats s0 = ir::run_instrumentation_pass(base, {});
   ir::PassOptions all;
   all.loop_batching = true;
   all.dominance_elim = true;
-  const ir::PassStats s1 = ir::run_instrumentation_pass(pruned, all);
+  all.interprocedural = true;
+  ir::SummaryTable summaries;
+  const ir::PassStats s1 =
+      ir::run_instrumentation_pass(pruned, all, &summaries);
+
+  std::printf("\ncallee access summaries:\n");
+  for (std::size_t fi = 0; fi < parsed.module.functions.size(); ++fi) {
+    const ir::AccessSummary& s = summaries.per_function[fi];
+    if (s.exact) {
+      std::printf("  %-16s exact: %zu entr%s, %llu access(es)/invocation\n",
+                  parsed.module.functions[fi].name.c_str(), s.entries.size(),
+                  s.entries.size() == 1 ? "y" : "ies",
+                  static_cast<unsigned long long>(s.total_accesses()));
+    } else {
+      std::printf("  %-16s unsummarizable (T)\n",
+                  parsed.module.functions[fi].name.c_str());
+    }
+  }
 
   std::printf("\ninstrumentation ledger (baseline -> pruned):\n");
   std::printf("  candidate accesses   %8llu\n",
@@ -331,6 +370,9 @@ int run_analyze(const char* path) {
               static_cast<unsigned long long>(s1.reports_inserted));
   std::printf("  chain merged         %8llu\n",
               static_cast<unsigned long long>(s1.dominance_merged));
+  std::printf("  calls batched        %8llu (bare clones %llu)\n",
+              static_cast<unsigned long long>(s1.call_batched),
+              static_cast<unsigned long long>(s1.bare_clones));
   if (s0.instrumented_accesses > 0) {
     std::printf("  static site reduction %.1f%%\n",
                 100.0 *
