@@ -60,7 +60,7 @@ Outcome run(bool selective) {
 
   SessionOptions so = session_options();
   Session session(so);
-  auto* slots = static_cast<long*>(session.alloc(64, {"ablation.c:slots"}));
+  auto* slots = static_cast<long*>(session.alloc(64, session.intern_frames({"ablation.c:slots"})));
   slots[0] = slots[1] = 0;
 
   Interpreter interp(&session);

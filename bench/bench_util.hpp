@@ -7,29 +7,30 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "report_io/json_writer.hpp"
 #include "sim/cache_sim.hpp"
 #include "workloads/workload.hpp"
 
 namespace pred::bench {
 
-/// Minimal flat JSON object writer for the CI bench-smoke artifacts
-/// (BENCH_*.json): string keys (no escaping needed — callers use plain
-/// identifiers) mapping to numbers, emitted in insertion order.
+/// Flat JSON object writer for the CI bench-smoke artifacts
+/// (BENCH_*.json): string keys mapping to numbers, emitted in insertion
+/// order. A thin adapter over the report_io pred::JsonWriter, so escaping
+/// and serialization live in exactly one (tested) place.
 class JsonWriter {
  public:
   void add(std::string key, double value) {
     entries_.emplace_back(std::move(key), value);
   }
   bool write_file(const std::string& path) const {
+    pred::JsonWriter w;
+    w.begin_object();
+    for (const auto& [key, value] : entries_) w.field(key, value);
+    w.end_object();
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fputs("{\n", f);
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %.6g%s\n", entries_[i].first.c_str(),
-                   entries_[i].second,
-                   i + 1 < entries_.size() ? "," : "");
-    }
-    std::fputs("}\n", f);
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     return true;
   }

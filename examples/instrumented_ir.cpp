@@ -64,7 +64,7 @@ int main() {
   opts.heap_size = 16 * 1024 * 1024;
   Session session(opts);
   auto* array = static_cast<long*>(
-      session.alloc(2 * sizeof(long), {"ir_demo.c:shared_array"}));
+      session.alloc(2 * sizeof(long), session.intern_frames({"ir_demo.c:shared_array"})));
   array[0] = array[1] = 0;
 
   Interpreter interp(&session);

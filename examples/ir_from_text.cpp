@@ -59,7 +59,7 @@ int main() {
   opts.heap_size = 16 * 1024 * 1024;
   Session session(opts);
   auto* slots = static_cast<long*>(
-      session.alloc(2 * sizeof(long), {"program.pir:slots"}));
+      session.alloc(2 * sizeof(long), session.intern_frames({"program.pir:slots"})));
   slots[0] = slots[1] = 0;
 
   Interpreter interp(&session);

@@ -27,7 +27,7 @@ int main() {
   session.monitor().start();
 
   auto* counters = static_cast<long*>(
-      session.alloc(2 * sizeof(long), {"live_monitor.cpp:counters"}));
+      session.alloc(2 * sizeof(long), session.intern_frames({"live_monitor.cpp:counters"})));
   counters[0] = counters[1] = 0;
 
   std::atomic<bool> done{false};

@@ -25,17 +25,17 @@ int main() {
 
   // A heap object holding one counter per thread — 8 bytes apart, so both
   // land on the same 64-byte cache line. This is the classic bug.
-  auto* counters = static_cast<long*>(
-      session.alloc(2 * sizeof(long), {"quickstart.cpp:counters"}));
+  auto* counters = static_cast<long*>(session.alloc(
+      2 * sizeof(long), session.intern_frames({"quickstart.cpp:counters"})));
   counters[0] = counters[1] = 0;
 
   auto worker = [&session, counters](pred::ThreadId tid) {
     for (int i = 0; i < 200'000; ++i) {
       // In a compiler-instrumented build these calls are inserted for you;
       // here we invoke the runtime entry point explicitly.
-      session.on_read(&counters[tid], tid);
+      session.record(&counters[tid], pred::AccessType::kRead, tid, 8);
       counters[tid] += 1;
-      session.on_write(&counters[tid], tid);
+      session.record(&counters[tid], pred::AccessType::kWrite, tid, 8);
     }
   };
   std::thread t0(worker, 0);

@@ -1,8 +1,29 @@
 #include "api/predator.hpp"
 
+#include <atomic>
+
+#include <unistd.h>
+
+#include "trace/snapshot_codec.hpp"
+
 namespace pred {
 
+namespace {
+
+std::uint64_t next_session_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  // Distinct across forked clients (pid) and across sessions within one
+  // process (counter). Fits operator expectations: the high half reads as
+  // the pid in hex.
+  return (static_cast<std::uint64_t>(::getpid()) << 32) | (n & 0xffffffffu);
+}
+
+}  // namespace
+
 Session::Session(SessionOptions options) : options_(options) {
+  uid_ = options_.session_uid != 0 ? options_.session_uid
+                                   : next_session_uid();
   runtime_ = std::make_unique<Runtime>(options_.runtime);
   predictor_ = std::make_unique<Predictor>(options_.predictor);
   predictor_->attach(*runtime_);
@@ -23,12 +44,23 @@ void* Session::alloc(std::size_t size, CallsiteId callsite) {
   return allocator_->allocate(size, callsite);
 }
 
-void* Session::alloc(std::size_t size,
-                     std::vector<std::string> callsite_frames) {
-  return allocator_->allocate(size, std::move(callsite_frames));
+void Session::free(void* p) { allocator_->deallocate(p); }
+
+std::string Session::publish() {
+  return SnapshotCodec::encode(monitor_->snapshot(),
+                               ClientId{uid_, static_cast<std::uint64_t>(
+                                                  ::getpid())});
 }
 
-void Session::free(void* p) { allocator_->deallocate(p); }
+std::string Session::hello_frame() const {
+  return SnapshotCodec::encode_hello(
+      ClientId{uid_, static_cast<std::uint64_t>(::getpid())});
+}
+
+std::string Session::goodbye_frame() const {
+  return SnapshotCodec::encode_goodbye(
+      ClientId{uid_, static_cast<std::uint64_t>(::getpid())});
+}
 
 void Session::register_global(void* addr, std::size_t size,
                               std::string name) {

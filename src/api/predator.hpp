@@ -35,8 +35,12 @@
 #include "runtime/report.hpp"
 #include "runtime/runtime.hpp"
 
-// Old entry points still work everywhere; define PREDATOR_WARN_DEPRECATED
-// to get compiler nudges toward the v2 API.
+// Session API v2 is frozen: the legacy v1 entry points (alloc with a
+// per-call frame vector, on_read/on_write) compile only when the build
+// opts in with -DPREDATOR_LEGACY_API (CMake option of the same name,
+// default OFF). No in-tree code uses them; out-of-tree users migrating at
+// their own pace can turn the option on and additionally define
+// PREDATOR_WARN_DEPRECATED for compiler nudges toward the v2 API.
 #ifdef PREDATOR_WARN_DEPRECATED
 #define PRED_DEPRECATED(msg) [[deprecated(msg)]]
 #else
@@ -50,6 +54,10 @@ struct SessionOptions {
   PredictorConfig predictor{};
   MonitorConfig monitor{};
   std::size_t heap_size = 256 * 1024 * 1024;
+  /// Fleet identity of this session (stamped on published snapshots).
+  /// 0 derives one from the process id and a per-process counter, which is
+  /// what keeps forked fleet clients distinguishable at the collector.
+  std::uint64_t session_uid = 0;
 };
 
 class Session {
@@ -93,10 +101,14 @@ class Session {
   /// Allocates `size` bytes attributed to a pre-interned callsite.
   void* alloc(std::size_t size, CallsiteId callsite);
 
+#ifdef PREDATOR_LEGACY_API
   /// Allocates attributing to a symbolic stack built per call. Prefer
   /// intern_frames + the CallsiteId overload on hot allocation paths.
   PRED_DEPRECATED("intern the stack once and call alloc(size, CallsiteId)")
-  void* alloc(std::size_t size, std::vector<std::string> callsite_frames);
+  void* alloc(std::size_t size, std::vector<std::string> callsite_frames) {
+    return allocator_->allocate(size, std::move(callsite_frames));
+  }
+#endif
 
   void free(void* p);
 
@@ -126,6 +138,7 @@ class Session {
                               count);
   }
 
+#ifdef PREDATOR_LEGACY_API
   PRED_DEPRECATED("use record(p, AccessType::kRead, tid, size)")
   void on_read(const void* p, ThreadId tid, std::size_t size = 8) {
     record(p, AccessType::kRead, tid, size);
@@ -134,6 +147,7 @@ class Session {
   void on_write(const void* p, ThreadId tid, std::size_t size = 8) {
     record(p, AccessType::kWrite, tid, size);
   }
+#endif
 
   /// Publishes the calling thread's staged write counters to the shared
   /// per-line counters, running any threshold checks that became due.
@@ -142,6 +156,24 @@ class Session {
   /// needed when reading `ShadowSpace::writes_count` directly mid-run from
   /// a still-bound thread.
   void flush() { flush_staged_writes(); }
+
+  // --- fleet publication (Session API v2) ---
+
+  /// This session's fleet identity: SessionOptions::session_uid, or the
+  /// pid-and-counter-derived default.
+  std::uint64_t uid() const { return uid_; }
+
+  /// Takes a monitor snapshot (same flushing contract as
+  /// monitor().snapshot()) and encodes it as one kSnapshot wire frame
+  /// stamped with this session's identity — the unit a fleet client streams
+  /// to a collector (src/collect/). The bytes are transport-agnostic:
+  /// write them to a socket/pipe, hand them to a SnapshotSink, or feed
+  /// them straight to Collector::ingest_frame in-process.
+  std::string publish();
+
+  /// Transport session brackets surrounding a stream of publish() frames.
+  std::string hello_frame() const;
+  std::string goodbye_frame() const;
 
   // --- results ---
   Report report() const { return build_report(*runtime_); }
@@ -154,6 +186,7 @@ class Session {
 
  private:
   SessionOptions options_;
+  std::uint64_t uid_ = 0;
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<Predictor> predictor_;
   std::unique_ptr<PredatorAllocator> allocator_;

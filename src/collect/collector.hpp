@@ -1,0 +1,111 @@
+// The fleet collector: many processes' monitor snapshots in, one rollup
+// out.
+//
+//   client Sessions ──publish()──► kSnapshot frames ──transport──► Collector
+//
+//                     Collector::ingest_frame
+//                            │  frame layer: magic/version/CRC checked,
+//                            │  corrupt frames rejected and counted
+//                            ▼
+//                     SnapshotCodec::decode
+//                            │  decompose() into per-client / per-line /
+//                            │  per-site records (snapshot_merge.hpp)
+//                            ▼
+//            ┌─ shard 0 ─┬─ shard 1 ─┬─ … ─┬─ shard S-1 ─┐
+//            │ lines,    │ lines,    │     │ lines,      │  records routed
+//            │ sites,    │ sites,    │     │ sites,      │  by key hash;
+//            │ clients   │ clients   │     │ clients     │  one mutex per
+//            └───────────┴───────────┴─────┴─────────────┘  shard
+//
+// Sharding is by *key hash* (line address, site key, client uid), so two
+// frames touching disjoint lines ingest fully in parallel and ingest
+// throughput scales with cores. Because each shard applies the same
+// pointwise newest-wins join as the sequential FleetState oracle, and the
+// join is commutative/associative/idempotent, any interleaving of
+// concurrent ingests converges to the oracle's state exactly —
+// tests/test_collector.cpp stresses this with 64 simulated clients.
+//
+// rollup() folds all shards under their locks into the conservative
+// [exact, exact+dropped] fleet view (see snapshot_merge.hpp for the bound
+// semantics).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monitor/snapshot_merge.hpp"
+#include "trace/wire_format.hpp"
+
+namespace pred {
+
+struct CollectorConfig {
+  /// Ingest shards. 0 picks the hardware concurrency, clamped to [1, 64].
+  std::size_t shards = 0;
+  /// Hot lines retained in the rollup.
+  std::size_t top_k = 16;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorConfig config = {});
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const CollectorConfig& config() const { return config_; }
+
+  /// Ingests one complete wire frame (header + payload), as produced by
+  /// Session::publish() / hello_frame() / goodbye_frame(). Returns false
+  /// on frame corruption, version skew, or an unhandled frame type; the
+  /// failure is counted in stats().frames_rejected.
+  bool ingest_frame(std::string_view frame_bytes);
+
+  /// Ingests a frame already validated by a FrameStreamParser (the
+  /// transport read loops use this to avoid re-parsing).
+  bool ingest_frame(const wire::Frame& frame);
+
+  /// Ingests an already-decoded snapshot (the loopback fast path and the
+  /// oracle tests use this).
+  void ingest(std::uint64_t client_uid, std::uint64_t client_pid,
+              const MonitorSnapshot& snap);
+
+  /// Folds every shard into the fleet rollup. Safe concurrently with
+  /// ingest (shards lock one at a time; the result is some join-order of
+  /// frames ingested so far, which the algebra makes well-defined).
+  FleetRollup rollup() const;
+  std::string rollup_text() const { return format_rollup(rollup()); }
+
+  /// The collector's state as a sequential FleetState (shard fold) — lets
+  /// tests compare against an oracle with operator==.
+  FleetState state() const;
+
+  struct Stats {
+    std::uint64_t frames_ingested = 0;   ///< valid frames of any type
+    std::uint64_t snapshots_ingested = 0;
+    std::uint64_t hellos = 0;
+    std::uint64_t goodbyes = 0;
+    std::uint64_t frames_rejected = 0;   ///< corrupt/skewed/unknown
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard;
+
+  std::size_t shard_of_uid(std::uint64_t uid) const;
+  std::size_t shard_of_line(Address line) const;
+  std::size_t shard_of_site(const std::string& key) const;
+
+  CollectorConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace pred

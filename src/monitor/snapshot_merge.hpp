@@ -1,0 +1,181 @@
+// Fleet merge algebra for MonitorSnapshots.
+//
+// A fleet client streams *cumulative* snapshots (every counter in a
+// MonitorSnapshot is monotone over the session's life, and `sequence`
+// totally orders the snapshots of one client). That makes fleet
+// aggregation a lattice join rather than a sum: the collector's state is a
+// product of per-key "newest wins" semilattices —
+//
+//   (client uid)            -> the client's newest scalar totals
+//   (client uid, line)      -> the newest top-K line entry seen for it
+//   (client uid, site key)  -> the newest callsite rollup entry seen
+//
+// joined pointwise under a deterministic total order (sequence first, then
+// full content as the tie-break). Join is commutative, associative, and
+// idempotent — re-delivered frames, reordered transports, and arbitrary
+// merge trees all converge to the same state, which is what lets the
+// sharded collector (src/collect/) ingest in parallel and still match a
+// sequential oracle fold bit-for-bit. tests/test_collector.cpp proves the
+// algebra laws over randomized snapshot sets.
+//
+// Drop reconciliation: rings shed events visibly (`events_dropped`), and a
+// shed event could have been an invalidation or sample anywhere, so the
+// rollup reports every count as a conservative interval
+// [exact, exact + dropped] — exact sums what survived aggregation, the
+// upper bound charges every dropped event in the fleet against the count.
+// A lossless oracle run always lands inside the interval.
+//
+// One subtlety the per-line decomposition handles: a line can fall out of
+// a client's top-K between snapshots. Whole-snapshot newest-wins would
+// forget it; per-(client, line) newest-wins retains its last published
+// counts, which — counters being monotone — remain a valid lower bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+
+namespace pred {
+
+// ---------------------------------------------------------------------------
+// Records and their total orders
+// ---------------------------------------------------------------------------
+
+/// Deterministic total order over snapshots: sequence, then every scalar,
+/// then the entry vectors lexicographically. Returns <0, 0, >0.
+int compare_snapshots(const MonitorSnapshot& a, const MonitorSnapshot& b);
+
+/// One client's newest whole-snapshot scalars (top_lines/callsites kept for
+/// rollup label resolution; the per-key maps below are authoritative for
+/// lines and sites).
+struct ClientRec {
+  std::uint64_t pid = 0;
+  MonitorSnapshot latest;
+};
+
+struct LineRec {
+  std::uint64_t sequence = 0;  ///< snapshot the entry was published in
+  MonitorSnapshot::LineEntry entry;
+};
+
+struct SiteRec {
+  std::uint64_t sequence = 0;
+  MonitorSnapshot::CallsiteEntry entry;
+};
+
+int compare_line_recs(const LineRec& a, const LineRec& b);
+int compare_site_recs(const SiteRec& a, const SiteRec& b);
+
+/// Stable per-client key of a callsite rollup entry ("c:<id>" for interned
+/// callsites, "g:<label>" for globals) — id spaces are per-process, so the
+/// key is only ever compared within one client.
+std::string site_key(const MonitorSnapshot::CallsiteEntry& ce);
+
+/// A snapshot decomposed into the records the join operates on. The
+/// sharded collector routes `lines`/`sites` to shards by key hash; the
+/// sequential oracle absorbs them directly — both through the exact same
+/// join rules, which is the agreement argument.
+struct SnapshotRecords {
+  std::uint64_t client_uid = 0;
+  ClientRec client;
+  std::vector<std::pair<Address, LineRec>> lines;
+  std::vector<std::pair<std::string, SiteRec>> sites;
+};
+
+SnapshotRecords decompose(std::uint64_t client_uid, std::uint64_t client_pid,
+                          const MonitorSnapshot& snap);
+
+// ---------------------------------------------------------------------------
+// Fleet state (the sequential / oracle implementation of the join)
+// ---------------------------------------------------------------------------
+
+/// The fleet-wide rollup served to operators: exact counts plus
+/// conservative [exact, upper] bounds that absorb ring drops.
+struct FleetRollup {
+  std::uint64_t clients = 0;
+  std::uint64_t events_seen = 0;
+  std::uint64_t events_dropped = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t invalidations = 0;        ///< exact (aggregated events only)
+  std::uint64_t invalidations_upper = 0;  ///< + events_dropped
+  std::uint64_t samples = 0;
+  std::uint64_t samples_upper = 0;
+  std::uint64_t predictions = 0;
+  std::uint64_t virtual_lines = 0;
+  std::uint64_t lines_tracked = 0;  ///< across clients
+
+  struct Line {
+    std::uint64_t client_uid = 0;
+    std::uint64_t client_pid = 0;
+    Address line_start = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t invalidations_upper = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t sample_writes = 0;
+    std::uint64_t predictions = 0;
+    bool escalated = false;
+    bool attributed = false;
+    bool is_global = false;
+    std::string label;
+  };
+  /// Fleet-wide top-K lines by exact invalidations (then samples, then
+  /// (uid, line) for determinism).
+  std::vector<Line> top_lines;
+
+  struct Site {
+    std::string label;  ///< symbolic source location, stable fleet-wide
+    std::uint64_t invalidations = 0;
+    std::uint64_t invalidations_upper = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t samples_upper = 0;
+    std::uint64_t lines = 0;    ///< distinct hot lines across the fleet
+    std::uint64_t clients = 0;  ///< clients reporting this site
+  };
+  /// Callsite rollup grouped by label across clients, sorted by exact
+  /// invalidations descending.
+  std::vector<Site> sites;
+};
+
+std::string format_rollup(const FleetRollup& rollup);
+
+/// Sequential fleet state: the reference implementation of the join. The
+/// collector's sharded state must agree with this exactly for any
+/// interleaving of the same frames.
+class FleetState {
+ public:
+  /// Joins one snapshot into the state.
+  void absorb(std::uint64_t client_uid, std::uint64_t client_pid,
+              const MonitorSnapshot& snap);
+  void absorb(const SnapshotRecords& records);
+
+  /// Joins another fleet state (e.g. a sub-collector's) into this one.
+  void merge(const FleetState& other);
+
+  FleetRollup rollup(std::size_t top_k) const;
+
+  std::size_t num_clients() const { return clients_.size(); }
+
+  /// Structural equality (used by the algebra-law and shard-consistency
+  /// tests).
+  bool operator==(const FleetState& other) const;
+
+ private:
+  friend class Collector;
+  std::map<std::uint64_t, ClientRec> clients_;
+  std::map<std::pair<std::uint64_t, Address>, LineRec> lines_;
+  std::map<std::pair<std::uint64_t, std::string>, SiteRec> sites_;
+};
+
+/// Fold lines/sites/clients maps into a rollup — shared by FleetState and
+/// the sharded Collector (which passes its shards' map fragments).
+FleetRollup build_rollup(
+    const std::map<std::uint64_t, ClientRec>& clients,
+    const std::map<std::pair<std::uint64_t, Address>, LineRec>& lines,
+    const std::map<std::pair<std::uint64_t, std::string>, SiteRec>& sites,
+    std::size_t top_k);
+
+}  // namespace pred

@@ -1,0 +1,258 @@
+#include "trace/snapshot_codec.hpp"
+
+#include "trace/wire_format.hpp"
+
+namespace pred {
+
+namespace {
+
+using wire::Field;
+using wire::FieldReader;
+using wire::FieldWriter;
+
+// Top-level snapshot payload field ids. New telemetry gets new ids; never
+// reuse or renumber — old collectors skip what they do not know.
+enum : std::uint16_t {
+  kFClientUid = 1,
+  kFClientPid = 2,
+  kFSequence = 3,
+  kFEventsSeen = 4,
+  kFEventsDropped = 5,
+  kFAggregationPasses = 6,
+  kFEscalations = 7,
+  kFInvalidations = 8,
+  kFSamples = 9,
+  kFPredictions = 10,
+  kFVirtualLines = 11,
+  kFLinesTracked = 12,
+  kFLineEntry = 13,      // repeated, nested
+  kFCallsiteEntry = 14,  // repeated, nested
+  kFRingEntry = 15,      // repeated, nested
+};
+
+// Nested LineEntry field ids.
+enum : std::uint16_t {
+  kFLineStart = 1,
+  kFLineInvalidations = 2,
+  kFLineSamples = 3,
+  kFLineSampleWrites = 4,
+  kFLinePredictions = 5,
+  kFLineFlags = 6,  // bit0 escalated, bit1 attributed, bit2 is_global
+  kFLineObjectStart = 7,
+  kFLineCallsite = 8,
+  kFLineLabel = 9,
+};
+
+// Nested CallsiteEntry field ids.
+enum : std::uint16_t {
+  kFSiteCallsite = 1,
+  kFSiteLabel = 2,
+  kFSiteInvalidations = 3,
+  kFSiteSamples = 4,
+  kFSiteLines = 5,
+};
+
+// Nested RingEntry field ids.
+enum : std::uint16_t {
+  kFRingProduced = 1,
+  kFRingConsumed = 2,
+  kFRingDropped = 3,
+};
+
+std::string encode_line(const MonitorSnapshot::LineEntry& le) {
+  std::string out;
+  FieldWriter w(&out);
+  w.u64(kFLineStart, le.line_start);
+  w.u64(kFLineInvalidations, le.invalidations);
+  w.u64(kFLineSamples, le.samples);
+  w.u64(kFLineSampleWrites, le.sample_writes);
+  w.u64(kFLinePredictions, le.predictions);
+  w.u64(kFLineFlags, (le.escalated ? 1u : 0u) | (le.attributed ? 2u : 0u) |
+                         (le.is_global ? 4u : 0u));
+  w.u64(kFLineObjectStart, le.object_start);
+  w.u64(kFLineCallsite, le.callsite);
+  w.str(kFLineLabel, le.label);
+  return out;
+}
+
+bool decode_line(std::string_view bytes, MonitorSnapshot::LineEntry* le) {
+  FieldReader r(bytes);
+  while (auto f = r.next()) {
+    switch (f->id) {
+      case kFLineStart: le->line_start = f->as_u64(); break;
+      case kFLineInvalidations: le->invalidations = f->as_u64(); break;
+      case kFLineSamples: le->samples = f->as_u64(); break;
+      case kFLineSampleWrites: le->sample_writes = f->as_u64(); break;
+      case kFLinePredictions: le->predictions = f->as_u64(); break;
+      case kFLineFlags: {
+        const std::uint64_t flags = f->as_u64();
+        le->escalated = flags & 1;
+        le->attributed = flags & 2;
+        le->is_global = flags & 4;
+        break;
+      }
+      case kFLineObjectStart: le->object_start = f->as_u64(); break;
+      case kFLineCallsite:
+        le->callsite = static_cast<CallsiteId>(f->as_u64());
+        break;
+      case kFLineLabel: le->label.assign(f->bytes); break;
+      default: break;  // field from a newer client — skip
+    }
+  }
+  return !r.malformed();
+}
+
+std::string encode_site(const MonitorSnapshot::CallsiteEntry& ce) {
+  std::string out;
+  FieldWriter w(&out);
+  w.u64(kFSiteCallsite, ce.callsite);
+  w.str(kFSiteLabel, ce.label);
+  w.u64(kFSiteInvalidations, ce.invalidations);
+  w.u64(kFSiteSamples, ce.samples);
+  w.u64(kFSiteLines, ce.lines);
+  return out;
+}
+
+bool decode_site(std::string_view bytes, MonitorSnapshot::CallsiteEntry* ce) {
+  FieldReader r(bytes);
+  while (auto f = r.next()) {
+    switch (f->id) {
+      case kFSiteCallsite:
+        ce->callsite = static_cast<CallsiteId>(f->as_u64());
+        break;
+      case kFSiteLabel: ce->label.assign(f->bytes); break;
+      case kFSiteInvalidations: ce->invalidations = f->as_u64(); break;
+      case kFSiteSamples: ce->samples = f->as_u64(); break;
+      case kFSiteLines:
+        ce->lines = static_cast<std::size_t>(f->as_u64());
+        break;
+      default: break;
+    }
+  }
+  return !r.malformed();
+}
+
+std::string encode_ring(const MonitorSnapshot::RingEntry& re) {
+  std::string out;
+  FieldWriter w(&out);
+  w.u64(kFRingProduced, re.produced);
+  w.u64(kFRingConsumed, re.consumed);
+  w.u64(kFRingDropped, re.dropped);
+  return out;
+}
+
+bool decode_ring(std::string_view bytes, MonitorSnapshot::RingEntry* re) {
+  FieldReader r(bytes);
+  while (auto f = r.next()) {
+    switch (f->id) {
+      case kFRingProduced: re->produced = f->as_u64(); break;
+      case kFRingConsumed: re->consumed = f->as_u64(); break;
+      case kFRingDropped: re->dropped = f->as_u64(); break;
+      default: break;
+    }
+  }
+  return !r.malformed();
+}
+
+std::string encode_client_payload(const ClientId& client) {
+  std::string payload;
+  FieldWriter w(&payload);
+  w.u64(kFClientUid, client.uid);
+  w.u64(kFClientPid, client.pid);
+  return payload;
+}
+
+}  // namespace
+
+std::string SnapshotCodec::encode(const MonitorSnapshot& snap,
+                                  const ClientId& client) {
+  std::string payload;
+  FieldWriter w(&payload);
+  w.u64(kFClientUid, client.uid);
+  w.u64(kFClientPid, client.pid);
+  w.u64(kFSequence, snap.sequence);
+  w.u64(kFEventsSeen, snap.events_seen);
+  w.u64(kFEventsDropped, snap.events_dropped);
+  w.u64(kFAggregationPasses, snap.aggregation_passes);
+  w.u64(kFEscalations, snap.escalations);
+  w.u64(kFInvalidations, snap.invalidations);
+  w.u64(kFSamples, snap.samples);
+  w.u64(kFPredictions, snap.predictions);
+  w.u64(kFVirtualLines, snap.virtual_lines);
+  w.u64(kFLinesTracked, snap.lines_tracked);
+  for (const auto& le : snap.top_lines) w.bytes(kFLineEntry, encode_line(le));
+  for (const auto& ce : snap.callsites) {
+    w.bytes(kFCallsiteEntry, encode_site(ce));
+  }
+  for (const auto& re : snap.rings) w.bytes(kFRingEntry, encode_ring(re));
+  return wire::encode_frame(wire::FrameType::kSnapshot, payload);
+}
+
+bool SnapshotCodec::decode(std::string_view payload, DecodedSnapshot* out) {
+  *out = DecodedSnapshot{};
+  MonitorSnapshot& snap = out->snapshot;
+  FieldReader r(payload);
+  while (auto f = r.next()) {
+    switch (f->id) {
+      case kFClientUid: out->client.uid = f->as_u64(); break;
+      case kFClientPid: out->client.pid = f->as_u64(); break;
+      case kFSequence: snap.sequence = f->as_u64(); break;
+      case kFEventsSeen: snap.events_seen = f->as_u64(); break;
+      case kFEventsDropped: snap.events_dropped = f->as_u64(); break;
+      case kFAggregationPasses: snap.aggregation_passes = f->as_u64(); break;
+      case kFEscalations: snap.escalations = f->as_u64(); break;
+      case kFInvalidations: snap.invalidations = f->as_u64(); break;
+      case kFSamples: snap.samples = f->as_u64(); break;
+      case kFPredictions: snap.predictions = f->as_u64(); break;
+      case kFVirtualLines: snap.virtual_lines = f->as_u64(); break;
+      case kFLinesTracked:
+        snap.lines_tracked = static_cast<std::size_t>(f->as_u64());
+        break;
+      case kFLineEntry: {
+        MonitorSnapshot::LineEntry le;
+        if (!decode_line(f->bytes, &le)) return false;
+        snap.top_lines.push_back(std::move(le));
+        break;
+      }
+      case kFCallsiteEntry: {
+        MonitorSnapshot::CallsiteEntry ce;
+        if (!decode_site(f->bytes, &ce)) return false;
+        snap.callsites.push_back(std::move(ce));
+        break;
+      }
+      case kFRingEntry: {
+        MonitorSnapshot::RingEntry re;
+        if (!decode_ring(f->bytes, &re)) return false;
+        snap.rings.push_back(re);
+        break;
+      }
+      default: break;  // newer-client field — skip
+    }
+  }
+  return !r.malformed();
+}
+
+std::string SnapshotCodec::encode_hello(const ClientId& client) {
+  return wire::encode_frame(wire::FrameType::kHello,
+                            encode_client_payload(client));
+}
+
+std::string SnapshotCodec::encode_goodbye(const ClientId& client) {
+  return wire::encode_frame(wire::FrameType::kGoodbye,
+                            encode_client_payload(client));
+}
+
+bool SnapshotCodec::decode_client(std::string_view payload, ClientId* out) {
+  *out = ClientId{};
+  FieldReader r(payload);
+  while (auto f = r.next()) {
+    switch (f->id) {
+      case kFClientUid: out->uid = f->as_u64(); break;
+      case kFClientPid: out->pid = f->as_u64(); break;
+      default: break;
+    }
+  }
+  return !r.malformed();
+}
+
+}  // namespace pred

@@ -1,0 +1,52 @@
+// SnapshotCodec: the versioned binary wire form of MonitorSnapshot — the
+// object a fleet client publishes and a collector ingests. Built on the
+// shared frame/field layer (trace/wire_format.hpp): one kSnapshot frame
+// whose payload is a tagged-field sequence, with nested field sequences for
+// line entries, callsite entries, and ring stats. Every field is skippable,
+// so a v2 collector keeps ingesting snapshots from clients that have grown
+// new telemetry, and the CRC in the frame header rejects corrupt or torn
+// frames before any of it is interpreted.
+//
+// Client identity travels inside the payload (uid + pid + sequence), not in
+// the transport, so a frame is attributable no matter how it arrived —
+// socketpair, unix socket, file, or in-process loopback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "monitor/monitor.hpp"
+
+namespace pred {
+
+/// Identity a publishing client stamps on every snapshot frame.
+struct ClientId {
+  std::uint64_t uid = 0;  ///< unique per Session (see Session::uid())
+  std::uint64_t pid = 0;  ///< OS process id, for operator display
+};
+
+struct DecodedSnapshot {
+  ClientId client;
+  MonitorSnapshot snapshot;
+};
+
+class SnapshotCodec {
+ public:
+  /// Encodes a snapshot as one complete kSnapshot frame (header included).
+  static std::string encode(const MonitorSnapshot& snap,
+                            const ClientId& client);
+
+  /// Decodes a kSnapshot frame *payload* (the frame layer has already
+  /// verified magic/version/CRC). Unknown fields are skipped; missing
+  /// fields default to zero/empty. Returns false only on malformed field
+  /// structure.
+  static bool decode(std::string_view payload, DecodedSnapshot* out);
+
+  /// Encodes a kHello / kGoodbye frame for transport session brackets.
+  static std::string encode_hello(const ClientId& client);
+  static std::string encode_goodbye(const ClientId& client);
+  static bool decode_client(std::string_view payload, ClientId* out);
+};
+
+}  // namespace pred

@@ -1,7 +1,11 @@
 #include "trace/trace_io.hpp"
 
+#include <cstring>
 #include <fstream>
+#include <istream>
 #include <ostream>
+
+#include "trace/wire_format.hpp"
 
 namespace pred {
 
@@ -16,11 +20,14 @@ struct WireEvent {
 };
 static_assert(sizeof(WireEvent) == 16);
 
-template <typename T>
-bool write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-  return out.good();
-}
+// Field ids inside kTraceHeader / kThreadTrace payloads.
+enum : std::uint16_t {
+  kFieldThreadCount = 1,
+  kFieldTotalEvents = 2,
+  kFieldThreadIndex = 1,
+  kFieldEventCount = 2,
+  kFieldEvents = 3,
+};
 
 template <typename T>
 bool read_pod(std::istream& in, T* value) {
@@ -28,38 +35,11 @@ bool read_pod(std::istream& in, T* value) {
   return in.good();
 }
 
-}  // namespace
-
-bool save_traces(std::ostream& out, const std::vector<ThreadTrace>& traces) {
-  if (!write_pod(out, kTraceMagic)) return false;
-  if (!write_pod(out, kTraceVersion)) return false;
-  if (!write_pod(out, static_cast<std::uint32_t>(traces.size()))) return false;
-  for (const ThreadTrace& trace : traces) {
-    if (!write_pod(out, static_cast<std::uint64_t>(trace.size()))) {
-      return false;
-    }
-    for (const TraceEvent& ev : trace) {
-      WireEvent wire{static_cast<std::uint64_t>(ev.addr), ev.think_cycles,
-                     static_cast<std::uint8_t>(ev.type), ev.size, 0};
-      if (!write_pod(out, wire)) return false;
-    }
-  }
-  return out.good();
-}
-
-bool save_traces_file(const std::string& path,
-                      const std::vector<ThreadTrace>& traces) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  return out.is_open() && save_traces(out, traces);
-}
-
-bool load_traces(std::istream& in, std::vector<ThreadTrace>* traces) {
-  traces->clear();
-  std::uint32_t magic = 0;
+// v1 body reader, entered after the "PRTR" magic has been consumed.
+bool load_traces_v1(std::istream& in, std::vector<ThreadTrace>* traces) {
   std::uint32_t version = 0;
   std::uint32_t threads = 0;
-  if (!read_pod(in, &magic) || magic != kTraceMagic) return false;
-  if (!read_pod(in, &version) || version != kTraceVersion) return false;
+  if (!read_pod(in, &version) || version != 1) return false;
   if (!read_pod(in, &threads)) return false;
   std::vector<ThreadTrace> loaded;
   loaded.resize(threads);
@@ -77,6 +57,108 @@ bool load_traces(std::istream& in, std::vector<ThreadTrace>* traces) {
       ev.size = wire.size;
       loaded[t].push_back(ev);
     }
+  }
+  *traces = std::move(loaded);
+  return true;
+}
+
+}  // namespace
+
+std::string pack_events(const ThreadTrace& trace) {
+  std::string out;
+  out.reserve(trace.size() * sizeof(WireEvent));
+  for (const TraceEvent& ev : trace) {
+    WireEvent wire{static_cast<std::uint64_t>(ev.addr), ev.think_cycles,
+                   static_cast<std::uint8_t>(ev.type), ev.size, 0};
+    out.append(reinterpret_cast<const char*>(&wire), sizeof wire);
+  }
+  return out;
+}
+
+bool unpack_events(std::string_view bytes, ThreadTrace* out) {
+  if (bytes.size() % sizeof(WireEvent) != 0) return false;
+  const std::size_t n = bytes.size() / sizeof(WireEvent);
+  out->clear();
+  out->reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WireEvent wire;
+    std::memcpy(&wire, bytes.data() + i * sizeof(WireEvent), sizeof wire);
+    TraceEvent ev;
+    ev.addr = static_cast<Address>(wire.addr);
+    ev.think_cycles = wire.think;
+    ev.type = wire.type == 0 ? AccessType::kRead : AccessType::kWrite;
+    ev.size = wire.size;
+    out->push_back(ev);
+  }
+  return true;
+}
+
+bool save_traces(std::ostream& out, const std::vector<ThreadTrace>& traces) {
+  std::string header;
+  wire::FieldWriter hw(&header);
+  hw.u64(kFieldThreadCount, traces.size());
+  hw.u64(kFieldTotalEvents, total_events(traces));
+  const std::string hframe =
+      wire::encode_frame(wire::FrameType::kTraceHeader, header);
+  out.write(hframe.data(), static_cast<std::streamsize>(hframe.size()));
+  if (!out.good()) return false;
+
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    std::string payload;
+    wire::FieldWriter fw(&payload);
+    fw.u64(kFieldThreadIndex, t);
+    fw.u64(kFieldEventCount, traces[t].size());
+    fw.bytes(kFieldEvents, pack_events(traces[t]));
+    const std::string frame =
+        wire::encode_frame(wire::FrameType::kThreadTrace, payload);
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    if (!out.good()) return false;
+  }
+  return out.good();
+}
+
+bool save_traces_file(const std::string& path,
+                      const std::vector<ThreadTrace>& traces) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out.is_open() && save_traces(out, traces);
+}
+
+bool load_traces(std::istream& in, std::vector<ThreadTrace>* traces) {
+  traces->clear();
+
+  // Dispatch on the magic: "PRTR" selects the legacy v1 body, anything else
+  // must parse as a v2 frame stream (read_frame re-checks the magic).
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (!in.good()) return false;
+  if (magic == kTraceMagic) return load_traces_v1(in, traces);
+  in.seekg(-static_cast<std::streamoff>(sizeof magic), std::ios::cur);
+
+  wire::Frame frame;
+  if (wire::read_frame(in, &frame) != wire::FrameError::kOk ||
+      frame.type != wire::FrameType::kTraceHeader) {
+    return false;
+  }
+  const auto threads_field =
+      wire::FieldReader::find(frame.payload, kFieldThreadCount);
+  if (!threads_field) return false;
+  const std::uint64_t threads = threads_field->as_u64();
+
+  std::vector<ThreadTrace> loaded(threads);
+  for (std::uint64_t i = 0; i < threads; ++i) {
+    if (wire::read_frame(in, &frame) != wire::FrameError::kOk ||
+        frame.type != wire::FrameType::kThreadTrace) {
+      return false;
+    }
+    const auto index = wire::FieldReader::find(frame.payload, kFieldThreadIndex);
+    const auto count = wire::FieldReader::find(frame.payload, kFieldEventCount);
+    const auto events = wire::FieldReader::find(frame.payload, kFieldEvents);
+    if (!index || !count || !events || index->as_u64() >= threads) {
+      return false;
+    }
+    ThreadTrace& slot = loaded[index->as_u64()];
+    if (!unpack_events(events->bytes, &slot)) return false;
+    if (slot.size() != count->as_u64()) return false;
   }
   *traces = std::move(loaded);
   return true;

@@ -20,18 +20,19 @@ SessionOptions small_options() {
 
 TEST(Session, AllocFreeRoundTrip) {
   Session s(small_options());
-  void* p = s.alloc(128, {"api.c:1"});
+  void* p = s.alloc(128, s.intern_frames({"api.c:1"}));
   ASSERT_NE(p, nullptr);
   s.free(p);
 }
 
-TEST(Session, DetectsFalseSharingViaOnReadOnWrite) {
+TEST(Session, DetectsFalseSharingViaRecord) {
   Session s(small_options());
-  auto* data = static_cast<std::int64_t*>(s.alloc(64, {"api.c:10"}));
+  auto* data = static_cast<std::int64_t*>(
+      s.alloc(64, s.intern_frames({"api.c:10"})));
   ASSERT_NE(data, nullptr);
   for (int i = 0; i < 200; ++i) {
-    s.on_write(&data[0], 0);
-    s.on_write(&data[1], 1);
+    s.record(&data[0], AccessType::kWrite, 0, 8);
+    s.record(&data[1], AccessType::kWrite, 1, 8);
   }
   const Report rep = s.report();
   ASSERT_EQ(rep.findings.size(), 1u);
@@ -44,8 +45,8 @@ TEST(Session, RegisterGlobalTracksExistingMemory) {
   alignas(64) static std::int64_t counters[8];
   s.register_global(counters, sizeof(counters), "counters");
   for (int i = 0; i < 200; ++i) {
-    s.on_write(&counters[0], 0);
-    s.on_write(&counters[1], 1);
+    s.record(&counters[0], AccessType::kWrite, 0, 8);
+    s.record(&counters[1], AccessType::kWrite, 1, 8);
   }
   const Report rep = s.report();
   ASSERT_EQ(rep.findings.size(), 1u);
@@ -60,7 +61,8 @@ TEST(Session, MetadataBytesNonZero) {
 
 TEST(ThreadContextShims, LoadStoreRouteThroughBoundSession) {
   Session s(small_options());
-  auto* data = static_cast<std::int64_t*>(s.alloc(64, {"shim.c:5"}));
+  auto* data = static_cast<std::int64_t*>(
+      s.alloc(64, s.intern_frames({"shim.c:5"})));
   ASSERT_NE(data, nullptr);
 
   std::thread t0([&] {
@@ -103,7 +105,8 @@ TEST(TrackedWrapper, BehavesLikeValue) {
 TEST(TrackedWrapper, AccessesReachRuntimeWhenInTrackedRegion) {
   Session s(small_options());
   // Place tracked values inside session heap via placement.
-  auto* slot = static_cast<tracked<std::int64_t>*>(s.alloc(64, {"tw.c:3"}));
+  auto* slot = static_cast<tracked<std::int64_t>*>(
+      s.alloc(64, s.intern_frames({"tw.c:3"})));
   new (slot) tracked<std::int64_t>(0);
   new (slot + 1) tracked<std::int64_t>(0);
   {
@@ -127,11 +130,12 @@ TEST(Session, PredictionRunsEndToEnd) {
   o.runtime.prediction_threshold = 64;
   Session s(o);
   // Two threads on adjacent lines of one object: latent false sharing.
-  auto* data = static_cast<std::int64_t*>(s.alloc(256, {"latent.c:20"}));
+  auto* data = static_cast<std::int64_t*>(
+      s.alloc(256, s.intern_frames({"latent.c:20"})));
   ASSERT_NE(data, nullptr);
   for (int i = 0; i < 500; ++i) {
-    s.on_write(&data[7], 0);  // end of line 0
-    s.on_write(&data[8], 1);  // start of line 1
+    s.record(&data[7], AccessType::kWrite, 0, 8);  // end of line 0
+    s.record(&data[8], AccessType::kWrite, 1, 8);  // start of line 1
   }
   const Report rep = s.report();
   ASSERT_FALSE(rep.findings.empty());

@@ -18,7 +18,7 @@ SessionOptions options() {
 
 TEST(BatchBuffer, FlushesAutomaticallyAtCapacity) {
   Session session(options());
-  auto* data = static_cast<long*>(session.alloc(64, {"b.c:1"}));
+  auto* data = static_cast<long*>(session.alloc(64, session.intern_frames({"b.c:1"})));
   BatchBuffer buf(session, 0);
   for (std::size_t i = 0; i < BatchBuffer::kCapacity - 1; ++i) {
     buf.write(&data[0]);
@@ -30,7 +30,7 @@ TEST(BatchBuffer, FlushesAutomaticallyAtCapacity) {
 
 TEST(BatchBuffer, DestructorFlushesRemainder) {
   Session session(options());
-  auto* data = static_cast<long*>(session.alloc(64, {"b.c:2"}));
+  auto* data = static_cast<long*>(session.alloc(64, session.intern_frames({"b.c:2"})));
   {
     BatchBuffer buf(session, 0);
     for (int i = 0; i < 10; ++i) buf.write(&data[0]);
@@ -47,7 +47,7 @@ TEST(BatchBuffer, EquivalentToDirectDelivery) {
   // invalidation counts and classification.
   auto run = [](bool batched) {
     Session session(options());
-    auto* data = static_cast<long*>(session.alloc(64, {"b.c:3"}));
+    auto* data = static_cast<long*>(session.alloc(64, session.intern_frames({"b.c:3"})));
     if (batched) {
       BatchBuffer b0(session, 0);
       BatchBuffer b1(session, 1);
@@ -59,8 +59,8 @@ TEST(BatchBuffer, EquivalentToDirectDelivery) {
       }
     } else {
       for (int i = 0; i < 500; ++i) {
-        session.on_write(&data[0], 0);
-        session.on_write(&data[1], 1);
+        session.record(&data[0], AccessType::kWrite, 0, 8);
+        session.record(&data[1], AccessType::kWrite, 1, 8);
       }
     }
     const Report rep = session.report();
@@ -77,7 +77,7 @@ TEST(BatchBuffer, BatchedDetectionStillFindsFalseSharing) {
   // in bursts of kCapacity. Invalidation counts drop (fewer interleavings
   // seen) but the verdict must hold.
   Session session(options());
-  auto* data = static_cast<long*>(session.alloc(64, {"b.c:4"}));
+  auto* data = static_cast<long*>(session.alloc(64, session.intern_frames({"b.c:4"})));
   BatchBuffer b0(session, 0);
   BatchBuffer b1(session, 1);
   for (int i = 0; i < 4000; ++i) {

@@ -57,16 +57,16 @@ TEST(EdgeCases, TwoObjectsOnOneLineAttributeToTheHotterOne) {
   o.runtime.report_invalidation_threshold = 20;
   Session s(o);
   // Two 16-byte objects share a line (same thread allocates both).
-  auto* a = static_cast<long*>(s.alloc(16, {"small.c:first"}));
-  auto* b = static_cast<long*>(s.alloc(16, {"small.c:second"}));
+  auto* a = static_cast<long*>(s.alloc(16, s.intern_frames({"small.c:first"})));
+  auto* b = static_cast<long*>(s.alloc(16, s.intern_frames({"small.c:second"})));
   ASSERT_EQ(reinterpret_cast<Address>(a) / 64,
             reinterpret_cast<Address>(b) / 64);
   // Object b carries nearly all the traffic (two threads, false sharing).
   for (int i = 0; i < 300; ++i) {
-    s.on_write(&b[0], 0);
-    s.on_write(&b[1], 1);
+    s.record(&b[0], AccessType::kWrite, 0, 8);
+    s.record(&b[1], AccessType::kWrite, 1, 8);
   }
-  s.on_write(&a[0], 0);
+  s.record(&a[0], AccessType::kWrite, 0, 8);
   const Report rep = s.report();
   ASSERT_EQ(rep.findings.size(), 1u);
   ASSERT_NE(rep.findings[0].object.callsite, kNoCallsite);
@@ -83,10 +83,10 @@ TEST(EdgeCases, FreedFalselySharedObjectStillReported) {
   o.runtime.tracking_threshold = 2;
   o.runtime.report_invalidation_threshold = 20;
   Session s(o);
-  auto* p = static_cast<long*>(s.alloc(64, {"freed.c:42"}));
+  auto* p = static_cast<long*>(s.alloc(64, s.intern_frames({"freed.c:42"})));
   for (int i = 0; i < 200; ++i) {
-    s.on_write(&p[0], 0);
-    s.on_write(&p[1], 1);
+    s.record(&p[0], AccessType::kWrite, 0, 8);
+    s.record(&p[1], AccessType::kWrite, 1, 8);
   }
   s.free(p);
   const Report rep = s.report();
@@ -101,8 +101,8 @@ TEST(EdgeCases, AccessSizeZeroTreatedAsOneByte) {
   o.heap_size = 4 * 1024 * 1024;
   o.runtime.tracking_threshold = 2;
   Session s(o);
-  auto* p = static_cast<char*>(s.alloc(64, {"sz.c:1"}));
-  for (int i = 0; i < 10; ++i) s.on_write(p, 0, 0);  // size 0: no crash
+  auto* p = static_cast<char*>(s.alloc(64, s.intern_frames({"sz.c:1"})));
+  for (int i = 0; i < 10; ++i) s.record(p, AccessType::kWrite, 0, 0);  // size 0: no crash
   auto& shadow = s.allocator().shadow();
   CacheTracker* t =
       shadow.tracker(shadow.line_index(reinterpret_cast<Address>(p)));
@@ -115,8 +115,8 @@ TEST(EdgeCases, ReportThresholdZeroReportsEverythingTouchedByConflict) {
   o.runtime.tracking_threshold = 2;
   o.runtime.report_invalidation_threshold = 0;
   Session s(o);
-  auto* p = static_cast<long*>(s.alloc(64, {"t0.c:1"}));
-  for (int i = 0; i < 5; ++i) s.on_write(&p[0], 0);
+  auto* p = static_cast<long*>(s.alloc(64, s.intern_frames({"t0.c:1"})));
+  for (int i = 0; i < 5; ++i) s.record(&p[0], AccessType::kWrite, 0, 8);
   // Even a never-invalidated line passes a zero threshold.
   EXPECT_FALSE(s.report().findings.empty());
 }

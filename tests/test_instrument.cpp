@@ -269,7 +269,7 @@ TEST(Interpreter, MemSetIntrinsicWritesAndInstruments) {
   opts.runtime.set_sampling_rate(1.0);
   opts.heap_size = 4 * 1024 * 1024;
   Session session(opts);
-  auto* buf = static_cast<unsigned char*>(session.alloc(64, {"ms.c:1"}));
+  auto* buf = static_cast<unsigned char*>(session.alloc(64, session.intern_frames({"ms.c:1"})));
   std::memset(buf, 0xee, 64);
 
   Module m;
@@ -405,7 +405,7 @@ TEST(InstrumentedExecution, DetectsFalseSharingFromIR) {
   opts.heap_size = 4 * 1024 * 1024;
   Session session(opts);
   auto* shared = static_cast<std::int64_t*>(
-      session.alloc(64, {"ir_program.c:7"}));
+      session.alloc(64, session.intern_frames({"ir_program.c:7"})));
   ASSERT_NE(shared, nullptr);
 
   // for (i = 0; i < 400; i++) { store slot } — one function per thread slot.

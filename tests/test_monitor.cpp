@@ -129,7 +129,7 @@ TEST(Monitor, SnapshotMatchesFinalReport) {
   // sharing, every post-escalation write sampled, every sampled write after
   // the first an invalidation. Emission all happens from this one OS
   // thread, so the event stream is lossless and ordered.
-  auto* obj = static_cast<long*>(session.alloc(64, {"monitor.c:ping_pong"}));
+  auto* obj = static_cast<long*>(session.alloc(64, session.intern_frames({"monitor.c:ping_pong"})));
   for (int i = 0; i < 200; ++i) {
     session.record(&obj[(i % 2) * 2], W, static_cast<ThreadId>(i % 2), 8);
   }
@@ -192,7 +192,7 @@ TEST(Monitor, SnapshotFlushesStagedCounters) {
   Session session(o);
   session.monitor().start();
 
-  auto* obj = static_cast<long*>(session.alloc(64, {"monitor.c:staged"}));
+  auto* obj = static_cast<long*>(session.alloc(64, session.intern_frames({"monitor.c:staged"})));
   const ShadowSpace* region =
       session.runtime().find_region(reinterpret_cast<Address>(obj));
   ASSERT_NE(region, nullptr);
@@ -219,7 +219,7 @@ TEST(Monitor, DropCountersSurfacedInSnapshot) {
   Session session(o);
   session.monitor().start();
 
-  auto* obj = static_cast<long*>(session.alloc(64, {"monitor.c:flood"}));
+  auto* obj = static_cast<long*>(session.alloc(64, session.intern_frames({"monitor.c:flood"})));
   for (int i = 0; i < 5'000; ++i) {
     session.record(&obj[(i % 2) * 2], W, static_cast<ThreadId>(i % 2), 8);
   }
@@ -258,7 +258,7 @@ TEST(Monitor, StartStopSnapshotRaceFreeUnderMutators) {
   Session session(o);
 
   constexpr int kThreads = 4;
-  auto* shared = static_cast<long*>(session.alloc(64, {"monitor.c:shared"}));
+  auto* shared = static_cast<long*>(session.alloc(64, session.intern_frames({"monitor.c:shared"})));
   for (int i = 0; i < 8; ++i) shared[i] = 0;
 
   // Mutators run until the lifecycle churn below is done (a fixed step

@@ -32,9 +32,12 @@ TEST(Stress, MixedAllocAccessFreeAcrossThreads) {
 
   // One shared hot object so prediction and invalidation tracking fire
   // while private churn happens around them.
-  auto* shared =
-      static_cast<long*>(session.alloc(64, {"stress.c:shared"}));
+  auto* shared = static_cast<long*>(
+      session.alloc(64, session.intern_frames({"stress.c:shared"})));
   for (int i = 0; i < 8; ++i) shared[i] = 0;
+
+  // Hot allocation path: intern the callsite once, outside the threads.
+  const CallsiteId cs_private = session.intern_frames({"stress.c:private"});
 
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
@@ -45,10 +48,9 @@ TEST(Stress, MixedAllocAccessFreeAcrossThreads) {
       for (int step = 0; step < kSteps; ++step) {
         switch (rng.next_below(4)) {
           case 0: {  // allocate and touch
-            void* p = session.alloc(8 + rng.next_below(500),
-                                    {"stress.c:private"});
+            void* p = session.alloc(8 + rng.next_below(500), cs_private);
             ASSERT_NE(p, nullptr);
-            session.on_write(p, tid);
+            session.record(p, AccessType::kWrite, tid, 8);
             *static_cast<long*>(p) = step;
             mine.push_back(p);
             break;
@@ -61,14 +63,14 @@ TEST(Stress, MixedAllocAccessFreeAcrossThreads) {
             break;
           }
           case 2: {  // hammer our private slot of the shared object
-            session.on_read(&shared[t], tid);
-            session.on_write(&shared[t], tid);
+            session.record(&shared[t], AccessType::kRead, tid, 8);
+            session.record(&shared[t], AccessType::kWrite, tid, 8);
             shared[t] += 1;
             accesses.fetch_add(2, std::memory_order_relaxed);
             break;
           }
           default: {  // read a neighbor's slot (read-write sharing)
-            session.on_read(&shared[(t + 1) % kThreads], tid);
+            session.record(&shared[(t + 1) % kThreads], AccessType::kRead, tid, 8);
             accesses.fetch_add(1, std::memory_order_relaxed);
             break;
           }
@@ -103,10 +105,10 @@ TEST(Stress, ManySessionsSequentially) {
   // detector lifecycles back to back.
   for (int round = 0; round < 8; ++round) {
     Session session(stress_options());
-    auto* data = static_cast<long*>(session.alloc(64, {"cycle.c:1"}));
+    auto* data = static_cast<long*>(session.alloc(64, session.intern_frames({"cycle.c:1"})));
     for (int i = 0; i < 200; ++i) {
-      session.on_write(&data[0], 0);
-      session.on_write(&data[1], 1);
+      session.record(&data[0], AccessType::kWrite, 0, 8);
+      session.record(&data[1], AccessType::kWrite, 1, 8);
     }
     const Report rep = session.report();
     ASSERT_EQ(rep.findings.size(), 1u) << "round " << round;
@@ -122,7 +124,7 @@ TEST(Stress, ParallelReportingWhileMutating) {
   // test); keep them relaxed atomics so the *workload* itself is
   // well-defined C++ and the suite stays ThreadSanitizer-clean.
   auto* data =
-      static_cast<std::atomic<long>*>(session.alloc(128, {"live.c:1"}));
+      static_cast<std::atomic<long>*>(session.alloc(128, session.intern_frames({"live.c:1"})));
   std::atomic<bool> stop{false};
 
   std::thread mutator([&] {
@@ -130,14 +132,14 @@ TEST(Stress, ParallelReportingWhileMutating) {
     Xorshift64 rng(7);
     while (!stop.load(std::memory_order_relaxed)) {
       const std::size_t w = rng.next_below(16);
-      session.on_write(&data[w], tid);
+      session.record(&data[w], AccessType::kWrite, tid, 8);
       data[w].fetch_add(1, std::memory_order_relaxed);
     }
   });
   std::thread mutator2([&] {
     ThreadId tid = session.register_thread();
     while (!stop.load(std::memory_order_relaxed)) {
-      session.on_write(&data[0], tid);
+      session.record(&data[0], AccessType::kWrite, tid, 8);
       data[0].fetch_add(1, std::memory_order_relaxed);
     }
   });

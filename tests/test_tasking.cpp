@@ -80,7 +80,7 @@ TEST(FiberDetection, FalseSharingBetweenFibersIsDetected) {
   opts.runtime.report_invalidation_threshold = 50;
   Session session(opts);
   auto* slots =
-      static_cast<long*>(session.alloc(64, {"fiber_app.cpp:slots"}));
+      static_cast<long*>(session.alloc(64, session.intern_frames({"fiber_app.cpp:slots"})));
   ASSERT_NE(slots, nullptr);
 
   FiberPool pool;
@@ -88,9 +88,9 @@ TEST(FiberDetection, FalseSharingBetweenFibersIsDetected) {
     pool.spawn([&session, slots, f] {
       const auto tid = static_cast<ThreadId>(FiberPool::current_fiber());
       for (int i = 0; i < 300; ++i) {
-        session.on_read(&slots[f], tid);
+        session.record(&slots[f], AccessType::kRead, tid, 8);
         slots[f] += 1;
-        session.on_write(&slots[f], tid);
+        session.record(&slots[f], AccessType::kWrite, tid, 8);
         FiberPool::yield();  // cooperative interleaving
       }
     });
@@ -108,12 +108,13 @@ TEST(FiberDetection, SingleFiberNeverFalseShares) {
   opts.heap_size = 8 * 1024 * 1024;
   opts.runtime.tracking_threshold = 2;
   Session session(opts);
-  auto* slots = static_cast<long*>(session.alloc(64, {"fiber_app.cpp:one"}));
+  auto* slots = static_cast<long*>(
+      session.alloc(64, session.intern_frames({"fiber_app.cpp:one"})));
   FiberPool pool;
   pool.spawn([&session, slots] {
     for (int i = 0; i < 500; ++i) {
-      session.on_write(&slots[i % 8],
-                       static_cast<ThreadId>(FiberPool::current_fiber()));
+      session.record(&slots[i % 8], AccessType::kWrite,
+                     static_cast<ThreadId>(FiberPool::current_fiber()), 8);
     }
   });
   pool.run();

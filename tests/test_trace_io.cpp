@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "trace/trace_io.hpp"
+#include "trace/wire_format.hpp"
 #include "workloads/workload.hpp"
 
 namespace pred {
@@ -72,6 +73,113 @@ TEST(TraceIo, RejectsWrongVersion) {
   buf.write(reinterpret_cast<const char*>(&bad_version), 4);
   std::vector<ThreadTrace> loaded;
   EXPECT_FALSE(load_traces(buf, &loaded));
+}
+
+// The current writer emits the v2 frame stream; saved traces must start at
+// a verifiable frame boundary, not the legacy preamble.
+TEST(TraceIo, SavesVersion2FrameStream) {
+  std::vector<ThreadTrace> traces{make_trace(5, 0x1000)};
+  std::stringstream buf;
+  ASSERT_TRUE(save_traces(buf, traces));
+  const std::string bytes = buf.str();
+
+  wire::Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::parse_frame(bytes, &frame, &consumed), wire::FrameError::kOk);
+  EXPECT_EQ(frame.type, wire::FrameType::kTraceHeader);
+  ASSERT_EQ(wire::parse_frame(std::string_view(bytes).substr(consumed),
+                              &frame, &consumed),
+            wire::FrameError::kOk);
+  EXPECT_EQ(frame.type, wire::FrameType::kThreadTrace);
+}
+
+// A legacy v1 file (raw "PRTR" preamble, no frames) still loads.
+TEST(TraceIo, ReadsLegacyV1Files) {
+  const std::vector<ThreadTrace> traces{make_trace(9, 0x3000),
+                                        make_trace(4, 0x5000)};
+  std::stringstream buf;
+  const std::uint32_t magic = kTraceMagic;
+  const std::uint32_t version = 1;
+  const std::uint32_t threads = static_cast<std::uint32_t>(traces.size());
+  buf.write(reinterpret_cast<const char*>(&magic), 4);
+  buf.write(reinterpret_cast<const char*>(&version), 4);
+  buf.write(reinterpret_cast<const char*>(&threads), 4);
+  for (const ThreadTrace& t : traces) {
+    const std::uint64_t count = t.size();
+    buf.write(reinterpret_cast<const char*>(&count), 8);
+    const std::string packed = pack_events(t);
+    buf.write(packed.data(), static_cast<std::streamsize>(packed.size()));
+  }
+
+  std::vector<ThreadTrace> loaded;
+  ASSERT_TRUE(load_traces(buf, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  ASSERT_EQ(loaded[0].size(), 9u);
+  EXPECT_EQ(loaded[0][3].addr, traces[0][3].addr);
+  EXPECT_EQ(loaded[0][3].type, traces[0][3].type);
+  EXPECT_EQ(loaded[1][2].think_cycles, traces[1][2].think_cycles);
+}
+
+// Frame-level version skew (a future framing revision) is rejected up
+// front, not misparsed.
+TEST(TraceIo, RejectsFrameVersionSkew) {
+  std::vector<ThreadTrace> traces{make_trace(6, 0x1000)};
+  std::stringstream buf;
+  ASSERT_TRUE(save_traces(buf, traces));
+  std::string bytes = buf.str();
+  bytes[4] = static_cast<char>(wire::kWireVersion + 1);
+  std::stringstream skewed(bytes);
+  std::vector<ThreadTrace> loaded;
+  EXPECT_FALSE(load_traces(skewed, &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+// Payload corruption inside a frame flips the CRC check, and the loader
+// reports failure instead of returning garbage events.
+TEST(TraceIo, RejectsCorruptFramePayload) {
+  std::vector<ThreadTrace> traces{make_trace(50, 0x1000)};
+  std::stringstream buf;
+  ASSERT_TRUE(save_traces(buf, traces));
+  std::string bytes = buf.str();
+  bytes[bytes.size() - 7] ^= 0x08;  // inside the last thread's events
+  std::stringstream corrupt(bytes);
+  std::vector<ThreadTrace> loaded;
+  EXPECT_FALSE(load_traces(corrupt, &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+// Unknown payload fields from a newer writer are skipped: a trace stream
+// annotated with extra fields still round-trips the events.
+TEST(TraceIo, SkipsUnknownFieldsFromNewerWriters) {
+  const ThreadTrace trace = make_trace(12, 0x2000);
+
+  std::string header;
+  wire::FieldWriter hw(&header);
+  hw.u64(1, 1);                       // thread count
+  hw.u64(2, trace.size());            // total events
+  hw.str(700, "future annotation");   // unknown
+
+  std::string body;
+  wire::FieldWriter bw(&body);
+  bw.u64(999, 0xffffffffull);         // unknown, leading
+  bw.u64(1, 0);                       // thread index
+  bw.u64(2, trace.size());            // event count
+  bw.bytes(3, pack_events(trace));    // events
+  bw.str(998, "more future data");    // unknown, trailing
+
+  std::stringstream buf;
+  const std::string hframe =
+      wire::encode_frame(wire::FrameType::kTraceHeader, header);
+  const std::string bframe =
+      wire::encode_frame(wire::FrameType::kThreadTrace, body);
+  buf.write(hframe.data(), static_cast<std::streamsize>(hframe.size()));
+  buf.write(bframe.data(), static_cast<std::streamsize>(bframe.size()));
+
+  std::vector<ThreadTrace> loaded;
+  ASSERT_TRUE(load_traces(buf, &loaded));
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_EQ(loaded[0].size(), trace.size());
+  EXPECT_EQ(loaded[0][5].addr, trace[5].addr);
 }
 
 TEST(TraceIo, FileRoundTrip) {

@@ -15,6 +15,13 @@
 // constant facts) plus what the instrumentation pruning passes would do to
 // it: baseline selective instrumentation vs. loop batching + chain merging.
 //
+// The fleet-aggregation subcommands (src/collect/): `serve` runs a
+// collector daemon on a unix socket; `--emit-to` makes any run or monitor
+// invocation stream its snapshots to such a collector; `fleet` is the
+// one-command demo — it forks N workload processes, each publishing over
+// its own socketpair into an in-process collector, and prints the
+// fleet-wide hot-line/callsite rollup with [exact, exact+dropped] bounds.
+//
 //   predator-cli --list
 //   predator-cli --workload histogram --threads 8 --advise
 //   predator-cli --workload linear_regression --offset 24 --json
@@ -22,16 +29,28 @@
 //   predator-cli --workload boost --save-trace /tmp/boost.trace
 //   predator-cli monitor histogram --repeat 50 --interval-ms 250
 //   predator-cli analyze examples/ir/hammer.pir
+//   predator-cli serve --socket /tmp/pred.sock --expect 4
+//   predator-cli --workload histogram --emit-to /tmp/pred.sock
+//   predator-cli fleet histogram --clients 16 --json
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "advice/fix_advisor.hpp"
+#include "collect/collector.hpp"
+#include "collect/transport.hpp"
 #include "instrument/analysis/callgraph.hpp"
 #include "instrument/analysis/cfg.hpp"
 #include "instrument/analysis/constants.hpp"
@@ -42,6 +61,7 @@
 #include "instrument/pass.hpp"
 #include "report_io/report_diff.hpp"
 #include "report_io/report_json.hpp"
+#include "report_io/snapshot_json.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
 
@@ -65,6 +85,16 @@ struct CliOptions {
   bool monitor_mode = false;
   std::uint64_t monitor_interval_ms = 200;
   std::uint64_t monitor_repeat = 1;
+  // Fleet aggregation (serve / --emit-to / fleet).
+  std::string emit_to;  ///< unix socket of a `serve` collector
+  bool serve_mode = false;
+  std::string socket_path;
+  std::uint64_t serve_expect = 0;  ///< exit after N goodbyes (0: until killed)
+  std::uint64_t serve_interval_ms = 0;  ///< rolling rollup period (0: off)
+  std::uint64_t shards = 0;        ///< collector shards (0: hw concurrency)
+  std::uint64_t top_k = 16;
+  bool fleet_mode = false;
+  std::uint64_t fleet_clients = 4;
 };
 
 void usage(const char* argv0) {
@@ -72,6 +102,8 @@ void usage(const char* argv0) {
       "usage: %s --workload NAME [options]\n"
       "       %s monitor NAME [--interval-ms N] [--repeat N] [options]\n"
       "       %s analyze FILE.pir\n"
+      "       %s serve --socket PATH [--expect N] [options]\n"
+      "       %s fleet NAME [--clients N] [options]\n"
       "       %s --list\n\n"
       "workload selection:\n"
       "  --list                 list available workloads and exit\n"
@@ -102,8 +134,20 @@ void usage(const char* argv0) {
       "                         lengthen the observable window\n\n"
       "analyze subcommand (static analysis of a textual IR module):\n"
       "  prints per-function CFG/dominator/loop/constant statistics and\n"
-      "  the baseline vs. fully-pruned instrumentation ledger\n",
-      argv0, argv0, argv0, argv0);
+      "  the baseline vs. fully-pruned instrumentation ledger\n\n"
+      "fleet aggregation:\n"
+      "  serve --socket PATH    run a collector daemon on a unix socket\n"
+      "    --expect N           exit once N clients said goodbye\n"
+      "    --shards N           ingest shards (default: hw concurrency)\n"
+      "    --top-k N            hot lines kept in the rollup (default 16)\n"
+      "    --interval-ms N      also print a rolling rollup every N ms\n"
+      "  --emit-to PATH         stream this run's snapshots to a collector\n"
+      "                         (works with the default and monitor modes)\n"
+      "  fleet NAME             fork N workload processes into an\n"
+      "    --clients N          in-process collector and print the\n"
+      "                         fleet-wide rollup (default 4 clients;\n"
+      "                         --repeat snapshots per client)\n",
+      argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 bool parse_u64(const char* s, std::uint64_t* out) {
@@ -118,6 +162,12 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
   int first = 1;
   if (argc > 1 && std::strcmp(argv[1], "monitor") == 0) {
     opt->monitor_mode = true;
+    first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    opt->serve_mode = true;
+    first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "fleet") == 0) {
+    opt->fleet_mode = true;
     first = 2;
   }
   for (int i = first; i < argc; ++i) {
@@ -191,16 +241,41 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
       const char* s = next("--interval-ms");
       if (!s || !parse_u64(s, &v) || v == 0) return false;
       opt->monitor_interval_ms = v;
+      opt->serve_interval_ms = v;
     } else if (arg == "--repeat") {
       const char* s = next("--repeat");
       if (!s || !parse_u64(s, &v) || v == 0) return false;
       opt->monitor_repeat = v;
+    } else if (arg == "--emit-to") {
+      const char* s = next("--emit-to");
+      if (!s) return false;
+      opt->emit_to = s;
+    } else if (arg == "--socket") {
+      const char* s = next("--socket");
+      if (!s) return false;
+      opt->socket_path = s;
+    } else if (arg == "--expect") {
+      const char* s = next("--expect");
+      if (!s || !parse_u64(s, &v)) return false;
+      opt->serve_expect = v;
+    } else if (arg == "--shards") {
+      const char* s = next("--shards");
+      if (!s || !parse_u64(s, &v) || v > 64) return false;
+      opt->shards = v;
+    } else if (arg == "--top-k") {
+      const char* s = next("--top-k");
+      if (!s || !parse_u64(s, &v) || v == 0) return false;
+      opt->top_k = v;
+    } else if (arg == "--clients") {
+      const char* s = next("--clients");
+      if (!s || !parse_u64(s, &v) || v == 0 || v > 256) return false;
+      opt->fleet_clients = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
-    } else if (opt->monitor_mode && arg.rfind("--", 0) != 0 &&
-               opt->workload.empty()) {
-      opt->workload = arg;  // `monitor NAME` positional
+    } else if ((opt->monitor_mode || opt->fleet_mode) &&
+               arg.rfind("--", 0) != 0 && opt->workload.empty()) {
+      opt->workload = arg;  // `monitor NAME` / `fleet NAME` positional
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -225,13 +300,37 @@ int list_workloads() {
   return 0;
 }
 
+// Connects to a `serve` collector and sends the hello bracket. Null (with
+// a diagnostic) when the endpoint is unreachable.
+std::unique_ptr<FdSink> open_emit_sink(const std::string& path,
+                                       Session& session) {
+  const int fd = connect_unix(path);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to collector at %s\n", path.c_str());
+    return nullptr;
+  }
+  auto sink = std::make_unique<FdSink>(fd);
+  if (!sink->send(session.hello_frame())) {
+    std::fprintf(stderr, "collector at %s hung up\n", path.c_str());
+    return nullptr;
+  }
+  return sink;
+}
+
 // `monitor` subcommand: run the workload live (real threads) with the
 // session monitor attached, print a rolling snapshot every interval, then
 // the final report. Demonstrates that snapshots are served while mutators
-// run — the printing happens from the main thread with no pauses.
+// run — the printing happens from the main thread with no pauses. With
+// --emit-to, every printed snapshot is also published to the collector.
 int run_monitor(const CliOptions& opt, const wl::Workload* w) {
   Session session(opt.session);
   session.monitor().start();
+
+  std::unique_ptr<FdSink> emit;
+  if (!opt.emit_to.empty()) {
+    emit = open_emit_sink(opt.emit_to, session);
+    if (!emit) return 1;
+  }
 
   std::atomic<bool> done{false};
   std::thread worker([&] {
@@ -246,8 +345,14 @@ int run_monitor(const CliOptions& opt, const wl::Workload* w) {
     std::this_thread::sleep_for(interval);
     std::printf("%s\n", session.monitor().snapshot_text().c_str());
     std::fflush(stdout);
+    if (emit) emit->send(session.publish());
   }
   worker.join();
+
+  if (emit) {
+    emit->send(session.publish());
+    emit->send(session.goodbye_frame());
+  }
   session.monitor().stop();
 
   std::printf("=== final snapshot ===\n%s\n",
@@ -260,6 +365,217 @@ int run_monitor(const CliOptions& opt, const wl::Workload* w) {
     return 2;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet aggregation: serve / fleet
+// ---------------------------------------------------------------------------
+
+// One transport connection into the collector: the fd plus the incremental
+// parser reassembling frames across read() boundaries.
+struct ClientConn {
+  int fd = -1;
+  FrameStreamParser parser;
+  bool open = true;
+};
+
+// One POLLIN's worth of bytes: read once, feed the parser, ingest every
+// complete frame. EOF or a poisoned stream closes the connection.
+void drain_conn(Collector& collector, ClientConn& conn) {
+  char buf[4096];
+  ssize_t n;
+  do {
+    n = ::read(conn.fd, buf, sizeof buf);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) {
+    conn.open = false;
+    ::close(conn.fd);
+    return;
+  }
+  conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  wire::Frame frame;
+  while (conn.parser.next(&frame)) collector.ingest_frame(frame);
+  if (conn.parser.poisoned()) {
+    std::fprintf(stderr, "dropping client: corrupt frame stream\n");
+    conn.open = false;
+    ::close(conn.fd);
+  }
+}
+
+void print_rollup(const Collector& collector, bool json) {
+  if (json) {
+    std::printf("%s\n", rollup_json(collector.rollup()).c_str());
+  } else {
+    std::printf("%s", collector.rollup_text().c_str());
+  }
+  std::fflush(stdout);
+}
+
+// `serve` subcommand: collector daemon on a unix socket. Single-threaded
+// poll loop (the Collector itself is what's thread-safe; the daemon needs
+// no threads). With --expect N it exits once N clients said goodbye and
+// every connection drained; otherwise it runs until killed.
+int run_serve(const CliOptions& opt) {
+  const int lfd = listen_unix(opt.socket_path);
+  if (lfd < 0) {
+    std::fprintf(stderr, "cannot listen on %s\n", opt.socket_path.c_str());
+    return 1;
+  }
+  Collector collector({static_cast<std::size_t>(opt.shards),
+                       static_cast<std::size_t>(opt.top_k)});
+  std::fprintf(stderr, "collector: listening on %s (%zu shard(s))\n",
+               opt.socket_path.c_str(), collector.num_shards());
+
+  std::vector<ClientConn> conns;
+  const bool periodic = opt.serve_interval_ms != 0;
+  for (;;) {
+    std::vector<pollfd> pfds;
+    pfds.push_back({lfd, POLLIN, 0});
+    for (const ClientConn& c : conns) {
+      if (c.open) pfds.push_back({c.fd, POLLIN, 0});
+    }
+    const int timeout =
+        periodic ? static_cast<int>(opt.serve_interval_ms) : -1;
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (ready > 0 && (pfds[0].revents & POLLIN) != 0) {
+      const int cfd = ::accept(lfd, nullptr, nullptr);
+      if (cfd >= 0) {
+        ClientConn conn;
+        conn.fd = cfd;
+        conns.push_back(std::move(conn));
+      }
+    }
+    std::size_t pi = 1;
+    for (ClientConn& c : conns) {
+      if (!c.open) continue;
+      if (pi < pfds.size() && pfds[pi].fd == c.fd &&
+          (pfds[pi].revents & (POLLIN | POLLHUP)) != 0) {
+        drain_conn(collector, c);
+      }
+      ++pi;
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const ClientConn& c) { return !c.open; }),
+                conns.end());
+
+    if (ready == 0 && periodic) print_rollup(collector, opt.json);
+    if (opt.serve_expect != 0 &&
+        collector.stats().goodbyes >= opt.serve_expect && conns.empty()) {
+      break;
+    }
+  }
+  ::close(lfd);
+  ::unlink(opt.socket_path.c_str());
+
+  const Collector::Stats st = collector.stats();
+  std::fprintf(stderr,
+               "collector: %llu frame(s) (%llu snapshot(s), %llu hello(s), "
+               "%llu goodbye(s)), %llu rejected\n",
+               static_cast<unsigned long long>(st.frames_ingested),
+               static_cast<unsigned long long>(st.snapshots_ingested),
+               static_cast<unsigned long long>(st.hellos),
+               static_cast<unsigned long long>(st.goodbyes),
+               static_cast<unsigned long long>(st.frames_rejected));
+  print_rollup(collector, opt.json);
+  return 0;
+}
+
+// One forked fleet client: replay the workload deterministically,
+// publishing a cumulative snapshot after every repeat, bracketed by
+// hello/goodbye. Exits the process (never returns).
+[[noreturn]] void run_fleet_client(const CliOptions& opt,
+                                   const wl::Workload* w, int fd) {
+  Session session(opt.session);
+  session.monitor().start();
+  FdSink sink(fd);
+  bool ok = sink.send(session.hello_frame());
+  for (std::uint64_t r = 0; r < opt.monitor_repeat && ok; ++r) {
+    w->run_replay(session, opt.params, opt.replay_quantum);
+    ok = sink.send(session.publish());
+  }
+  if (ok) ok = sink.send(session.goodbye_frame());
+  session.monitor().stop();
+  std::_Exit(ok ? 0 : 1);
+}
+
+// `fleet` subcommand: the end-to-end demo. Forks --clients workload
+// processes, each streaming snapshots over its own socketpair, drains them
+// all into an in-process collector, and prints the fleet rollup. Children
+// replay captured traces, so the demo is deterministic even on one core.
+int run_fleet(const CliOptions& opt, const wl::Workload* w) {
+  Collector collector({static_cast<std::size_t>(opt.shards),
+                       static_cast<std::size_t>(opt.top_k)});
+  std::vector<ClientConn> conns;
+  std::vector<pid_t> pids;
+
+  for (std::uint64_t c = 0; c < opt.fleet_clients; ++c) {
+    int fds[2];
+    if (!make_socketpair(fds)) {
+      std::fprintf(stderr, "socketpair failed for client %llu\n",
+                   static_cast<unsigned long long>(c));
+      return 1;
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork failed for client %llu\n",
+                   static_cast<unsigned long long>(c));
+      return 1;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      for (const ClientConn& prev : conns) ::close(prev.fd);
+      run_fleet_client(opt, w, fds[1]);  // _Exits
+    }
+    ::close(fds[1]);
+    ClientConn conn;
+    conn.fd = fds[0];
+    conns.push_back(std::move(conn));
+    pids.push_back(pid);
+  }
+
+  // Drain every socketpair until all children closed their end.
+  std::size_t open = conns.size();
+  while (open > 0) {
+    std::vector<pollfd> pfds;
+    for (const ClientConn& c : conns) {
+      if (c.open) pfds.push_back({c.fd, POLLIN, 0});
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), -1);
+    if (ready < 0 && errno != EINTR) break;
+    std::size_t pi = 0;
+    for (ClientConn& c : conns) {
+      if (!c.open) continue;
+      if ((pfds[pi].revents & (POLLIN | POLLHUP)) != 0) {
+        drain_conn(collector, c);
+        if (!c.open) --open;
+      }
+      ++pi;
+    }
+  }
+
+  int failed = 0;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failed;
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "%d fleet client(s) failed\n", failed);
+  }
+
+  const Collector::Stats st = collector.stats();
+  std::fprintf(stderr,
+               "fleet: %llu client(s), %llu snapshot(s) ingested, "
+               "%llu rejected\n",
+               static_cast<unsigned long long>(opt.fleet_clients),
+               static_cast<unsigned long long>(st.snapshots_ingested),
+               static_cast<unsigned long long>(st.frames_rejected));
+  print_rollup(collector, opt.json);
+  return failed > 0 ? 1 : 0;
 }
 
 // `analyze` subcommand: static-analysis report for a textual IR module.
@@ -404,6 +720,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (opt.list) return list_workloads();
+  // A dead collector must surface as a failed send, not a fatal SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (opt.serve_mode) {
+    if (opt.socket_path.empty()) {
+      usage(argv[0]);
+      return 1;
+    }
+    return run_serve(opt);
+  }
   if (opt.workload.empty()) {
     usage(argv[0]);
     return 1;
@@ -417,7 +742,18 @@ int main(int argc, char** argv) {
 
   opt.session.runtime.prediction_enabled = !opt.no_prediction;
   if (opt.monitor_mode) return run_monitor(opt, w);
+  if (opt.fleet_mode) return run_fleet(opt, w);
   Session session(opt.session);
+
+  // --emit-to: publish this run's snapshots to a `serve` collector. The
+  // monitor must observe the replay, so start it before events flow.
+  std::unique_ptr<FdSink> emit;
+  if (!opt.emit_to.empty()) {
+    emit = open_emit_sink(opt.emit_to, session);
+    if (!emit) return 1;
+    session.monitor().start();
+  }
+
   const auto traces = w->capture(session, opt.params);
   if (!opt.save_trace.empty()) {
     if (!save_traces_file(opt.save_trace, traces)) {
@@ -429,6 +765,12 @@ int main(int argc, char** argv) {
                  opt.save_trace.c_str());
   }
   wl::replay_into_session(session, traces, opt.replay_quantum);
+
+  if (emit) {
+    emit->send(session.publish());
+    emit->send(session.goodbye_frame());
+    session.monitor().stop();
+  }
 
   const Report report = session.report();
   std::vector<FixSuggestion> suggestions;
