@@ -1,0 +1,233 @@
+// Repair subsystem microbench: what the closed loop costs.
+//
+// Phase A — codec: encode/decode of a realistic RepairPlan frame (4 sites,
+//   16 evidence words each), bounding the per-publish cost of `--emit-to`
+//   plan streaming and the collector's per-frame merge overhead.
+//
+// Phase B — planner: compile_plan on a real counter_pool detection report
+//   (detect once, compile repeatedly) — the cost of lowering advice to
+//   machine-applicable directives.
+//
+// Phase C — allocator backend: ns/allocation through PredatorAllocator
+//   with no plan installed, with a plan whose entry matches the hot
+//   callsite (pad applied), and with a plan that matches nothing (memoized
+//   miss) — the steady-state tax a deployed plan puts on malloc.
+//
+// Phase D — the loop itself: run_repair_loop end to end on both planted
+//   targets, reporting the phase split and the invalidation drop.
+//
+// Usage: microbench_repair [iters] [--json FILE]
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "advice/fix_advisor.hpp"
+#include "bench_util.hpp"
+#include "repair/plan_codec.hpp"
+#include "repair/planner.hpp"
+#include "repair/targets.hpp"
+#include "repair/verifier.hpp"
+#include "trace/wire_format.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using pred::Session;
+namespace repair = pred::repair;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+repair::RepairPlan make_plan() {
+  repair::RepairPlan plan;
+  plan.origin_uid = 0xbe9c;
+  for (int s = 0; s < 4; ++s) {
+    repair::PlanEntry e;
+    e.is_global = s % 2 == 0;
+    e.site_key = "bench.c:" + std::to_string(10 + s) + "|main.c:1";
+    e.action = repair::PlanAction::kPadSlots;
+    e.pad_to = 64;
+    e.slot_stride = 16;
+    e.object_size = 16;
+    e.expected_eliminated = 1000 + s;
+    for (std::uint64_t w = 0; w < 16; ++w) {
+      e.evidence.push_back({8 * (w % 8), static_cast<std::uint32_t>(w % 4),
+                            500 - w});
+    }
+    plan.entries.push_back(e);
+  }
+  return plan;
+}
+
+struct CodecRates {
+  double encodes_per_sec = 0;
+  double decodes_per_sec = 0;
+  std::size_t frame_bytes = 0;
+};
+
+CodecRates bench_codec(std::uint64_t iters) {
+  const repair::RepairPlan plan = make_plan();
+  CodecRates out;
+  std::string frame;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    frame = repair::encode_plan_frame(plan);
+  }
+  out.encodes_per_sec = static_cast<double>(iters) / seconds_since(start);
+  out.frame_bytes = frame.size();
+
+  pred::wire::Frame parsed;
+  std::size_t consumed = 0;
+  if (pred::wire::parse_frame(frame, &parsed, &consumed) !=
+      pred::wire::FrameError::kOk) {
+    std::fprintf(stderr, "frame does not parse\n");
+    std::exit(1);
+  }
+  start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    repair::RepairPlan decoded;
+    if (!repair::decode_plan_payload(parsed.payload, &decoded) ||
+        decoded.entries.size() != plan.entries.size()) {
+      std::fprintf(stderr, "plan does not decode\n");
+      std::exit(1);
+    }
+  }
+  out.decodes_per_sec = static_cast<double>(iters) / seconds_since(start);
+  return out;
+}
+
+double bench_planner(std::uint64_t iters) {
+  const repair::RepairTarget* target =
+      repair::find_repair_target("counter_pool");
+  Session session(repair::detection_session_options());
+  repair::RunResult run = target->run(session, nullptr, 8, 1);
+  pred::wl::replay_into_session(session, run.traces, 1);
+  const pred::Report report = session.report();
+  const auto suggestions = pred::advise(report);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const repair::RepairPlan plan = repair::compile_plan(
+        report, suggestions, session.runtime().callsites());
+    if (plan.empty()) {
+      std::fprintf(stderr, "planner produced an empty plan\n");
+      std::exit(1);
+    }
+  }
+  return static_cast<double>(iters) / seconds_since(start);
+}
+
+/// ns/allocation of 16-byte requests at one interned callsite. `mode` 0:
+/// no plan installed; 1: plan entry matches the callsite; 2: plan installed
+/// but no entry matches.
+double bench_alloc_ns(std::uint64_t iters, int mode) {
+  pred::SessionOptions opts;
+  opts.heap_size = 256 * 1024 * 1024;
+  Session session(opts);
+  const pred::CallsiteId cs = session.intern_frames({"bench_alloc.c:1"});
+  if (mode != 0) {
+    auto plan = std::make_shared<repair::RepairPlan>();
+    repair::PlanEntry e;
+    e.site_key = mode == 1 ? "bench_alloc.c:1" : "elsewhere.c:9";
+    e.action = repair::PlanAction::kPadSlots;
+    e.pad_to = 64;
+    plan->entries.push_back(e);
+    session.allocator().install_repair_plan(plan);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    void* p = session.alloc(16, cs);
+    if (p == nullptr) {
+      std::fprintf(stderr, "allocator exhausted at %" PRIu64 "\n", i);
+      std::exit(1);
+    }
+  }
+  return 1e9 * seconds_since(start) / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iters = 100'000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      iters = std::strtoull(argv[i], nullptr, 10);
+      if (iters == 0) {
+        std::fprintf(stderr, "usage: %s [iters > 0] [--json FILE]\n",
+                     argv[0]);
+        return 1;
+      }
+    }
+  }
+
+  const CodecRates codec = bench_codec(iters);
+  std::printf("phase A: plan codec (%zu-byte frame, 4 sites)\n",
+              codec.frame_bytes);
+  std::printf("  %-28s %15.0f plans/sec\n", "encode", codec.encodes_per_sec);
+  std::printf("  %-28s %15.0f plans/sec\n", "decode", codec.decodes_per_sec);
+
+  const double plans_per_sec = bench_planner(iters / 10);
+  std::printf("\nphase B: planner (counter_pool report)\n");
+  std::printf("  %-28s %15.0f plans/sec\n", "compile_plan", plans_per_sec);
+
+  const std::uint64_t allocs = std::min<std::uint64_t>(iters * 10, 2'000'000);
+  const double ns_none = bench_alloc_ns(allocs, 0);
+  const double ns_hit = bench_alloc_ns(allocs, 1);
+  const double ns_miss = bench_alloc_ns(allocs, 2);
+  std::printf("\nphase C: allocator backend (16 B requests)\n");
+  std::printf("  %-28s %15.1f ns/alloc\n", "no plan", ns_none);
+  std::printf("  %-28s %15.1f ns/alloc  (pad to 64 B)\n", "plan hit", ns_hit);
+  std::printf("  %-28s %15.1f ns/alloc\n", "plan miss (memoized)", ns_miss);
+
+  std::printf("\nphase D: closed loop\n");
+  double drops[2] = {0, 0};
+  double totals[2] = {0, 0};
+  const char* names[2] = {"counter_pool", "global_grid"};
+  for (int t = 0; t < 2; ++t) {
+    const repair::RepairTarget* target = repair::find_repair_target(names[t]);
+    const repair::RepairOutcome out = repair::run_repair_loop(*target);
+    drops[t] = 100.0 * out.drop_pct();
+    totals[t] = out.detect_ms + out.plan_ms + out.apply_ms + out.verify_ms;
+    std::printf("  %-28s %8.2f ms (detect %.2f, plan %.2f, apply %.2f, "
+                "verify %.2f), drop %.1f%%, %s\n",
+                names[t], totals[t], out.detect_ms, out.plan_ms, out.apply_ms,
+                out.verify_ms, drops[t],
+                out.repaired(0.9) ? "REPAIRED" : "NOT REPAIRED");
+    if (!out.repaired(0.9)) {
+      std::fprintf(stderr, "%s failed to repair\n", names[t]);
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    pred::bench::JsonWriter json;
+    json.add("plan_frame_bytes", static_cast<double>(codec.frame_bytes));
+    json.add("plan_encode_per_sec", codec.encodes_per_sec);
+    json.add("plan_decode_per_sec", codec.decodes_per_sec);
+    json.add("compile_plan_per_sec", plans_per_sec);
+    json.add("alloc_ns_no_plan", ns_none);
+    json.add("alloc_ns_plan_hit", ns_hit);
+    json.add("alloc_ns_plan_miss", ns_miss);
+    json.add("counter_pool_drop_pct", drops[0]);
+    json.add("counter_pool_loop_ms", totals[0]);
+    json.add("global_grid_drop_pct", drops[1]);
+    json.add("global_grid_loop_ms", totals[1]);
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "json: %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -29,13 +29,47 @@ PredatorAllocator::LockedHeap& PredatorAllocator::local_heap() {
   return *it->second;
 }
 
+void PredatorAllocator::install_repair_plan(
+    std::shared_ptr<const repair::RepairPlan> plan) {
+  std::lock_guard<Spinlock> g(plan_lock_);
+  plan_ = std::move(plan);
+  plan_memo_.clear();
+}
+
+const repair::PlanEntry* PredatorAllocator::plan_entry_for(
+    CallsiteId callsite) {
+  if (callsite == kNoCallsite) return nullptr;
+  std::lock_guard<Spinlock> g(plan_lock_);
+  if (plan_ == nullptr) return nullptr;
+  const auto memo = plan_memo_.find(callsite);
+  if (memo != plan_memo_.end()) return memo->second;
+  const std::string key =
+      repair::join_frames(rt_.callsites().get(callsite).frames);
+  const repair::PlanEntry* e = plan_->find(/*is_global=*/false, key);
+  plan_memo_.emplace(callsite, e);
+  return e;
+}
+
 void* PredatorAllocator::finish_allocation(std::size_t size,
                                            CallsiteId callsite) {
+  // Apply any installed repair plan: padding the request to a multiple of
+  // pad_to pushes the block into a size class at least that large, and the
+  // power-of-two classes then align it naturally — neighbours can no longer
+  // share the object's lines.
+  std::size_t request = size;
+  if (const repair::PlanEntry* e = plan_entry_for(callsite);
+      e != nullptr && e->pad_to > 1) {
+    request = round_up(size ? size : 1, e->pad_to);
+    std::lock_guard<Spinlock> g(stats_lock_);
+    ++stats_.repairs_applied;
+    stats_.repair_padding_bytes += request - size;
+  }
+
   LockedHeap& lh = local_heap();
   Address a = 0;
   {
     std::lock_guard<Spinlock> g(lh.lock);
-    a = lh.heap.allocate(size);
+    a = lh.heap.allocate(request);
   }
   if (a == 0) return nullptr;
   {
@@ -44,11 +78,11 @@ void* PredatorAllocator::finish_allocation(std::size_t size,
   }
   ObjectInfo info;
   info.start = a;
-  info.size = size;
+  info.size = request;  // padded size: deallocate must see the real block
   info.callsite = callsite;
   info.is_global = false;
   rt_.objects().add(std::move(info));
-  live_bytes_.fetch_add(size, std::memory_order_relaxed);
+  live_bytes_.fetch_add(request, std::memory_order_relaxed);
   {
     std::lock_guard<Spinlock> g(stats_lock_);
     ++stats_.allocations;

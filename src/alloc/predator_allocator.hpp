@@ -18,6 +18,7 @@
 #include "alloc/heap_region.hpp"
 #include "alloc/thread_heap.hpp"
 #include "common/spinlock.hpp"
+#include "repair/plan.hpp"
 #include "runtime/runtime.hpp"
 
 namespace pred {
@@ -63,12 +64,25 @@ class PredatorAllocator {
   void* allocate_aligned(std::size_t alignment, std::size_t size,
                          std::vector<std::string> callsite_frames);
 
+  /// Installs a repair plan (repair/plan.hpp): every subsequent allocation
+  /// whose callsite matches a heap plan entry has its request rounded up to
+  /// a multiple of the entry's pad_to — size classes then give natural
+  /// line alignment, so padded slots stop sharing lines. Pass nullptr to
+  /// uninstall. Resolution is memoized per CallsiteId.
+  void install_repair_plan(std::shared_ptr<const repair::RepairPlan> plan);
+  std::shared_ptr<const repair::RepairPlan> repair_plan() const {
+    std::lock_guard<Spinlock> g(plan_lock_);
+    return plan_;
+  }
+
   /// Allocation statistics since construction.
   struct Stats {
     std::uint64_t allocations = 0;
     std::uint64_t deallocations = 0;
     std::uint64_t reallocations = 0;
     std::uint64_t leaked_for_reporting = 0;  ///< never-reused dirty objects
+    std::uint64_t repairs_applied = 0;       ///< plan-padded allocations
+    std::uint64_t repair_padding_bytes = 0;  ///< bytes added by the plan
   };
   Stats stats() const {
     std::lock_guard<Spinlock> g(stats_lock_);
@@ -109,6 +123,8 @@ class PredatorAllocator {
 
   LockedHeap& local_heap();
   void* finish_allocation(std::size_t size, CallsiteId callsite);
+  /// The installed plan's heap entry matching `callsite`, or null.
+  const repair::PlanEntry* plan_entry_for(CallsiteId callsite);
 
   Runtime& rt_;
   HeapRegion region_;
@@ -119,6 +135,12 @@ class PredatorAllocator {
   std::unordered_map<Address, LockedHeap*> block_owner_;
 
   std::atomic<std::size_t> live_bytes_{0};
+
+  // Repair plan + per-callsite resolution memo. The shared_ptr keeps the
+  // memoized PlanEntry pointers alive across install/uninstall races.
+  mutable Spinlock plan_lock_;
+  std::shared_ptr<const repair::RepairPlan> plan_;
+  std::unordered_map<CallsiteId, const repair::PlanEntry*> plan_memo_;
 
   mutable Spinlock stats_lock_;
   Stats stats_;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/cacheline.hpp"
+#include "repair/plan_codec.hpp"
 #include "trace/snapshot_codec.hpp"
 #include "trace/wire_format.hpp"
 
@@ -100,6 +101,18 @@ bool Collector::ingest_frame(const wire::Frame& frame) {
       ++stats_.goodbyes;
       return true;
     }
+    case wire::FrameType::kRepairPlan: {
+      repair::RepairPlan plan;
+      if (!repair::decode_plan_payload(frame.payload, &plan)) break;
+      {
+        std::lock_guard<std::mutex> lk(plan_mu_);
+        repair::merge_plans(merged_plan_, plan);
+      }
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.frames_ingested;
+      ++stats_.plans_ingested;
+      return true;
+    }
     default:
       break;  // trace frames etc. have no business on a snapshot transport
   }
@@ -162,6 +175,11 @@ FleetState Collector::state() const {
 
 FleetRollup Collector::rollup() const {
   return state().rollup(config_.top_k);
+}
+
+repair::RepairPlan Collector::merged_plan() const {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  return merged_plan_;
 }
 
 Collector::Stats Collector::stats() const {

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "monitor/snapshot_merge.hpp"
+#include "repair/plan.hpp"
 #include "trace/wire_format.hpp"
 
 namespace pred {
@@ -85,11 +86,17 @@ class Collector {
   /// tests compare against an oracle with operator==.
   FleetState state() const;
 
+  /// Union of every plan ingested so far (kRepairPlan frames), merged per
+  /// site with best-evidenced-entry-wins semantics (repair::merge_plans) —
+  /// the fleet's collective layout advice, served by `serve --emit-plan`.
+  repair::RepairPlan merged_plan() const;
+
   struct Stats {
     std::uint64_t frames_ingested = 0;   ///< valid frames of any type
     std::uint64_t snapshots_ingested = 0;
     std::uint64_t hellos = 0;
     std::uint64_t goodbyes = 0;
+    std::uint64_t plans_ingested = 0;    ///< kRepairPlan frames merged
     std::uint64_t frames_rejected = 0;   ///< corrupt/skewed/unknown
   };
   Stats stats() const;
@@ -103,6 +110,10 @@ class Collector {
 
   CollectorConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Plans are low-rate control-plane data: one mutex, no sharding.
+  mutable std::mutex plan_mu_;
+  repair::RepairPlan merged_plan_;
 
   mutable std::mutex stats_mu_;
   Stats stats_;

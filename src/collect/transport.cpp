@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -72,9 +73,24 @@ int listen_unix(const std::string& path, int backlog) {
   if (path.size() >= sizeof(addr.sun_path)) return -1;
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
+  // Reclaim only STALE sockets: a path left by a crashed daemon is removed
+  // so bind() succeeds, but a live listener (something accepts our probe
+  // connect) or a non-socket file at the path is left alone and the listen
+  // fails — unconditionally unlinking would silently unseat a running
+  // collector or delete a user's file.
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) return -1;
+    const int probe = connect_unix(path);
+    if (probe >= 0) {
+      ::close(probe);  // someone is serving here
+      return -1;
+    }
+    ::unlink(path.c_str());
+  }
+
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return -1;
-  ::unlink(path.c_str());  // stale socket from a previous daemon
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, backlog) != 0) {
     ::close(fd);

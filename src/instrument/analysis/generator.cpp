@@ -429,6 +429,70 @@ Function make_mutual_b(Xorshift64& rng, std::string name,
   return b.take();
 }
 
+/// Planted false-sharing slot function (see GeneratorOptions): thread t's
+/// kernel. Every access is a provably constant offset from buf inside slot
+/// t, expressed through the same varied addressing idioms the fuzz modules
+/// use elsewhere — direct, aliased register, offset split across an add and
+/// the immediate — so the repair rewrite must rely on value numbering, not
+/// syntax. Deliberately draws no RNG.
+Function make_planted_slot(std::string name, std::uint32_t t,
+                           const GeneratorOptions& opts) {
+  FunctionBuilder b(std::move(name), /*num_args=*/2);
+  const std::int64_t slot_start =
+      8 * static_cast<std::int64_t>(opts.planted_base_words) +
+      static_cast<std::int64_t>(t) *
+          static_cast<std::int64_t>(opts.planted_stride);
+  const std::uint32_t words = opts.planted_stride < 8
+                                  ? 1
+                                  : opts.planted_stride / 8;
+
+  const Reg sum = b.fresh_reg();
+  b.move(sum, b.const_val(0));
+  const Reg i = b.fresh_reg();
+  b.move(i, b.const_val(0));
+  const Reg k =
+      b.const_val(static_cast<std::int64_t>(opts.planted_iters));
+  const std::uint32_t header = b.new_block();
+  const std::uint32_t body = b.new_block();
+  const std::uint32_t exit = b.new_block();
+  b.br(header);
+
+  b.set_block(header);
+  b.cond_br(b.cmp_lt(i, k), body, exit);
+
+  b.set_block(body);
+  for (std::uint32_t w = 0; w < words; ++w) {
+    const std::int64_t off = slot_start + 8 * static_cast<std::int64_t>(w);
+    Reg addr = b.arg(0);
+    std::int64_t imm = off;
+    switch (w % 3) {
+      case 0:  // direct: [buf + off]
+        break;
+      case 1: {  // aliased register: a = buf; [a + off]
+        const Reg a = b.fresh_reg();
+        b.move(a, addr);
+        addr = a;
+        break;
+      }
+      default: {  // split: a = buf + off/2; [a + (off - off/2)]
+        const std::int64_t half = off / 2;
+        addr = b.add(addr, b.const_val(half));
+        imm = off - half;
+        break;
+      }
+    }
+    const Reg v = b.load(addr, imm, 8);
+    b.store(addr, b.add(v, b.const_val(1)), imm, 8);
+    b.move(sum, b.add(sum, v));
+  }
+  b.move(i, b.add(i, b.const_val(1)));
+  b.br(header);
+
+  b.set_block(exit);
+  b.ret(sum);
+  return b.take();
+}
+
 }  // namespace
 
 Module generate_module(std::uint64_t seed, const GeneratorOptions& opts) {
@@ -490,6 +554,10 @@ Module generate_module(std::uint64_t seed, const GeneratorOptions& opts) {
                                          rng.next_below(2));
     FunctionGen gen(rng, name, opts, pool.empty() ? nullptr : &pool);
     m.functions.push_back(gen.build(segments));
+  }
+  for (std::uint32_t t = 0; t < opts.planted_slots; ++t) {
+    m.functions.push_back(
+        make_planted_slot("slot" + std::to_string(t), t, opts));
   }
   const std::string err = verify(m);
   PRED_CHECK(err.empty());

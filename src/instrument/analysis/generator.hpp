@@ -42,6 +42,24 @@ struct GeneratorOptions {
   /// and constant-bound-loop leaves) — call-heavy workloads shaped like hot
   /// accessor helpers, where interprocedural batching has full leverage.
   bool summarizable_callees = false;
+
+  /// Planted false-sharing slots (repair fuzzing). When > 0, the module
+  /// additionally gets deterministic functions "slot0".."slotN-1": slot t,
+  /// run as thread t, read-modify-writes every word of the t-th
+  /// `planted_stride`-sized slot of a packed region starting at word
+  /// `planted_base_words`, `planted_iters` times, and returns the sum of
+  /// the values it loaded. Adjacent slots narrower than a line share lines
+  /// by construction — exactly what apply_repair_rewrite must fix. The slot
+  /// functions draw no RNG, so planted-free generation stays byte-identical,
+  /// and every slot access is a constant offset from buf (through the same
+  /// varied addressing idioms used elsewhere), so the rewrite can prove and
+  /// retarget all of them. Contract: slot functions touch exactly
+  /// [buf + 8*planted_base_words, buf + 8*planted_base_words
+  ///  + planted_slots*planted_stride).
+  std::uint32_t planted_slots = 0;
+  std::uint32_t planted_stride = 8;     ///< bytes per slot (multiple of 8)
+  std::uint32_t planted_base_words = 0; ///< region start, words from buf
+  std::uint32_t planted_iters = 8;      ///< RMW sweeps per slot function
 };
 
 /// Extra buffer headroom, in words, a call-enabled module may touch past

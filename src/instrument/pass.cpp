@@ -561,4 +561,55 @@ PassStats run_instrumentation_pass(Module& module,
   return run_instrumentation_pass(module, options, nullptr);
 }
 
+RepairRewriteStats apply_repair_rewrite(Module& module,
+                                        const RepairLayout& layout) {
+  RepairRewriteStats stats;
+  PRED_CHECK(layout.slot_stride > 0);
+  PRED_CHECK(layout.pad_to >= layout.slot_stride);
+  const std::int64_t stride = static_cast<std::int64_t>(layout.slot_stride);
+  const std::int64_t pad_to = static_cast<std::int64_t>(layout.pad_to);
+
+  for (Function& fn : module.functions) {
+    if (layout.base_arg >= fn.num_args) continue;
+    // An unstable base argument could alias the region through a rewritten
+    // register; value numbering would no longer prove region membership.
+    if (!stable_args(fn)[layout.base_arg]) continue;
+
+    const Cfg cfg(fn);
+    const ConstantFacts consts = analyze_constants(fn, cfg);
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      ValueNumbering vn(fn);
+      vn.seed_constants(consts.block_entry[b]);
+      for (Instr& in : fn.blocks[b].instrs) {
+        if (is_memory_intrinsic(in.op)) {
+          ++stats.opaque;  // dynamic-range accesses are never relocated
+        } else if (is_memory_access(in.op) || in.op == Opcode::kReport) {
+          const ValueNumbering::Value v = vn.address_of(in);
+          if (v.base == ValueNumbering::Value::Base::kEntryReg &&
+              v.id == layout.base_arg) {
+            const std::int64_t rel = v.offset - layout.region_offset;
+            if (rel >= 0 &&
+                static_cast<std::uint64_t>(rel) < layout.extent) {
+              const std::int64_t slot = rel / stride;
+              const std::int64_t within = rel % stride;
+              if (within + in.size <= stride) {
+                // Remapping the immediate moves the access no matter how
+                // the original offset was split between registers and imm.
+                in.imm += slot * pad_to + within - rel;
+                ++stats.retargeted;
+              } else {
+                ++stats.straddling;  // spans two slots: cannot relocate
+              }
+            }
+          } else if (v.base != ValueNumbering::Value::Base::kEntryReg) {
+            ++stats.opaque;
+          }
+        }
+        vn.apply(in);
+      }
+    }
+  }
+  return stats;
+}
+
 }  // namespace pred::ir

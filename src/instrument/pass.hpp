@@ -117,4 +117,38 @@ PassStats run_instrumentation_pass(Module& module, const PassOptions& options);
 PassStats run_instrumentation_pass(Module& module, const PassOptions& options,
                                    SummaryTable* summaries_out);
 
+// ---------------------------------------------------------------------------
+// Repair rewrite (src/repair/): RedirectPtr-style layout retargeting
+// ---------------------------------------------------------------------------
+
+/// Describes a padded re-layout of a slotted region reached through one
+/// pointer argument: the original layout packs `extent` bytes of
+/// `slot_stride`-sized slots starting at `region_offset` from the argument;
+/// the repaired layout widens every slot to `pad_to` bytes (slot k moves
+/// from region_offset + k*slot_stride to region_offset + k*pad_to).
+struct RepairLayout {
+  std::uint32_t base_arg = 0;     ///< argument register carrying the region
+  std::int64_t region_offset = 0; ///< region start, bytes from the argument
+  std::uint64_t extent = 0;       ///< bytes covered by the original layout
+  std::uint64_t slot_stride = 0;  ///< original slot size (bytes, > 0)
+  std::uint64_t pad_to = 64;      ///< repaired slot size (>= slot_stride)
+};
+
+struct RepairRewriteStats {
+  std::uint64_t retargeted = 0;  ///< accesses moved to the padded layout
+  std::uint64_t straddling = 0;  ///< crossed a slot boundary: left alone
+  std::uint64_t opaque = 0;      ///< address not provably in the region
+};
+
+/// Retargets every load/store/report whose value-numbered address is
+/// provably (stable base_arg) + constant inside the region to the padded
+/// layout, adjusting the instruction's immediate offset. Accesses that
+/// cannot be proven in (or out of) the region are left untouched and
+/// counted as opaque — the rewrite is conservative, never speculative. The
+/// caller is responsible for sizing the actual buffer for the padded extent
+/// (slot count * pad_to). Applies to every function in the module,
+/// including "$bare" clones, so instrumented and bare paths stay in sync.
+RepairRewriteStats apply_repair_rewrite(Module& module,
+                                        const RepairLayout& layout);
+
 }  // namespace pred::ir

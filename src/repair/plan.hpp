@@ -1,0 +1,120 @@
+// RepairPlan: the actionable half of a PREDATOR report (the ROADMAP's
+// Huron-style closed loop). Where a FixSuggestion is prose for a programmer,
+// a PlanEntry is a machine-applicable layout directive keyed by the stable
+// identity of the offending data — an allocation callsite for heap objects,
+// the variable name for globals — so a plan compiled from one process's
+// report can be applied in a *different* process (or the next run of the
+// same one) where concrete addresses and CallsiteIds have no meaning.
+//
+// Each entry carries the Section 2.4 word-ownership evidence that justified
+// it, so a consumer (or an operator reading the emitted JSON) can audit why
+// the layout is being changed.
+//
+// This header is intentionally dependency-free (plain structs): the
+// allocator consumes plans without linking the repair subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pred::repair {
+
+enum class PlanAction : std::uint8_t {
+  kPadSlots = 1,    ///< pad each per-thread slot to `pad_to` bytes
+  kAlignStart = 2,  ///< pin the object start to `alignment` bytes
+  kPadChunks = 3,   ///< round per-thread chunks up to `pad_to` bytes
+  kSplitFields = 4, ///< separate hot fields into `pad_to`-byte groups
+};
+
+inline const char* to_string(PlanAction a) {
+  switch (a) {
+    case PlanAction::kPadSlots: return "pad_slots";
+    case PlanAction::kAlignStart: return "align_start";
+    case PlanAction::kPadChunks: return "pad_chunks";
+    case PlanAction::kSplitFields: return "split_fields";
+  }
+  return "?";
+}
+
+/// One touched word of the finding that justified the entry: byte offset
+/// within its cache line, the owning thread, and how hot it was.
+struct OffsetEvidence {
+  std::uint64_t offset = 0;
+  std::uint32_t owner = 0;  ///< ~0u when the word was written by many threads
+  std::uint64_t writes = 0;
+
+  bool operator==(const OffsetEvidence&) const = default;
+};
+
+inline constexpr std::uint32_t kSharedOwner = ~std::uint32_t{0};
+
+struct PlanEntry {
+  bool is_global = false;
+  /// Stable identity: the global's name, or the allocation callsite's
+  /// frames joined with '|' (outermost frame last, as interned).
+  std::string site_key;
+  PlanAction action = PlanAction::kAlignStart;
+  /// Allocation requests at this site are rounded up to a multiple of this
+  /// (the allocator backend); slot strides are widened to this (the IR
+  /// rewrite backend). Always a multiple of the line size.
+  std::uint64_t pad_to = 64;
+  std::uint64_t alignment = 64;
+  /// The packed per-thread stride the evidence showed (0: not slot-shaped).
+  std::uint64_t slot_stride = 0;
+  /// Size of the object the plan was compiled from (diagnostic).
+  std::uint64_t object_size = 0;
+  /// Invalidations (observed + predicted) the fix is expected to remove.
+  std::uint64_t expected_eliminated = 0;
+  std::vector<OffsetEvidence> evidence;
+
+  bool operator==(const PlanEntry&) const = default;
+};
+
+struct RepairPlan {
+  /// Session uid of the report the plan was compiled from (0: unknown).
+  std::uint64_t origin_uid = 0;
+  std::vector<PlanEntry> entries;
+
+  bool empty() const { return entries.empty(); }
+
+  const PlanEntry* find(bool is_global, std::string_view site_key) const {
+    for (const PlanEntry& e : entries) {
+      if (e.is_global == is_global && e.site_key == site_key) return &e;
+    }
+    return nullptr;
+  }
+
+  bool operator==(const RepairPlan&) const = default;
+};
+
+/// Canonical heap site key: callsite frames joined with '|'.
+inline std::string join_frames(const std::vector<std::string>& frames) {
+  std::string key;
+  for (const std::string& f : frames) {
+    if (!key.empty()) key += '|';
+    key += f;
+  }
+  return key;
+}
+
+/// Union by (is_global, site_key); on collision the entry expected to
+/// eliminate more invalidations wins (a fleet collector merging many
+/// clients' plans keeps the best-evidenced directive per site).
+inline void merge_plans(RepairPlan& into, const RepairPlan& from) {
+  if (into.origin_uid == 0) into.origin_uid = from.origin_uid;
+  for (const PlanEntry& e : from.entries) {
+    bool merged = false;
+    for (PlanEntry& have : into.entries) {
+      if (have.is_global == e.is_global && have.site_key == e.site_key) {
+        if (e.expected_eliminated > have.expected_eliminated) have = e;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) into.entries.push_back(e);
+  }
+}
+
+}  // namespace pred::repair

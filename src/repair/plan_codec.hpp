@@ -1,0 +1,36 @@
+// Wire codec for RepairPlan: one kRepairPlan frame whose payload is a
+// tagged-field sequence (trace/wire_format.hpp layer 2), so plans ride the
+// same transports as snapshots — a fleet client can stream its compiled
+// plan to a `predator-cli serve` collector, and the collector can persist
+// the merged plan as a frame file a future run loads.
+//
+// Field ids (top level): 1 origin_uid, 2 entry (kBytes, repeated).
+// Entry: 1 is_global, 2 site_key, 3 action, 4 pad_to, 5 alignment,
+//        6 slot_stride, 7 object_size, 8 expected_eliminated,
+//        9 evidence (kBytes, repeated).
+// Evidence: 1 offset, 2 owner, 3 writes.
+// Unknown ids are skipped on decode (forward compatibility); malformed
+// sequences are rejected. Frame-level corruption is caught by the CRC.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "repair/plan.hpp"
+
+namespace pred::repair {
+
+/// Encodes the plan as one complete kRepairPlan wire frame.
+std::string encode_plan_frame(const RepairPlan& plan);
+
+/// Decodes a kRepairPlan frame *payload* (the frame layer already
+/// unwrapped). Returns false on malformed input; unknown fields and
+/// unknown actions are skipped, not errors.
+bool decode_plan_payload(std::string_view payload, RepairPlan* out);
+
+/// Persists the plan as a single-frame file / loads it back. load returns
+/// false on I/O failure, frame corruption, or a malformed payload.
+bool save_plan_file(const std::string& path, const RepairPlan& plan);
+bool load_plan_file(const std::string& path, RepairPlan* out);
+
+}  // namespace pred::repair

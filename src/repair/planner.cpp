@@ -1,0 +1,149 @@
+#include "repair/planner.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace pred::repair {
+
+namespace {
+
+std::uint64_t round_up_to(std::uint64_t v, std::uint64_t unit) {
+  if (unit == 0) return v;
+  return (v + unit - 1) / unit * unit;
+}
+
+const ObjectFinding* finding_for(const Report& report, Address start) {
+  for (const ObjectFinding& f : report.findings) {
+    if (f.object.start == start) return &f;
+  }
+  return nullptr;
+}
+
+/// Word evidence: in-line offsets with owner and write heat, hottest first.
+std::vector<OffsetEvidence> gather_evidence(const ObjectFinding& f,
+                                            const PlannerOptions& options) {
+  std::vector<OffsetEvidence> ev;
+  for (const LineFinding& lf : f.lines) {
+    for (const WordReport& w : lf.words) {
+      OffsetEvidence e;
+      e.offset = static_cast<std::uint64_t>(w.address % options.line_size);
+      e.owner = w.shared ? kSharedOwner : static_cast<std::uint32_t>(w.owner);
+      e.writes = w.writes;
+      ev.push_back(e);
+    }
+  }
+  std::sort(ev.begin(), ev.end(),
+            [](const OffsetEvidence& a, const OffsetEvidence& b) {
+              return a.writes > b.writes ||
+                     (a.writes == b.writes && a.offset < b.offset);
+            });
+  if (ev.size() > options.max_evidence) ev.resize(options.max_evidence);
+  return ev;
+}
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+RepairPlan compile_plan(const Report& report,
+                        const std::vector<FixSuggestion>& suggestions,
+                        const CallsiteTable& callsites,
+                        const PlannerOptions& options) {
+  RepairPlan plan;
+  for (const FixSuggestion& s : suggestions) {
+    // True sharing has no layout remedy; there is nothing to apply.
+    if (s.kind == FixKind::kReduceWriteSharing) continue;
+
+    PlanEntry e;
+    e.is_global = s.object.is_global;
+    if (e.is_global) {
+      if (s.object.name.empty()) continue;
+      e.site_key = s.object.name;
+    } else {
+      if (s.object.callsite == kNoCallsite) continue;
+      e.site_key = join_frames(callsites.get(s.object.callsite).frames);
+      if (e.site_key.empty()) continue;
+    }
+
+    e.slot_stride = s.slot_stride;
+    e.object_size = s.object.size;
+    e.expected_eliminated = s.eliminated_invalidations;
+    e.alignment = options.line_size;
+    switch (s.kind) {
+      case FixKind::kPadPerThreadSlots:
+        e.action = PlanAction::kPadSlots;
+        e.pad_to = round_up_to(std::max<std::uint64_t>(s.slot_stride, 1),
+                               options.line_size);
+        break;
+      case FixKind::kWidenElements:
+        e.action = PlanAction::kPadChunks;
+        e.pad_to = round_up_to(std::max<std::uint64_t>(s.slot_stride, 1),
+                               options.line_size);
+        break;
+      case FixKind::kSeparateHotFields:
+        e.action = PlanAction::kSplitFields;
+        e.pad_to = options.line_size;
+        break;
+      case FixKind::kAlignObject:
+        e.action = PlanAction::kAlignStart;
+        e.pad_to = options.line_size;
+        break;
+      case FixKind::kReduceWriteSharing:
+        continue;  // unreachable (filtered above)
+    }
+
+    if (const ObjectFinding* f = finding_for(report, s.object.start)) {
+      e.evidence = gather_evidence(*f, options);
+    }
+
+    RepairPlan one;
+    one.entries.push_back(std::move(e));
+    merge_plans(plan, one);
+  }
+  return plan;
+}
+
+std::string format_plan(const RepairPlan& plan) {
+  if (plan.empty()) return "repair plan: empty (nothing to apply)\n";
+  std::string out;
+  append_fmt(out, "repair plan: %zu entr%s (origin session %" PRIu64 ")\n",
+             plan.entries.size(), plan.entries.size() == 1 ? "y" : "ies",
+             plan.origin_uid);
+  int rank = 1;
+  for (const PlanEntry& e : plan.entries) {
+    append_fmt(out, "  #%d [%s] %s '%s'\n", rank++, to_string(e.action),
+               e.is_global ? "global" : "heap callsite", e.site_key.c_str());
+    append_fmt(out,
+               "     pad to %" PRIu64 " B, align %" PRIu64
+               " B (packed stride %" PRIu64 " B, object %" PRIu64
+               " B), ~%" PRIu64 " invalidations expected eliminated\n",
+               e.pad_to, e.alignment, e.slot_stride, e.object_size,
+               e.expected_eliminated);
+    for (const OffsetEvidence& ev : e.evidence) {
+      if (ev.owner == kSharedOwner) {
+        append_fmt(out, "     evidence: line offset %" PRIu64
+                        " shared, %" PRIu64 " write(s)\n",
+                   ev.offset, ev.writes);
+      } else {
+        append_fmt(out, "     evidence: line offset %" PRIu64
+                        " owned by T%u, %" PRIu64 " write(s)\n",
+                   ev.offset, ev.owner, ev.writes);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pred::repair

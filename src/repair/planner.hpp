@@ -1,0 +1,37 @@
+// Plan compilation: FixSuggestions (advice/fix_advisor) are matched back to
+// the report findings they were derived from and lowered into RepairPlan
+// entries keyed by stable site identity. Suggestions without a layout fix
+// (true sharing) or without a stable identity (unattributed heap objects)
+// compile to nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "advice/fix_advisor.hpp"
+#include "repair/plan.hpp"
+#include "runtime/callsite.hpp"
+#include "runtime/report.hpp"
+
+namespace pred::repair {
+
+struct PlannerOptions {
+  std::size_t line_size = 64;
+  /// Offset-evidence words kept per entry (the hottest first).
+  std::size_t max_evidence = 16;
+};
+
+/// Compiles suggestions into an applicable plan. `report` supplies the
+/// word-level evidence; `callsites` resolves heap objects to their stable
+/// site keys. Entries are deduplicated by site (several findings of one
+/// callsite — e.g. many 16-byte counters packed by one allocation loop —
+/// become one directive).
+RepairPlan compile_plan(const Report& report,
+                        const std::vector<FixSuggestion>& suggestions,
+                        const CallsiteTable& callsites,
+                        const PlannerOptions& options = {});
+
+/// Human-readable plan listing (one block per entry).
+std::string format_plan(const RepairPlan& plan);
+
+}  // namespace pred::repair

@@ -1,0 +1,161 @@
+#include "repair/targets.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "instrument/analysis/generator.hpp"
+#include "instrument/interp.hpp"
+#include "instrument/pass.hpp"
+
+namespace pred::repair {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// counter_pool: heap-callsite target (allocator backend)
+// ---------------------------------------------------------------------------
+
+class CounterPoolTarget final : public RepairTarget {
+ public:
+  std::string_view name() const override { return "counter_pool"; }
+  std::string_view description() const override {
+    return "per-thread 16B heap counters from one callsite, packed 4/line";
+  }
+
+  RunResult run(Session& session, const RepairPlan* /*plan*/,
+                std::uint32_t threads, std::uint64_t scale) const override {
+    // One hot allocation site hands every thread its counter. All the
+    // allocations happen on the capturing thread, so the thread heap packs
+    // them back to back: four 16-byte counters per 64-byte line. An
+    // installed plan pads each request to a line instead — same code, fixed
+    // layout.
+    const CallsiteId cs = session.intern_frames({"counter_pool.c:42"});
+    std::vector<std::uint64_t*> counters;
+    counters.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      auto* p = static_cast<std::uint64_t*>(session.alloc(16, cs));
+      PRED_CHECK(p != nullptr);
+      p[0] = 0;
+      p[1] = 0;
+      counters.push_back(p);
+    }
+
+    const std::uint64_t iters = 512 * (scale ? scale : 1);
+    RunResult out;
+    out.traces.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      TraceRecorder rec;
+      rec.reserve(2 * iters);
+      std::uint64_t* c = counters[t];
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        rec.on_read(c, 8);
+        const std::uint64_t v = *c;
+        *c = v + 1;
+        rec.on_write(c, 8);
+      }
+      out.traces.push_back(rec.take());
+    }
+    // Final counter values do not depend on where the counters live.
+    for (std::uint32_t t = 0; t < threads; ++t) out.checksum += *counters[t];
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// global_grid: global/field target (IR rewrite backend)
+// ---------------------------------------------------------------------------
+
+class GlobalGridTarget final : public RepairTarget {
+ public:
+  std::string_view name() const override { return "global_grid"; }
+  std::string_view description() const override {
+    return "packed 16B global slots hammered by mini-IR kernels";
+  }
+
+  RunResult run(Session& session, const RepairPlan* plan,
+                std::uint32_t threads, std::uint64_t scale) const override {
+    ir::GeneratorOptions gopts;
+    gopts.segments = 1;
+    gopts.allow_intrinsics = false;
+    gopts.planted_slots = threads;
+    gopts.planted_stride = 16;
+    gopts.planted_base_words = 0;
+    gopts.planted_iters = static_cast<std::uint32_t>(32 * (scale ? scale : 1));
+    ir::Module module = ir::generate_module(0x67726964u, gopts);
+
+    const std::uint64_t stride = gopts.planted_stride;
+    const std::uint64_t extent = std::uint64_t{threads} * stride;
+    std::uint64_t pad_to = 0;
+    if (const PlanEntry* e = plan ? plan->find(true, "grid_slots") : nullptr;
+        e != nullptr && e->pad_to > stride) {
+      pad_to = e->pad_to;
+      ir::RepairLayout layout;
+      layout.base_arg = 0;
+      layout.region_offset = 0;
+      layout.extent = extent;
+      layout.slot_stride = e->slot_stride != 0 ? e->slot_stride : stride;
+      layout.pad_to = pad_to;
+      const ir::RepairRewriteStats rs = ir::apply_repair_rewrite(module,
+                                                                 layout);
+      PRED_CHECK(rs.retargeted > 0);
+    }
+
+    const std::uint64_t bytes = pad_to != 0 ? std::uint64_t{threads} * pad_to
+                                            : extent;
+    auto buffer =
+        std::make_shared<std::vector<std::int64_t>>(bytes / 8, 0);
+    session.register_global(buffer->data(), bytes, "grid_slots");
+
+    RunResult out;
+    out.keep_alive = buffer;
+    out.traces.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const ir::Function* fn = nullptr;
+      const std::string want = "slot" + std::to_string(t);
+      for (const ir::Function& f : module.functions) {
+        if (f.name == want) fn = &f;
+      }
+      PRED_CHECK(fn != nullptr);
+
+      ThreadTrace trace;
+      ir::Interpreter interp(nullptr);
+      interp.set_touch_observer([&trace](Address a, std::uint32_t width,
+                                         AccessType type, ThreadId) {
+        trace.push_back({a, 0, type, static_cast<std::uint8_t>(width)});
+      });
+      const std::int64_t args[2] = {
+          static_cast<std::int64_t>(
+              reinterpret_cast<std::uintptr_t>(buffer->data())),
+          static_cast<std::int64_t>(bytes / 8)};
+      const ir::ExecResult res =
+          interp.run(module, *fn, args, static_cast<ThreadId>(t));
+      PRED_CHECK(!res.step_limit_exceeded);
+      // Slot kernels sum what they load from their zero-initialized,
+      // disjoint slots: the same value in packed and padded layouts.
+      out.checksum += static_cast<std::uint64_t>(res.return_value);
+      out.traces.push_back(std::move(trace));
+    }
+    return out;
+  }
+};
+
+const CounterPoolTarget g_counter_pool;
+const GlobalGridTarget g_global_grid;
+
+}  // namespace
+
+const std::vector<const RepairTarget*>& all_repair_targets() {
+  static const std::vector<const RepairTarget*> targets = {&g_counter_pool,
+                                                           &g_global_grid};
+  return targets;
+}
+
+const RepairTarget* find_repair_target(std::string_view name) {
+  for (const RepairTarget* t : all_repair_targets()) {
+    if (t->name() == name) return t;
+  }
+  return nullptr;
+}
+
+}  // namespace pred::repair

@@ -1,0 +1,62 @@
+// Planted-false-sharing workloads the repair verifier closes the loop on.
+// Each target is a tiny deterministic program with a known sharing defect —
+// one per plan backend:
+//
+//   * "counter_pool": per-thread 16-byte heap counters allocated by one hot
+//     callsite, packed four to a line by the thread heap. Repaired by the
+//     ALLOCATOR backend: PredatorAllocator pads the callsite's requests to
+//     pad_to, and the size classes then line-align them naturally.
+//   * "global_grid": a packed global array of 16-byte per-thread slots
+//     accessed by generated mini-IR slot kernels. Repaired by the IR
+//     REWRITE backend: apply_repair_rewrite retargets every slot access to
+//     the padded layout of a line-strided buffer.
+//
+// Both compute a layout-independent checksum, so the verifier can assert
+// bit-identical results across the repair.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "api/predator.hpp"
+#include "repair/plan.hpp"
+#include "sim/executor.hpp"
+
+namespace pred::repair {
+
+/// One target run: the per-thread traces to replay/simulate, the workload's
+/// observable result, and whatever memory backs the traced addresses.
+struct RunResult {
+  std::vector<ThreadTrace> traces;  ///< traces[t] is logical thread t
+  std::uint64_t checksum = 0;       ///< layout-independent observable
+  /// Keeps the accessed memory alive (and its addresses meaningful) until
+  /// the traces have been replayed and simulated. May be null when the
+  /// session itself owns the memory (heap targets).
+  std::shared_ptr<void> keep_alive;
+};
+
+class RepairTarget {
+ public:
+  virtual ~RepairTarget() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// Runs the workload against `session` (allocating or registering its
+  /// data there) and captures per-thread traces sequentially. `plan` is
+  /// null for the baseline run. Targets repaired through the allocator
+  /// ignore it — the verifier installs the plan into session.allocator()
+  /// before calling — while targets repaired through the IR rewrite consume
+  /// the matching entry directly.
+  virtual RunResult run(Session& session, const RepairPlan* plan,
+                        std::uint32_t threads, std::uint64_t scale) const = 0;
+};
+
+/// The built-in targets, in a stable order.
+const std::vector<const RepairTarget*>& all_repair_targets();
+
+/// Lookup by name(); nullptr when unknown.
+const RepairTarget* find_repair_target(std::string_view name);
+
+}  // namespace pred::repair

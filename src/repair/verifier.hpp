@@ -1,0 +1,94 @@
+// Closed-loop repair verification: detect → plan → apply → re-run → prove.
+//
+// run_repair_loop drives a RepairTarget twice through fresh sessions. The
+// first (baseline) run is replayed into the detector, its report compiled
+// into a RepairPlan, and its traces pushed through the coherence simulator
+// to count invalidations on the plan's sites. The second run executes with
+// the plan applied — via the allocator (heap sites) and/or the IR rewrite
+// (global sites) — and the same replay + simulation re-measure the sites.
+// The outcome certifies two properties:
+//
+//   * effectiveness — simulated invalidations on the repaired sites drop by
+//     at least `drop_threshold`, and no false-sharing finding survives on
+//     them in the post-repair report;
+//   * equivalence — the workload's layout-independent checksum is
+//     bit-identical across the repair (the fix changed placement, not
+//     behavior).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "api/predator.hpp"
+#include "repair/plan.hpp"
+#include "repair/targets.hpp"
+#include "runtime/report.hpp"
+#include "sim/cache_sim.hpp"
+
+namespace pred::repair {
+
+/// SessionOptions tuned for deterministic replay detection: every line
+/// tracked and reported from the first write, full sampling, prediction
+/// off, and a small heap — the same recipe the regression harnesses use.
+SessionOptions detection_session_options(
+    std::size_t heap_size = 4 * 1024 * 1024);
+
+struct VerifierOptions {
+  std::uint32_t threads = 8;
+  std::uint64_t scale = 1;
+  std::size_t quantum = 1;  ///< replay/simulation interleaving granule
+  SimConfig sim{};
+  /// Minimum fraction of the sites' simulated invalidations the repair must
+  /// remove for `RepairOutcome::repaired()` to hold.
+  double drop_threshold = 0.9;
+  SessionOptions session = detection_session_options();
+};
+
+struct RepairOutcome {
+  RepairPlan plan;
+  Report baseline_report;
+  Report repaired_report;
+
+  /// Simulated invalidations summed over the objects matching plan sites.
+  std::uint64_t baseline_invalidations = 0;
+  std::uint64_t repaired_invalidations = 0;
+
+  std::uint64_t baseline_checksum = 0;
+  std::uint64_t repaired_checksum = 0;
+
+  /// False-sharing findings on plan sites surviving in the repaired report.
+  std::size_t repaired_site_findings = 0;
+
+  // Phase timings (wall clock).
+  double detect_ms = 0;
+  double plan_ms = 0;
+  double apply_ms = 0;
+  double verify_ms = 0;
+
+  /// Fraction of the baseline sites' invalidations removed, in [0, 1].
+  double drop_pct() const {
+    if (baseline_invalidations == 0) return 0.0;
+    if (repaired_invalidations >= baseline_invalidations) return 0.0;
+    return 1.0 - static_cast<double>(repaired_invalidations) /
+                     static_cast<double>(baseline_invalidations);
+  }
+  bool checksums_match() const {
+    return baseline_checksum == repaired_checksum;
+  }
+  /// The closed-loop verdict at `threshold` (see file comment).
+  bool repaired(double threshold) const {
+    return !plan.empty() && baseline_invalidations > 0 &&
+           drop_pct() >= threshold && repaired_site_findings == 0 &&
+           checksums_match();
+  }
+};
+
+/// Runs the full loop on `target`. Deterministic for deterministic targets.
+RepairOutcome run_repair_loop(const RepairTarget& target,
+                              const VerifierOptions& options = {});
+
+/// Human-readable outcome block (the `predator-cli repair` output body).
+std::string format_outcome(const RepairOutcome& outcome,
+                           double drop_threshold);
+
+}  // namespace pred::repair

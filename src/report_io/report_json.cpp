@@ -70,11 +70,23 @@ void write_virtual_lines(JsonWriter& w, const ObjectFinding& f) {
   w.end_array();
 }
 
-void write_suggestion(JsonWriter& w, const FixSuggestion& s) {
+void write_suggestion(JsonWriter& w, const FixSuggestion& s,
+                      const CallsiteTable& callsites) {
   w.begin_object();
   w.field("kind", to_string(s.kind));
   w.field("object_start", hex(s.object.start));
   w.field("object_size", static_cast<std::uint64_t>(s.object.size));
+  // The suggestion's stable identity, so a consumer can act on it without
+  // chasing addresses back through the findings.
+  if (s.object.is_global) {
+    w.field("object_name", s.object.name);
+  } else if (s.object.callsite != kNoCallsite) {
+    w.key("callsite").begin_array();
+    for (const auto& frame : callsites.get(s.object.callsite).frames) {
+      w.value(frame);
+    }
+    w.end_array();
+  }
   w.field("eliminated_invalidations", s.eliminated_invalidations);
   w.field("threads_involved",
           static_cast<std::uint64_t>(s.threads_involved));
@@ -86,9 +98,49 @@ void write_suggestion(JsonWriter& w, const FixSuggestion& s) {
 
 }  // namespace
 
+void write_plan_fields(JsonWriter& w, const repair::RepairPlan& plan) {
+  w.field("origin_uid", plan.origin_uid);
+  w.key("entries").begin_array();
+  for (const repair::PlanEntry& e : plan.entries) {
+    w.begin_object();
+    w.field("site", e.site_key);
+    w.field("global", e.is_global);
+    w.field("action", repair::to_string(e.action));
+    w.field("pad_to", e.pad_to);
+    w.field("alignment", e.alignment);
+    w.field("slot_stride", e.slot_stride);
+    w.field("object_size", e.object_size);
+    w.field("expected_eliminated", e.expected_eliminated);
+    w.key("evidence").begin_array();
+    for (const repair::OffsetEvidence& ev : e.evidence) {
+      w.begin_object();
+      w.field("offset", ev.offset);
+      if (ev.owner == repair::kSharedOwner) {
+        w.field("owner", "shared");
+      } else {
+        w.field("owner", static_cast<std::uint64_t>(ev.owner));
+      }
+      w.field("writes", ev.writes);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string plan_to_json(const repair::RepairPlan& plan) {
+  JsonWriter w;
+  w.begin_object();
+  write_plan_fields(w, plan);
+  w.end_object();
+  return w.str();
+}
+
 std::string report_to_json(const Report& report,
                            const CallsiteTable& callsites,
-                           const std::vector<FixSuggestion>* suggestions) {
+                           const std::vector<FixSuggestion>* suggestions,
+                           const repair::RepairPlan* plan) {
   JsonWriter w;
   w.begin_object();
   w.field("total_invalidations", report.total_invalidations);
@@ -115,8 +167,15 @@ std::string report_to_json(const Report& report,
   w.end_array();
   if (suggestions != nullptr) {
     w.key("suggestions").begin_array();
-    for (const FixSuggestion& s : *suggestions) write_suggestion(w, s);
+    for (const FixSuggestion& s : *suggestions) {
+      write_suggestion(w, s, callsites);
+    }
     w.end_array();
+  }
+  if (plan != nullptr) {
+    w.key("repair_plan").begin_object();
+    write_plan_fields(w, *plan);
+    w.end_object();
   }
   w.end_object();
   return w.str();

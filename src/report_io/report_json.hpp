@@ -16,7 +16,15 @@
 //     "virtual_lines": [{"start": "0x...", "size": N, "kind": "...",
 //                        "invalidations": N}, ...]
 //   }, ...],
-//   "suggestions": [...]   // only when advice is supplied
+//   "suggestions": [...],  // only when advice is supplied
+//   "repair_plan": {       // only when a plan is supplied
+//     "origin_uid": N,
+//     "entries": [{"site": "...", "global": false, "action": "pad_slots",
+//                  "pad_to": N, "alignment": N, "slot_stride": N,
+//                  "object_size": N, "expected_eliminated": N,
+//                  "evidence": [{"offset": N, "owner": T | "shared",
+//                                "writes": N}, ...]}, ...]
+//   }
 // }
 #pragma once
 
@@ -25,13 +33,25 @@
 #include <vector>
 
 #include "advice/fix_advisor.hpp"
+#include "repair/plan.hpp"
 #include "runtime/callsite.hpp"
 #include "runtime/report.hpp"
 
 namespace pred {
 
+class JsonWriter;
+
 std::string report_to_json(
     const Report& report, const CallsiteTable& callsites,
-    const std::vector<FixSuggestion>* suggestions = nullptr);
+    const std::vector<FixSuggestion>* suggestions = nullptr,
+    const repair::RepairPlan* plan = nullptr);
+
+/// The "repair_plan" object alone (collector rollups and plan files embed
+/// it under their own keys).
+std::string plan_to_json(const repair::RepairPlan& plan);
+
+/// Writes the members of the "repair_plan" object into an already-open
+/// JSON object — shared by report_to_json, plan_to_json, and rollup_json.
+void write_plan_fields(JsonWriter& w, const repair::RepairPlan& plan);
 
 }  // namespace pred

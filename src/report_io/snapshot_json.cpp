@@ -1,6 +1,7 @@
 #include "report_io/snapshot_json.hpp"
 
 #include "report_io/json_writer.hpp"
+#include "report_io/report_json.hpp"
 
 namespace pred {
 
@@ -64,7 +65,8 @@ std::string snapshot_json(const MonitorSnapshot& snap) {
   return w.str();
 }
 
-std::string rollup_json(const FleetRollup& rollup) {
+std::string rollup_json(const FleetRollup& rollup,
+                        const repair::RepairPlan* plan) {
   JsonWriter w;
   w.begin_object();
   w.field("clients", rollup.clients);
@@ -111,6 +113,12 @@ std::string rollup_json(const FleetRollup& rollup) {
     w.end_object();
   }
   w.end_array();
+
+  if (plan != nullptr) {
+    w.key("repair_plan").begin_object();
+    write_plan_fields(w, *plan);
+    w.end_object();
+  }
 
   w.end_object();
   return w.str();

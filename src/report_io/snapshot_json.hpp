@@ -9,6 +9,7 @@
 
 #include "monitor/monitor.hpp"
 #include "monitor/snapshot_merge.hpp"
+#include "repair/plan.hpp"
 
 namespace pred {
 
@@ -17,7 +18,10 @@ namespace pred {
 std::string snapshot_json(const MonitorSnapshot& snap);
 
 /// A fleet rollup as a JSON object; every count that has a drop-absorbing
-/// upper bound is emitted as "<name>" and "<name>_upper".
-std::string rollup_json(const FleetRollup& rollup);
+/// upper bound is emitted as "<name>" and "<name>_upper". When `plan` is
+/// non-null (Collector::merged_plan()), the fleet's merged repair advice
+/// rides along under "repair_plan".
+std::string rollup_json(const FleetRollup& rollup,
+                        const repair::RepairPlan* plan = nullptr);
 
 }  // namespace pred

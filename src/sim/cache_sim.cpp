@@ -44,6 +44,7 @@ std::uint64_t CacheSim::on_access(std::uint32_t core, Address addr,
       const int killed =
           std::popcount(remote_sharers) + (remote_dirty ? 1 : 0);
       stats_.invalidations_sent += static_cast<std::uint64_t>(killed);
+      st.invalidations += static_cast<std::uint64_t>(killed);
 
       if (remote_dirty) {
         ++stats_.coherence_misses;
@@ -72,6 +73,24 @@ std::uint64_t CacheSim::on_access(std::uint32_t core, Address addr,
   core_cycles_[core] += cost;
   stats_.total_cycles += cost;
   return cost;
+}
+
+std::uint64_t CacheSim::line_invalidations(Address addr) const {
+  const auto it = lines_.find(addr / config_.line_size);
+  return it == lines_.end() ? 0 : it->second.invalidations;
+}
+
+std::uint64_t CacheSim::invalidations_in(Address start,
+                                         std::size_t size) const {
+  if (size == 0) return 0;
+  const std::size_t first = start / config_.line_size;
+  const std::size_t last = (start + size - 1) / config_.line_size;
+  std::uint64_t total = 0;
+  for (std::size_t line = first; line <= last; ++line) {
+    const auto it = lines_.find(line);
+    if (it != lines_.end()) total += it->second.invalidations;
+  }
+  return total;
 }
 
 }  // namespace pred

@@ -85,6 +85,15 @@ class CacheSim {
            (config_.clock_ghz * 1e9);
   }
 
+  /// Invalidations sent for the line containing `addr` (0 if never seen).
+  /// The repair verifier uses these per-line counts to prove that applying
+  /// a plan actually removed the coherence traffic on the detected lines.
+  std::uint64_t line_invalidations(Address addr) const;
+
+  /// Sum of per-line invalidations over every line overlapping
+  /// [start, start + size).
+  std::uint64_t invalidations_in(Address start, std::size_t size) const;
+
   void reset() {
     lines_.clear();
     stats_ = SimStats{};
@@ -96,6 +105,7 @@ class CacheSim {
     std::uint64_t sharers = 0;  ///< bitmask of cores with a clean copy
     std::int32_t owner = -1;    ///< core holding the line Modified, or -1
     bool touched = false;       ///< line ever fetched (cold-miss detection)
+    std::uint64_t invalidations = 0;  ///< remote copies killed on this line
   };
 
   SimConfig config_;

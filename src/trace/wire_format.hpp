@@ -48,6 +48,7 @@ enum class FrameType : std::uint16_t {
   kHello = 3,        ///< client introduction (uid, pid) on a transport
   kSnapshot = 4,     ///< one encoded MonitorSnapshot
   kGoodbye = 5,      ///< orderly client disconnect
+  kRepairPlan = 6,   ///< one encoded RepairPlan (repair/plan_codec.hpp)
 };
 
 enum class FrameError : std::uint8_t {

@@ -22,6 +22,13 @@
 // its own socketpair into an in-process collector, and prints the
 // fleet-wide hot-line/callsite rollup with [exact, exact+dropped] bounds.
 //
+// The `repair` subcommand (src/repair/) closes the loop on a planted
+// false-sharing target: detect, compile a RepairPlan, apply it (allocator
+// padding or IR rewrite), re-run, and prove the invalidations dropped while
+// the workload's checksum stayed bit-identical. Exit 0 iff the repair is
+// proven. `--emit-to` runs also stream their compiled plan to the
+// collector, which `serve --emit-plan` persists merged.
+//
 //   predator-cli --list
 //   predator-cli --workload histogram --threads 8 --advise
 //   predator-cli --workload linear_regression --offset 24 --json
@@ -32,6 +39,7 @@
 //   predator-cli serve --socket /tmp/pred.sock --expect 4
 //   predator-cli --workload histogram --emit-to /tmp/pred.sock
 //   predator-cli fleet histogram --clients 16 --json
+//   predator-cli repair counter_pool --plan-out /tmp/pool.plan
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -59,6 +67,11 @@
 #include "instrument/analysis/summaries.hpp"
 #include "instrument/ir_parser.hpp"
 #include "instrument/pass.hpp"
+#include "repair/plan_codec.hpp"
+#include "repair/planner.hpp"
+#include "repair/targets.hpp"
+#include "repair/verifier.hpp"
+#include "report_io/json_writer.hpp"
 #include "report_io/report_diff.hpp"
 #include "report_io/report_json.hpp"
 #include "report_io/snapshot_json.hpp"
@@ -95,6 +108,10 @@ struct CliOptions {
   std::uint64_t top_k = 16;
   bool fleet_mode = false;
   std::uint64_t fleet_clients = 4;
+  // `repair` subcommand state.
+  bool repair_mode = false;
+  std::string plan_out;   ///< repair: persist the compiled plan frame file
+  std::string emit_plan;  ///< serve: persist the merged fleet plan at exit
 };
 
 void usage(const char* argv0) {
@@ -104,6 +121,7 @@ void usage(const char* argv0) {
       "       %s analyze FILE.pir\n"
       "       %s serve --socket PATH [--expect N] [options]\n"
       "       %s fleet NAME [--clients N] [options]\n"
+      "       %s repair [TARGET] [--plan-out FILE] [options]\n"
       "       %s --list\n\n"
       "workload selection:\n"
       "  --list                 list available workloads and exit\n"
@@ -146,8 +164,18 @@ void usage(const char* argv0) {
       "  fleet NAME             fork N workload processes into an\n"
       "    --clients N          in-process collector and print the\n"
       "                         fleet-wide rollup (default 4 clients;\n"
-      "                         --repeat snapshots per client)\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      "                         --repeat snapshots per client)\n"
+      "    --emit-plan FILE     serve: persist the merged fleet repair\n"
+      "                         plan as a frame file at exit\n\n"
+      "repair subcommand (closed loop: detect -> plan -> apply -> verify):\n"
+      "  repair                 with no TARGET: list the planted targets\n"
+      "  repair TARGET          run the loop; exit 0 iff the repair is\n"
+      "                         proven (invalidation drop >= 90%% on the\n"
+      "                         planned sites, no surviving finding, and a\n"
+      "                         bit-identical workload checksum)\n"
+      "  --plan-out FILE        persist the compiled plan as a frame file\n"
+      "  (--threads/--scale/--quantum/--json apply)\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 bool parse_u64(const char* s, std::uint64_t* out) {
@@ -168,6 +196,9 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
     first = 2;
   } else if (argc > 1 && std::strcmp(argv[1], "fleet") == 0) {
     opt->fleet_mode = true;
+    first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "repair") == 0) {
+    opt->repair_mode = true;
     first = 2;
   }
   for (int i = first; i < argc; ++i) {
@@ -270,10 +301,18 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
       const char* s = next("--clients");
       if (!s || !parse_u64(s, &v) || v == 0 || v > 256) return false;
       opt->fleet_clients = v;
+    } else if (arg == "--plan-out") {
+      const char* s = next("--plan-out");
+      if (!s) return false;
+      opt->plan_out = s;
+    } else if (arg == "--emit-plan") {
+      const char* s = next("--emit-plan");
+      if (!s) return false;
+      opt->emit_plan = s;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
-    } else if ((opt->monitor_mode || opt->fleet_mode) &&
+    } else if ((opt->monitor_mode || opt->fleet_mode || opt->repair_mode) &&
                arg.rfind("--", 0) != 0 && opt->workload.empty()) {
       opt->workload = arg;  // `monitor NAME` / `fleet NAME` positional
     } else {
@@ -404,7 +443,11 @@ void drain_conn(Collector& collector, ClientConn& conn) {
 
 void print_rollup(const Collector& collector, bool json) {
   if (json) {
-    std::printf("%s\n", rollup_json(collector.rollup()).c_str());
+    const repair::RepairPlan plan = collector.merged_plan();
+    std::printf("%s\n",
+                rollup_json(collector.rollup(),
+                            plan.empty() ? nullptr : &plan)
+                    .c_str());
   } else {
     std::printf("%s", collector.rollup_text().c_str());
   }
@@ -472,12 +515,26 @@ int run_serve(const CliOptions& opt) {
   const Collector::Stats st = collector.stats();
   std::fprintf(stderr,
                "collector: %llu frame(s) (%llu snapshot(s), %llu hello(s), "
-               "%llu goodbye(s)), %llu rejected\n",
+               "%llu goodbye(s), %llu plan(s)), %llu rejected\n",
                static_cast<unsigned long long>(st.frames_ingested),
                static_cast<unsigned long long>(st.snapshots_ingested),
                static_cast<unsigned long long>(st.hellos),
                static_cast<unsigned long long>(st.goodbyes),
+               static_cast<unsigned long long>(st.plans_ingested),
                static_cast<unsigned long long>(st.frames_rejected));
+  if (!opt.emit_plan.empty()) {
+    const repair::RepairPlan merged = collector.merged_plan();
+    if (repair::save_plan_file(opt.emit_plan, merged)) {
+      std::fprintf(stderr, "collector: merged plan (%zu entr%s) -> %s\n",
+                   merged.entries.size(),
+                   merged.entries.size() == 1 ? "y" : "ies",
+                   opt.emit_plan.c_str());
+    } else {
+      std::fprintf(stderr, "collector: cannot write plan to %s\n",
+                   opt.emit_plan.c_str());
+      return 1;
+    }
+  }
   print_rollup(collector, opt.json);
   return 0;
 }
@@ -576,6 +633,77 @@ int run_fleet(const CliOptions& opt, const wl::Workload* w) {
                static_cast<unsigned long long>(st.frames_rejected));
   print_rollup(collector, opt.json);
   return failed > 0 ? 1 : 0;
+}
+
+int list_repair_targets() {
+  std::printf("%-16s %s\n", "target", "defect");
+  for (const repair::RepairTarget* t : repair::all_repair_targets()) {
+    std::printf("%-16s %s\n", std::string(t->name()).c_str(),
+                std::string(t->description()).c_str());
+  }
+  return 0;
+}
+
+// `repair` subcommand: run the closed loop on a planted target and report
+// the verdict. Exit 0 iff the repair is proven (drop >= threshold, no
+// surviving finding on the planned sites, bit-identical checksum).
+int run_repair(const CliOptions& opt) {
+  if (opt.workload.empty() || opt.list) return list_repair_targets();
+  const repair::RepairTarget* target =
+      repair::find_repair_target(opt.workload);
+  if (target == nullptr) {
+    std::fprintf(stderr, "unknown repair target '%s' (run `repair` with no "
+                         "name to list them)\n",
+                 opt.workload.c_str());
+    return 1;
+  }
+
+  repair::VerifierOptions vopt;
+  vopt.threads = opt.params.threads;
+  vopt.scale = opt.params.scale;
+  vopt.quantum = opt.replay_quantum;
+  const repair::RepairOutcome outcome = repair::run_repair_loop(*target, vopt);
+
+  if (!opt.plan_out.empty()) {
+    if (!repair::save_plan_file(opt.plan_out, outcome.plan)) {
+      std::fprintf(stderr, "cannot write plan to %s\n", opt.plan_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "plan: %zu entr%s -> %s\n",
+                 outcome.plan.entries.size(),
+                 outcome.plan.entries.size() == 1 ? "y" : "ies",
+                 opt.plan_out.c_str());
+  }
+
+  const bool proven = outcome.repaired(vopt.drop_threshold);
+  if (opt.json) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("target", std::string(target->name()));
+    w.field("repaired", proven);
+    w.field("baseline_invalidations", outcome.baseline_invalidations);
+    w.field("repaired_invalidations", outcome.repaired_invalidations);
+    w.field("drop_pct", outcome.drop_pct());
+    w.field("drop_threshold", vopt.drop_threshold);
+    w.field("surviving_site_findings",
+            static_cast<std::uint64_t>(outcome.repaired_site_findings));
+    w.field("baseline_checksum", outcome.baseline_checksum);
+    w.field("repaired_checksum", outcome.repaired_checksum);
+    w.field("checksums_match", outcome.checksums_match());
+    w.field("detect_ms", outcome.detect_ms);
+    w.field("plan_ms", outcome.plan_ms);
+    w.field("apply_ms", outcome.apply_ms);
+    w.field("verify_ms", outcome.verify_ms);
+    w.key("repair_plan").begin_object();
+    write_plan_fields(w, outcome.plan);
+    w.end_object();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%s\n%s", repair::format_plan(outcome.plan).c_str(),
+                repair::format_outcome(outcome, vopt.drop_threshold).c_str());
+  }
+  return proven ? 0 : 2;
 }
 
 // `analyze` subcommand: static-analysis report for a textual IR module.
@@ -719,6 +847,7 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
+  if (opt.repair_mode) return run_repair(opt);
   if (opt.list) return list_workloads();
   // A dead collector must surface as a failed send, not a fatal SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
@@ -766,20 +895,37 @@ int main(int argc, char** argv) {
   }
   wl::replay_into_session(session, traces, opt.replay_quantum);
 
+  const Report report = session.report();
+  std::vector<FixSuggestion> suggestions;
+  repair::RepairPlan plan;
+  if (opt.advise_fixes || emit) {
+    suggestions = advise(report);
+    plan = repair::compile_plan(report, suggestions,
+                                session.runtime().callsites());
+  }
+
   if (emit) {
     emit->send(session.publish());
+    // The compiled plan rides along so a `serve --emit-plan` collector can
+    // merge repair advice across the fleet, bracketed before the goodbye.
+    // The session uid is stamped only on the emitted copy: local reports
+    // stay byte-identical across runs (deterministic-replay invariant),
+    // while the collector still gets per-session provenance.
+    if (!plan.empty()) {
+      repair::RepairPlan tagged = plan;
+      tagged.origin_uid = session.uid();
+      emit->send(repair::encode_plan_frame(tagged));
+    }
     emit->send(session.goodbye_frame());
     session.monitor().stop();
   }
 
-  const Report report = session.report();
-  std::vector<FixSuggestion> suggestions;
-  if (opt.advise_fixes) suggestions = advise(report);
-
   if (opt.json) {
     std::printf("%s\n",
                 report_to_json(report, session.runtime().callsites(),
-                               opt.advise_fixes ? &suggestions : nullptr)
+                               opt.advise_fixes ? &suggestions : nullptr,
+                               opt.advise_fixes && !plan.empty() ? &plan
+                                                                 : nullptr)
                     .c_str());
   } else {
     std::printf("%s",
