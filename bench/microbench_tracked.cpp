@@ -13,12 +13,28 @@
 // sampling so every access takes the detail path. Reported as accesses/sec
 // per thread count for both modes; `speedup_tN` = lockfree / spin.
 //
+// Two further phases measure the sync-aware suppression fast path (the
+// epoch/ownership word in front of the lock-free detail path):
+//
+//   handoff    line ownership rotates between threads in bursts, the
+//              lock-handoff shape — each tenure claims via
+//              claim_for_handoff then retires a same-owner write burst.
+//              `handoff_speedup_tN` = epoch-passing (suppressed) over the
+//              PR 3 signature (full detail path): the suppression WIN.
+//   multiline  two threads alternate on each of T/2 lines with epochs
+//              flowing but ownership never settling, so nearly every
+//              access takes the suppression check and falls through.
+//              `multiline_ratio_tN` = sync aps / base aps: the
+//              FALL-THROUGH COST (≈1.0 means the check is free; below 1.0
+//              the failed check is eating throughput).
+//
 // Usage: microbench_tracked [writes_per_thread] [--json FILE]
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,6 +89,135 @@ double run_mode(bool lock_free, std::uint32_t nthreads,
   return static_cast<double>(total) / secs;
 }
 
+// Phase 2: lock handoff. Thread t's r-th tenure runs on tracker
+// (t + r) % T: it claims the line (claim_for_handoff — the receiver's
+// synthetic first write, run in BOTH modes so the histories match) and
+// then retires a burst of same-owner writes. With `sync_mode` the writes
+// carry the tenure's epoch and ride the suppression fast path; without,
+// they take the PR 3 five-argument signature and walk the full sampled
+// detail path. Threads drift, so a laggard's stale tenure gets trampled by
+// the next claimant exactly as a real contended lock handoff would — the
+// fast path re-confirms ownership per access, never mis-suppresses.
+double run_handoff(bool sync_mode, std::uint32_t nthreads,
+                   std::uint64_t bursts_per_thread) {
+  constexpr std::uint64_t kBurst = 64;
+  std::vector<std::unique_ptr<pred::CacheTracker>> trackers;
+  trackers.reserve(nthreads);
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    trackers.push_back(
+        std::make_unique<pred::CacheTracker>(0, kGeo, /*lock_free=*/true));
+  }
+  const std::uint64_t window = g_window;
+  const std::uint64_t interval = g_interval;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&trackers, t, nthreads, bursts_per_thread, window,
+                          interval, sync_mode] {
+      const pred::Address word = kLineBase + (t % 8) * 8;
+      for (std::uint64_t r = 0; r < bursts_per_thread; ++r) {
+        pred::CacheTracker& track = *trackers[(t + r) % nthreads];
+        // Epoch 0 is reserved ("this thread never synced"), so tenures
+        // count from 1, exactly as Runtime::handle_sync would.
+        const std::uint32_t epoch = static_cast<std::uint32_t>(r + 1);
+        track.claim_for_handoff(t, epoch);
+        for (std::uint64_t i = 0; i < kBurst; ++i) {
+          if (sync_mode) {
+            track.handle_access(word, pred::AccessType::kWrite, t, window,
+                                interval, epoch);
+          } else {
+            track.handle_access(word, pred::AccessType::kWrite, t, window,
+                                interval);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto end = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(end - start).count();
+
+  // Conservation: every delivered write is either sampled or suppressed,
+  // whatever the interleaving (claims themselves deliver no access).
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(nthreads) * bursts_per_thread * kBurst;
+  std::uint64_t sampled = 0;
+  std::uint64_t suppressed = 0;
+  for (const auto& tr : trackers) {
+    sampled += tr->sampled_accesses();
+    suppressed += tr->suppressed_accesses();
+  }
+  if (sampled + suppressed != total || (!sync_mode && suppressed != 0)) {
+    std::fprintf(stderr,
+                 "handoff conservation violated: %" PRIu64 " sampled + %"
+                 PRIu64 " suppressed of %" PRIu64 "\n",
+                 sampled, suppressed, total);
+    std::exit(1);
+  }
+  return static_cast<double>(total) / secs;
+}
+
+// Phase 3: fall-through cost. Two threads alternate writes on each line
+// (T/2 lines), every access carrying a live epoch — the suppression check
+// runs on each access but ownership never stabilizes, so the fast path
+// almost never hits and the measured difference against the five-argument
+// signature is the pure cost of the extra load-and-CAS.
+double run_multiline(bool sync_mode, std::uint32_t nthreads,
+                     std::uint64_t writes_per_thread) {
+  const std::uint32_t nlines = nthreads > 1 ? nthreads / 2 : 1;
+  std::vector<std::unique_ptr<pred::CacheTracker>> trackers;
+  trackers.reserve(nlines);
+  for (std::uint32_t i = 0; i < nlines; ++i) {
+    trackers.push_back(
+        std::make_unique<pred::CacheTracker>(0, kGeo, /*lock_free=*/true));
+  }
+  const std::uint64_t window = g_window;
+  const std::uint64_t interval = g_interval;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&trackers, t, nlines, writes_per_thread, window,
+                          interval, sync_mode] {
+      pred::CacheTracker& track = *trackers[t % nlines];
+      const pred::Address word = kLineBase + ((t / nlines) % 8) * 8;
+      // One sync at thread start: the epoch is live (non-zero) for every
+      // access, so the suppression gate is evaluated each time.
+      const std::uint32_t epoch = 1;
+      for (std::uint64_t i = 0; i < writes_per_thread; ++i) {
+        if (sync_mode) {
+          track.handle_access(word, pred::AccessType::kWrite, t, window,
+                              interval, epoch);
+        } else {
+          track.handle_access(word, pred::AccessType::kWrite, t, window,
+                              interval);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto end = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(end - start).count();
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(nthreads) * writes_per_thread;
+  std::uint64_t sampled = 0;
+  std::uint64_t suppressed = 0;
+  for (const auto& tr : trackers) {
+    sampled += tr->sampled_accesses();
+    suppressed += tr->suppressed_accesses();
+  }
+  if (sampled + suppressed != total || (!sync_mode && suppressed != 0)) {
+    std::fprintf(stderr,
+                 "multiline conservation violated: %" PRIu64 " sampled + %"
+                 PRIu64 " suppressed of %" PRIu64 "\n",
+                 sampled, suppressed, total);
+    std::exit(1);
+  }
+  return static_cast<double>(total) / secs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +260,49 @@ int main(int argc, char** argv) {
     std::snprintf(key, sizeof(key), "speedup_t%u", t);
     json.add(key, speedup);
   }
+  const std::uint64_t bursts = writes / 64 > 0 ? writes / 64 : 1;
+  std::printf("\nlock handoff: ownership rotates in 64-write tenures, %"
+              PRIu64 " tenures/thread\n\n",
+              bursts);
+  std::printf("%8s %18s %18s %9s\n", "threads", "base aps", "sync aps",
+              "speedup");
+  for (std::uint32_t t : kThreadCounts) {
+    run_handoff(false, t, bursts / 8 > 0 ? bursts / 8 : 1);
+    const double base = run_handoff(false, t, bursts);
+    run_handoff(true, t, bursts / 8 > 0 ? bursts / 8 : 1);
+    const double sync = run_handoff(true, t, bursts);
+    const double speedup = sync / base;
+    std::printf("%8u %18.0f %18.0f %8.2fx\n", t, base, sync, speedup);
+    char key[40];
+    std::snprintf(key, sizeof(key), "handoff_base_t%u_aps", t);
+    json.add(key, base);
+    std::snprintf(key, sizeof(key), "handoff_sync_t%u_aps", t);
+    json.add(key, sync);
+    std::snprintf(key, sizeof(key), "handoff_speedup_t%u", t);
+    json.add(key, speedup);
+  }
+
+  std::printf("\nmulti-line fall-through: live epochs, unstable ownership, %"
+              PRIu64 " writes/thread\n\n",
+              writes);
+  std::printf("%8s %18s %18s %9s\n", "threads", "base aps", "sync aps",
+              "ratio");
+  for (std::uint32_t t : kThreadCounts) {
+    run_multiline(false, t, writes / 8);
+    const double base = run_multiline(false, t, writes);
+    run_multiline(true, t, writes / 8);
+    const double sync = run_multiline(true, t, writes);
+    const double ratio = sync / base;
+    std::printf("%8u %18.0f %18.0f %8.2fx\n", t, base, sync, ratio);
+    char key[40];
+    std::snprintf(key, sizeof(key), "multiline_base_t%u_aps", t);
+    json.add(key, base);
+    std::snprintf(key, sizeof(key), "multiline_sync_t%u_aps", t);
+    json.add(key, sync);
+    std::snprintf(key, sizeof(key), "multiline_ratio_t%u", t);
+    json.add(key, ratio);
+  }
+
   if (!json_path.empty()) {
     if (!json.write_file(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -138,6 +138,22 @@ class Session {
                               count);
   }
 
+  /// Synchronization event by `tid` (lock acquire/release, barrier): bumps
+  /// its epoch so the sync-aware suppression fast state stops matching
+  /// ownership words claimed before the event. Harmless no-op in effect
+  /// when RuntimeConfig::sync_suppression is off.
+  void sync(ThreadId tid) { runtime_->handle_sync(tid); }
+
+  /// Ownership handoff of [p, p+len) to thread `tid` (e.g. a producer
+  /// publishing a buffer to a consumer under a lock). Bumps the receiver's
+  /// epoch and delivers a synthetic ownership claim to every tracked line
+  /// the range overlaps, standing in for the receiver's first write when
+  /// static sync-scoped pruning removed it. Runs in every mode so reports
+  /// stay comparable across pruning and suppression settings.
+  void handoff(const void* p, std::size_t len, ThreadId tid) {
+    runtime_->handle_handoff(reinterpret_cast<Address>(p), len, tid);
+  }
+
 #ifdef PREDATOR_LEGACY_API
   PRED_DEPRECATED("use record(p, AccessType::kRead, tid, size)")
   void on_read(const void* p, ThreadId tid, std::size_t size = 8) {

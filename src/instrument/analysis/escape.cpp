@@ -17,15 +17,23 @@ void EscapeBindings::declare_root(const std::string& function) {
   roots_.try_emplace(function);
 }
 
+void EscapeBindings::mark_transferable(const std::string& function,
+                                       std::uint32_t arg) {
+  declare_root(function);
+  roots_[function][arg].transferable = true;
+}
+
 bool EscapeBindings::bind(const OwnershipMap& ownership,
                           const std::string& function, std::uint32_t arg,
                           Address addr, pred::ThreadId tid) {
   declare_root(function);
   ArgBinding& b = roots_[function][arg];
   const auto span = ownership.span_of(addr);
-  if (!span.has_value() || span->owner != tid) {
+  if (!span.has_value() || (span->owner != tid && !b.transferable)) {
     // The promise is false for this invocation; no later bind can restore
     // confinement, because the analysis must hold over ALL invocations.
+    // (A transferable argument tolerates an owner mismatch — ownership is
+    // promised to migrate via handoffs — but never an unowned address.)
     b.poisoned = true;
     b.len = 0;
     return false;
@@ -48,7 +56,17 @@ std::uint64_t EscapeBindings::bound_len(const std::string& function,
   const auto ait = fit->second.find(arg);
   if (ait == fit->second.end()) return 0;
   const ArgBinding& b = ait->second;
-  return (b.bound && !b.poisoned) ? b.len : 0;
+  return (b.bound && !b.poisoned && !b.transferable) ? b.len : 0;
+}
+
+std::uint64_t EscapeBindings::transfer_len(const std::string& function,
+                                           std::uint32_t arg) const {
+  const auto fit = roots_.find(function);
+  if (fit == roots_.end()) return 0;
+  const auto ait = fit->second.find(arg);
+  if (ait == fit->second.end()) return 0;
+  const ArgBinding& b = ait->second;
+  return (b.bound && !b.poisoned && b.transferable) ? b.len : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -152,66 +170,87 @@ EscapeFacts analyze_escape(const Module& module, const CallGraph& cg,
   // Decreasing fixpoint from ⊤: roots start at their verified bind
   // headroom, everything else unconstrained; every call site then meets in
   // its contribution. Values only ever decrease, so in-place min
-  // accumulation converges to the greatest fixpoint.
-  EscapeFacts facts;
-  facts.confined_len.resize(nf);
-  for (std::uint32_t f = 0; f < nf; ++f) {
-    const Function& fn = module.functions[f];
-    if (bindings.is_root(fn.name)) {
-      facts.confined_len[f].resize(fn.num_args);
-      for (std::uint32_t j = 0; j < fn.num_args; ++j) {
-        facts.confined_len[f][j] = bindings.bound_len(fn.name, j);
-      }
-    } else {
-      facts.confined_len[f].assign(fn.num_args, kUnconstrained);
-    }
-  }
-
-  const auto sweep = [&]() {
-    bool changed = false;
-    for (const SiteEdge& e : edges) {
-      std::uint64_t contrib = 0;
-      if (e.known) {
-        const std::uint64_t base = facts.confined_len[e.caller][e.caller_arg];
-        contrib = base == kUnconstrained ? kUnconstrained
-                  : base > e.off        ? base - e.off
-                                        : 0;
-      }
-      std::uint64_t& slot = facts.confined_len[e.callee][e.callee_arg];
-      if (contrib < slot) {
-        slot = contrib;
-        changed = true;
+  // accumulation converges to the greatest fixpoint. The confined and
+  // transfer lattices propagate through the SAME call-site edges — a passed
+  // pointer inherits whichever promise (single-owner confinement or
+  // handoff-managed transfer) held for the caller's argument — but they
+  // never mix: roots seed each from its own binding channel.
+  using Matrix = std::vector<std::vector<std::uint64_t>>;
+  const auto seed = [&](auto&& root_len) {
+    Matrix m(nf);
+    for (std::uint32_t f = 0; f < nf; ++f) {
+      const Function& fn = module.functions[f];
+      if (bindings.is_root(fn.name)) {
+        m[f].resize(fn.num_args);
+        for (std::uint32_t j = 0; j < fn.num_args; ++j) {
+          m[f][j] = root_len(fn.name, j);
+        }
+      } else {
+        m[f].assign(fn.num_args, kUnconstrained);
       }
     }
-    return changed;
+    return m;
   };
 
-  // Recursive calls at a positive offset shave the headroom by that offset
-  // per sweep — a chain as long as headroom/offset. Cap the sweeps; if the
-  // cap is hit, collapse every cycle member to shared (sound: 0 is the
-  // lattice bottom) and let the now-acyclic remainder settle, which takes at
-  // most one sweep per condensation level.
-  const std::size_t cap = 4 * nf + 8;
-  std::size_t sweeps = 0;
-  while (sweep()) {
-    if (++sweeps >= cap) {
-      for (std::uint32_t f = 0; f < nf; ++f) {
-        if (cg.in_cycle(f)) {
-          facts.confined_len[f].assign(facts.confined_len[f].size(), 0);
+  const auto solve = [&](Matrix& m) {
+    const auto sweep = [&]() {
+      bool changed = false;
+      for (const SiteEdge& e : edges) {
+        std::uint64_t contrib = 0;
+        if (e.known) {
+          const std::uint64_t base = m[e.caller][e.caller_arg];
+          contrib = base == kUnconstrained ? kUnconstrained
+                    : base > e.off        ? base - e.off
+                                          : 0;
+        }
+        std::uint64_t& slot = m[e.callee][e.callee_arg];
+        if (contrib < slot) {
+          slot = contrib;
+          changed = true;
         }
       }
-      for (std::size_t i = 0; i <= nf + 1 && sweep(); ++i) {
-      }
-      break;
-    }
-  }
+      return changed;
+    };
 
-  for (auto& per_fn : facts.confined_len) {
-    for (std::uint64_t& len : per_fn) {
-      if (len == kUnconstrained) len = 0;  // never entered: nothing proven
-      if (len > 0) ++facts.confined_args;
+    // Recursive calls at a positive offset shave the headroom by that
+    // offset per sweep — a chain as long as headroom/offset. Cap the
+    // sweeps; if the cap is hit, collapse every cycle member to shared
+    // (sound: 0 is the lattice bottom) and let the now-acyclic remainder
+    // settle, which takes at most one sweep per condensation level.
+    const std::size_t cap = 4 * nf + 8;
+    std::size_t sweeps = 0;
+    while (sweep()) {
+      if (++sweeps >= cap) {
+        for (std::uint32_t f = 0; f < nf; ++f) {
+          if (cg.in_cycle(f)) {
+            m[f].assign(m[f].size(), 0);
+          }
+        }
+        for (std::size_t i = 0; i <= nf + 1 && sweep(); ++i) {
+        }
+        break;
+      }
     }
-  }
+
+    std::uint64_t proven = 0;
+    for (auto& per_fn : m) {
+      for (std::uint64_t& len : per_fn) {
+        if (len == kUnconstrained) len = 0;  // never entered: nothing proven
+        if (len > 0) ++proven;
+      }
+    }
+    return proven;
+  };
+
+  EscapeFacts facts;
+  facts.confined_len = seed([&](const std::string& name, std::uint32_t j) {
+    return bindings.bound_len(name, j);
+  });
+  facts.confined_args = solve(facts.confined_len);
+  facts.transfer_len = seed([&](const std::string& name, std::uint32_t j) {
+    return bindings.transfer_len(name, j);
+  });
+  facts.transfer_args = solve(facts.transfer_len);
   return facts;
 }
 

@@ -59,16 +59,32 @@ class EscapeBindings {
   bool bind(const OwnershipMap& ownership, const std::string& function,
             std::uint32_t arg, Address addr, pred::ThreadId tid);
 
+  /// Declares (function, arg) HANDOFF-MANAGED: invocations may legitimately
+  /// pass spans owned by *different* threads over time because ownership
+  /// migrates through kHandoff sync points, so an owner-mismatched bind()
+  /// records headroom instead of poisoning. A transferable argument is
+  /// never confined to one thread — bound_len() stays 0 and escape skipping
+  /// never applies — but its proven headroom is reported separately through
+  /// transfer_len() and propagated by analyze_escape() as a transfer fact.
+  /// (An address outside any owned span still poisons: that is a broken
+  /// harness promise, not a handoff.)
+  void mark_transferable(const std::string& function, std::uint32_t arg);
+
   bool is_root(const std::string& function) const;
   /// Proven headroom of (function, arg) in bytes; 0 = shared/unbound.
   std::uint64_t bound_len(const std::string& function,
                           std::uint32_t arg) const;
+  /// Proven headroom of a transferable (function, arg) across all binds
+  /// regardless of the owning thread; 0 = not transferable/unbound/poisoned.
+  std::uint64_t transfer_len(const std::string& function,
+                             std::uint32_t arg) const;
 
  private:
   struct ArgBinding {
     std::uint64_t len = 0;
-    bool bound = false;     ///< at least one successful bind()
-    bool poisoned = false;  ///< a bind() failed: shared forever
+    bool bound = false;        ///< at least one successful bind()
+    bool poisoned = false;     ///< a bind() failed: shared forever
+    bool transferable = false; ///< ownership migrates via handoff syncs
   };
   std::map<std::string, std::map<std::uint32_t, ArgBinding>> roots_;
 };
@@ -78,7 +94,14 @@ struct EscapeFacts {
   /// Per function, per argument: proven confined headroom in bytes
   /// (0 = may be shared — never skip).
   std::vector<std::vector<std::uint64_t>> confined_len;
+  /// Per function, per argument: proven handoff-managed headroom in bytes —
+  /// the pointee is reached by multiple threads but only across kHandoff
+  /// ownership transfers (0 = no such promise). Propagated through call
+  /// sites exactly like confined_len; never merged into it, because a
+  /// transfer fact licenses sync-scoped reasoning, not escape skipping.
+  std::vector<std::vector<std::uint64_t>> transfer_len;
   std::uint64_t confined_args = 0;  ///< (function, arg) pairs proven private
+  std::uint64_t transfer_args = 0;  ///< (function, arg) pairs handoff-managed
 };
 
 EscapeFacts analyze_escape(const Module& module, const CallGraph& cg,

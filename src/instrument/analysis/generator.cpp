@@ -74,6 +74,25 @@ class FunctionGen {
           break;
       }
     }
+    // Sync shapes draw RNG only when enabled, so sync-free modules stay
+    // byte-identical across the introduction of the intrinsics (the same
+    // contract the call shapes honor above).
+    if (opts_.sync_segments > 0) {
+      const std::uint32_t syncs = 1 + rng_.next_below(opts_.sync_segments);
+      for (std::uint32_t s = 0; s < syncs; ++s) {
+        switch (rng_.next_below(3)) {
+          case 0:
+            emit_sync_bracket();
+            break;
+          case 1:
+            emit_handoff_run(/*interior_sync=*/false);
+            break;
+          default:
+            emit_handoff_run(/*interior_sync=*/true);
+            break;
+        }
+      }
+    }
     if (opts_.allow_intrinsics && rng_.next_below(2) == 0) {
       const Reg len =
           b_.const_val(8 * (1 + static_cast<std::int64_t>(rng_.next_below(3))));
@@ -146,6 +165,46 @@ class FunctionGen {
         emit_varying_access(i);
       } else {
         emit_invariant_access();
+      }
+    }
+  }
+
+  /// Acquire/release bracket around an ordinary access run: the epochs
+  /// rotate but no ownership transfers, so sync-scoped pruning must leave
+  /// every access alone.
+  void emit_sync_bracket() {
+    b_.acquire();
+    emit_access_run(opts_.accesses_per_block);
+    b_.release();
+  }
+
+  /// Handoff of a constant-length prefix of buf followed by a write-first
+  /// access run provably inside the transferred range — the exact shape
+  /// sync-scoped pruning elides. With `interior_sync` a mid-run acquire
+  /// closes the held range, so accesses after it must stay instrumented.
+  void emit_handoff_run(bool interior_sync) {
+    const std::uint32_t words = 2 + rng_.next_below(4);  // 2..5 words
+    const Reg len = b_.const_val(8 * static_cast<std::int64_t>(words));
+    b_.handoff(buf(), len);
+    const std::uint32_t accesses = 2 + rng_.next_below(4);
+    for (std::uint32_t i = 0; i < accesses; ++i) {
+      if (interior_sync && i == accesses / 2) b_.acquire();
+      const std::int64_t off =
+          8 * static_cast<std::int64_t>(rng_.next_below(words));
+      // Vary the addressing idiom so the pruning pass must rely on value
+      // numbering, mirroring emit_invariant_access.
+      Reg base = buf();
+      if (rng_.next_below(3) == 0) {
+        const Reg t = b_.fresh_reg();
+        b_.move(t, base);
+        base = t;
+      }
+      if (i == 0 || rng_.next_below(2) == 0) {
+        b_.store(base, b_.const_val(static_cast<std::int64_t>(
+                           rng_.next_below(64))),
+                 off, 8);
+      } else {
+        b_.load(base, off, 8);
       }
     }
   }

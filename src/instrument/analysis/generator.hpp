@@ -43,6 +43,17 @@ struct GeneratorOptions {
   /// accessor helpers, where interprocedural batching has full leverage.
   bool summarizable_callees = false;
 
+  /// Sync-intrinsic segments. When > 0, each main function additionally
+  /// emits up to this many synchronization shapes between its ordinary
+  /// segments: an acquire/release bracket around an access run, a handoff
+  /// of a constant-length prefix of buf followed by a write-first access
+  /// run into the transferred range (the shape sync-scoped pruning elides),
+  /// and a handoff whose range ends at a mid-block sync (pruning must stop
+  /// at the boundary). 0 draws no RNG for sync shapes, keeping sync-free
+  /// modules (and their RNG stream) byte-identical across the introduction
+  /// of the intrinsics.
+  std::uint32_t sync_segments = 0;
+
   /// Planted false-sharing slots (repair fuzzing). When > 0, the module
   /// additionally gets deterministic functions "slot0".."slotN-1": slot t,
   /// run as thread t, read-modify-writes every word of the t-th

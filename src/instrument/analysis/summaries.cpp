@@ -43,6 +43,7 @@ class Summarizer {
     if (!execute(module_.functions[f])) return {};
     AccessSummary s;
     s.exact = true;
+    s.syncs = syncs_;
     s.entries.reserve(acc_.size());
     for (const auto& [key, count] : acc_) {
       const auto& [arg, offset, width, is_write] = key;
@@ -141,6 +142,7 @@ class Summarizer {
           if (callee >= table_.per_function.size()) return false;
           const AccessSummary& inner = table_.per_function[callee];
           if (!inner.exact) return false;
+          syncs_ |= inner.syncs;
           for (const AccessSummary::Entry& e : inner.entries) {
             const SymVal base = regs[in.a + e.arg];
             if (!base.is_arg()) return false;
@@ -169,6 +171,14 @@ class Summarizer {
           }
           break;
         }
+        case Opcode::kAcquire:
+        case Opcode::kRelease:
+        case Opcode::kHandoff:
+          // Sync intrinsics deliver no instrumentation, so exactness is
+          // preserved — but record their presence: batching a syncing
+          // callee would collapse its epoch rotations and handoff claims.
+          syncs_ = true;
+          break;
         case Opcode::kBr:
           block = in.target;
           pc = 0;
@@ -224,6 +234,7 @@ class Summarizer {
   const SummaryTable& table_;
   std::map<Key, std::uint64_t> acc_;
   std::uint64_t steps_ = 0;
+  bool syncs_ = false;  ///< saw a sync intrinsic (directly or via a callee)
 };
 
 }  // namespace

@@ -9,50 +9,58 @@ namespace pred::ir {
 
 namespace {
 
+// Mini-IR loads and stores are tear-free by specification: concurrency
+// tests interpret racy programs from several OS threads (sharing one line
+// is the detector's whole subject), so a naturally-aligned access goes
+// through a relaxed atomic builtin — same values, no C++-level data race —
+// and only a misaligned access falls back to plain memcpy.
+
+template <typename T>
+std::int64_t load_as(Address addr) {
+  if (addr % alignof(T) == 0) {
+    return __atomic_load_n(reinterpret_cast<T*>(addr), __ATOMIC_RELAXED);
+  }
+  T v;
+  std::memcpy(&v, reinterpret_cast<void*>(addr), sizeof(T));
+  return v;
+}
+
 std::int64_t load_sized(Address addr, std::uint32_t size) {
   switch (size) {
-    case 1: {
-      std::int8_t v;
-      std::memcpy(&v, reinterpret_cast<void*>(addr), 1);
-      return v;
-    }
-    case 2: {
-      std::int16_t v;
-      std::memcpy(&v, reinterpret_cast<void*>(addr), 2);
-      return v;
-    }
-    case 4: {
-      std::int32_t v;
-      std::memcpy(&v, reinterpret_cast<void*>(addr), 4);
-      return v;
-    }
-    default: {
-      std::int64_t v;
-      std::memcpy(&v, reinterpret_cast<void*>(addr), 8);
-      return v;
-    }
+    case 1:
+      return load_as<std::int8_t>(addr);
+    case 2:
+      return load_as<std::int16_t>(addr);
+    case 4:
+      return load_as<std::int32_t>(addr);
+    default:
+      return load_as<std::int64_t>(addr);
   }
+}
+
+template <typename T>
+void store_as(Address addr, std::int64_t value) {
+  const auto v = static_cast<T>(value);
+  if (addr % alignof(T) == 0) {
+    __atomic_store_n(reinterpret_cast<T*>(addr), v, __ATOMIC_RELAXED);
+    return;
+  }
+  std::memcpy(reinterpret_cast<void*>(addr), &v, sizeof(T));
 }
 
 void store_sized(Address addr, std::int64_t value, std::uint32_t size) {
   switch (size) {
-    case 1: {
-      auto v = static_cast<std::int8_t>(value);
-      std::memcpy(reinterpret_cast<void*>(addr), &v, 1);
+    case 1:
+      store_as<std::int8_t>(addr, value);
       break;
-    }
-    case 2: {
-      auto v = static_cast<std::int16_t>(value);
-      std::memcpy(reinterpret_cast<void*>(addr), &v, 2);
+    case 2:
+      store_as<std::int16_t>(addr, value);
       break;
-    }
-    case 4: {
-      auto v = static_cast<std::int32_t>(value);
-      std::memcpy(reinterpret_cast<void*>(addr), &v, 4);
+    case 4:
+      store_as<std::int32_t>(addr, value);
       break;
-    }
     default:
-      std::memcpy(reinterpret_cast<void*>(addr), &value, 8);
+      store_as<std::int64_t>(addr, value);
       break;
   }
 }
@@ -237,6 +245,23 @@ std::int64_t Interpreter::execute(const Module* module, const Function& fn,
                          in.target ? AccessType::kWrite : AccessType::kRead,
                          in.size, static_cast<std::uint64_t>(cnt));
           }
+        }
+        break;
+      }
+      case Opcode::kAcquire:
+      case Opcode::kRelease:
+        // Epoch bump for the executing thread; touches no memory, so the
+        // touch/delivery observers stay silent. Runs whether or not the
+        // function was instrumented — sync structure is program semantics,
+        // not instrumentation.
+        if (session_) session_->sync(tid);
+        break;
+      case Opcode::kHandoff: {
+        const Address addr = static_cast<Address>(regs[in.a] + in.imm);
+        const std::int64_t len = regs[in.b];
+        if (session_ && len > 0) {
+          session_->handoff(reinterpret_cast<void*>(addr),
+                            static_cast<std::size_t>(len), tid);
         }
         break;
       }

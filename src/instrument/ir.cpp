@@ -101,6 +101,14 @@ void FunctionBuilder::report(Reg base, Reg count, bool is_write,
         .size = size, .target = is_write ? 1u : 0u, .instrumented = true});
 }
 
+void FunctionBuilder::acquire() { emit({.op = Opcode::kAcquire}); }
+
+void FunctionBuilder::release() { emit({.op = Opcode::kRelease}); }
+
+void FunctionBuilder::handoff(Reg base, Reg len, std::int64_t offset) {
+  emit({.op = Opcode::kHandoff, .a = base, .b = len, .imm = offset});
+}
+
 void FunctionBuilder::br(std::uint32_t target) {
   emit({.op = Opcode::kBr, .target = target});
 }
@@ -148,7 +156,12 @@ bool defines_register(Opcode op) {
   }
 }
 
-bool reads_a(Opcode op) { return op != Opcode::kConst && op != Opcode::kBr; }
+bool reads_a(Opcode op) {
+  // Operand-less opcodes: constants and unconditional branches, plus the
+  // epoch-only sync intrinsics (kHandoff does read a — its base register).
+  return op != Opcode::kConst && op != Opcode::kBr &&
+         op != Opcode::kAcquire && op != Opcode::kRelease;
+}
 
 bool reads_b(Opcode op) {
   switch (op) {
@@ -163,6 +176,7 @@ bool reads_b(Opcode op) {
     case Opcode::kMemSet:
     case Opcode::kMemCopy:
     case Opcode::kReport:
+    case Opcode::kHandoff:
       return true;
     default:
       return false;
@@ -309,6 +323,14 @@ std::string instr_to_string(const Instr& in) {
              " : bb" + std::to_string(in.target2);
     case Opcode::kRet:
       return mark + "ret " + r(in.a);
+    case Opcode::kAcquire:
+      return mark + "acquire";
+    case Opcode::kRelease:
+      return mark + "release";
+    case Opcode::kHandoff:
+      return mark + "handoff [" + r(in.a) +
+             (in.imm ? " + " + std::to_string(in.imm) : "") + "], len " +
+             r(in.b);
   }
   return mark + "?";
 }

@@ -39,6 +39,14 @@ enum class Opcode : std::uint8_t {
   kBr,       // jump to block `target`
   kCondBr,   // regs[a] != 0 ? block target : block target2
   kRet,      // return regs[a]
+  kAcquire,  // synchronization: bump the executing thread's epoch (lock
+             // acquire / barrier entry); touches no memory
+  kRelease,  // synchronization: bump the executing thread's epoch (lock
+             // release / barrier exit); touches no memory
+  kHandoff,  // transfer ownership of [regs[a] + imm, + regs[b]) to the
+             // executing thread: bumps its epoch and delivers a synthetic
+             // ownership claim to tracked lines in the range (stands in for
+             // the first post-handoff write when pruning removed it)
 };
 
 /// True for the opcodes the instrumentation pass cares about (the memory
@@ -52,6 +60,13 @@ constexpr bool is_memory_intrinsic(Opcode op) {
 /// Pure instrumentation annotation: touches no memory, computes nothing,
 /// only feeds the runtime when executed.
 constexpr bool is_report(Opcode op) { return op == Opcode::kReport; }
+/// Synchronization intrinsics: move no data, define no register; they feed
+/// the runtime's epoch/ownership machinery (Session::sync / handoff) and
+/// scope the sync-aware pruning pass.
+constexpr bool is_sync_intrinsic(Opcode op) {
+  return op == Opcode::kAcquire || op == Opcode::kRelease ||
+         op == Opcode::kHandoff;
+}
 constexpr bool is_terminator(Opcode op) {
   return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kRet;
 }
@@ -154,6 +169,11 @@ class FunctionBuilder {
   /// instrumented — a report that calls nothing is dead weight.
   void report(Reg base, Reg count, bool is_write, std::int64_t offset = 0,
               std::uint32_t size = 8);
+  /// Sync intrinsics: epoch bumps for the executing thread.
+  void acquire();
+  void release();
+  /// handoff [regs[base] + offset, + regs[len]) to the executing thread.
+  void handoff(Reg base, Reg len, std::int64_t offset = 0);
   void br(std::uint32_t target);
   void cond_br(Reg cond, std::uint32_t if_true, std::uint32_t if_false);
   void ret(Reg value);

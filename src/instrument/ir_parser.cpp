@@ -247,6 +247,20 @@ bool parse_instruction(LineScanner& sc, Instr* out) {
     out->op = Opcode::kRet;
     return sc.reg(&out->a);
   }
+  if (sc.eat("acquire")) {
+    out->op = Opcode::kAcquire;
+    return true;
+  }
+  if (sc.eat("release")) {
+    out->op = Opcode::kRelease;
+    return true;
+  }
+  if (sc.eat("handoff")) {
+    // "handoff [rA (+ OFF)?], len rB"
+    out->op = Opcode::kHandoff;
+    return parse_address(sc, &out->a, &out->imm) && sc.eat(",") &&
+           sc.eat("len") && sc.reg(&out->b);
+  }
   // Assignment form: "rD = ...".
   Reg dst = 0;
   if (!sc.reg(&dst)) return false;

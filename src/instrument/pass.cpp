@@ -283,6 +283,15 @@ void batch_loops(Function& fn, PassStats& stats, InterprocCtx* ctx) {
       } else if (ctx != nullptr && in.op == Opcode::kCall) {
         const auto callee = static_cast<std::uint32_t>(in.imm);
         const AccessSummary& s = ctx->summaries.per_function[callee];
+        // A syncing callee (s.syncs) is still batchable: the "$bare" clone
+        // keeps its kAcquire/kRelease/kHandoff ops — sync structure is
+        // program semantics, not instrumentation — so epoch rotations and
+        // handoff claims execute per iteration either way. Bulk delivery
+        // relocates same-thread accesses across same-thread claims, which
+        // can shift WHICH accesses the runtime suppresses (histogram
+        // detail) but never the first-event transition that decides an
+        // invalidation. The syncs bit matters to sync-scoped pruning (a
+        // held range must not survive a syncing call), not to batching.
         if (s.exact && !s.entries.empty()) {
           CallHoist ch{&in, callee, {}};
           ch.bases.reserve(s.entries.size());
@@ -411,6 +420,95 @@ void apply_escape(Function& fn, const std::vector<std::uint64_t>& confined,
 }
 
 // ---------------------------------------------------------------------------
+// Sync-scoped pruning
+// ---------------------------------------------------------------------------
+
+/// Drops instrumentation from accesses that provably land inside a range the
+/// executing thread claimed through a kHandoff earlier in the same block.
+/// The runtime's handoff claim escalates every line the range overlaps and
+/// pushes one synthetic same-thread write through each line's history
+/// automaton, leaving it exactly in the {owner, W} state — the one state in
+/// which any further access by that thread is a no-op for invalidation
+/// detection. Dropping such an access therefore never loses an invalidation
+/// (the claim stands in for the pruned first write); like escape skipping it
+/// does drop the delivery itself, so sampled word counts shrink.
+///
+/// The proof obligation is temporal, so a held range dies at anything that
+/// could republish ownership to another thread: a later kAcquire/kRelease
+/// (epoch rotation), a call unless its callee summary is exact and
+/// sync-free, and the end of the block. Ranges are tracked as value-numbered
+/// (base, [lo, hi)) intervals, so aliased registers and offsets split
+/// between register and immediate cannot defeat the membership test, and a
+/// redefined register simply stops resolving to the held base value.
+void apply_sync_scoped(Function& fn, const SummaryTable* summaries,
+                       PassStats& stats) {
+  const Cfg cfg(fn);
+  const ConstantFacts consts = analyze_constants(fn, cfg);
+
+  struct Held {
+    ValueNumbering::Value::Base base;
+    std::uint32_t id;
+    std::int64_t lo;
+    std::int64_t hi;
+  };
+
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    ValueNumbering vn(fn);
+    vn.seed_constants(consts.block_entry[b]);
+    std::vector<Held> held;
+    for (Instr& in : fn.blocks[b].instrs) {
+      switch (in.op) {
+        case Opcode::kHandoff: {
+          // A handoff bumps the receiving thread's epoch before claiming, so
+          // sync words installed by EARLIER claims go stale on any line the
+          // new claim does not re-cover — previously held ranges lose their
+          // runtime suppression guarantee and must close here.
+          held.clear();
+          // Only a compile-time-constant positive length gives a provable
+          // claimed range; a dynamic length opens nothing.
+          const ValueNumbering::Value base = vn.address_of(in);
+          const ValueNumbering::Value len = vn.value_of(in.b);
+          if (len.is_const() && len.offset > 0) {
+            held.push_back(
+                {base.base, base.id, base.offset, base.offset + len.offset});
+          }
+          break;
+        }
+        case Opcode::kAcquire:
+        case Opcode::kRelease:
+          held.clear();
+          break;
+        case Opcode::kCall: {
+          const auto callee = static_cast<std::size_t>(in.imm);
+          const bool benign = summaries != nullptr &&
+                              callee < summaries->per_function.size() &&
+                              summaries->per_function[callee].exact &&
+                              !summaries->per_function[callee].syncs;
+          if (!benign) held.clear();
+          break;
+        }
+        default:
+          if (is_memory_access(in.op) && in.instrumented &&
+              in.extra_reads == 0 && in.extra_writes == 0 && !held.empty()) {
+            const ValueNumbering::Value v = vn.address_of(in);
+            for (const Held& h : held) {
+              if (v.base == h.base && v.id == h.id && v.offset >= h.lo &&
+                  v.offset + in.size <= h.hi) {
+                in.instrumented = false;
+                ++stats.sync_scoped_skipped;
+                --stats.instrumented_accesses;
+                break;
+              }
+            }
+          }
+          break;
+      }
+      vn.apply(in);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Stage 3: dominance/chain merging
 // ---------------------------------------------------------------------------
 
@@ -528,6 +626,14 @@ PassStats run_instrumentation_pass(Module& module, const PassOptions& options,
       instrument_function(fn, options, stats);
       if (options.escape != nullptr) {
         apply_escape(fn, escape_facts.confined_len[f], options, stats);
+      }
+      // Sync-scoped pruning runs while extras are still zero, before
+      // batching/merging claim accesses: each access is dropped by at most
+      // one whole-function transformation. With the interprocedural layer
+      // on, callee summaries are final here (bottom-up order) so held
+      // ranges can survive exact sync-free calls.
+      if (options.sync_scoped) {
+        apply_sync_scoped(fn, interproc ? &summaries : nullptr, stats);
       }
       // Batching runs before merging so hoisted accesses are out of the way:
       // merging an access and then multiplying its extras by a trip count

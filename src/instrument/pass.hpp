@@ -25,15 +25,25 @@
 //     at the preheader;
 //   * (opt-in) thread-escape skipping — accesses proven confined to the
 //     invoking thread's private heap span (analysis/escape.hpp) lose their
-//     instrumentation entirely.
+//     instrumentation entirely;
+//   * (opt-in) sync-scoped pruning — accesses provably inside a range the
+//     same block just claimed through a kHandoff sync intrinsic lose their
+//     instrumentation: the runtime claim has already pushed the owning
+//     thread's write through every overlapped line's history automaton, so
+//     the pruned accesses are invalidation-count no-ops (held ranges die at
+//     acquire/release, at calls without an exact sync-free summary, and at
+//     block ends).
 //
 // The whole-function passes are count- and type-exact: the runtime sees
 // the same multiset of (address, width, kind) accesses per execution, only
 // through fewer calls — tests/test_analysis.cpp and
 // tests/test_interprocedural.cpp prove the resulting detector reports are
-// bit-identical. Escape skipping is the one deliberate exception: it drops
-// deliveries outright, and is report-preserving only because a dropped
-// access provably lands on a cache line no other thread ever touches.
+// bit-identical. Escape skipping and sync-scoped pruning are the two
+// deliberate exceptions: they drop deliveries outright, report-preserving
+// for invalidation counts only because a dropped access provably lands on a
+// cache line no other thread ever touches (escape) or on a line whose
+// history automaton is already in the accessing thread's exclusive-write
+// state (sync-scoped).
 #pragma once
 
 #include <cstdint>
@@ -66,6 +76,12 @@ struct PassOptions {
   /// Implies nothing else — combine with loop_batching for the call-batching
   /// effect (a call in a loop cannot batch without the loop matcher).
   bool interprocedural = false;
+  /// Sync-scoped pruning over kHandoff claims (see header comment). Exact
+  /// for invalidation counts by construction; sampled word counts shrink
+  /// the way escape skipping shrinks them. Combine with `interprocedural`
+  /// to let held ranges survive calls whose summary is exact and sync-free;
+  /// without summaries every call conservatively ends the held range.
+  bool sync_scoped = false;
   /// Thread-escape facts from the harness (analysis/escape.hpp). When set,
   /// accesses proven thread-private are skipped. Requires interprocedural
   /// call-graph context and is independent of loop_batching/dominance_elim.
@@ -86,6 +102,7 @@ struct PassStats {
   std::uint64_t dominance_merged = 0;      ///< folded into an earlier access
   std::uint64_t reports_inserted = 0;      ///< kReport instructions planted
   std::uint64_t escape_skipped = 0;        ///< proven thread-private, dropped
+  std::uint64_t sync_scoped_skipped = 0;   ///< pruned inside a held handoff range
   std::uint64_t call_batched = 0;          ///< kCall sites expanded at preheader
   std::uint64_t callee_summaries = 0;      ///< functions with an exact summary
   std::uint64_t summary_top = 0;           ///< functions summarized as ⊤
@@ -93,14 +110,15 @@ struct PassStats {
 
   /// Every load/store candidate is accounted for exactly once:
   ///   candidate = instrumented + duplicates + reads + batched + merged
-  ///             + escape-skipped.
+  ///             + escape-skipped + sync-scoped-skipped.
   /// (Intrinsic sites are tracked separately; reports_inserted counts new
   /// instructions, not candidates; call_batched counts kCall sites, which
   /// are not load/store candidates.) test_instrument.cpp asserts this.
   bool reconciles() const {
     return candidate_accesses == instrumented_accesses + skipped_duplicates +
                                      skipped_reads + loop_batched +
-                                     dominance_merged + escape_skipped;
+                                     dominance_merged + escape_skipped +
+                                     sync_scoped_skipped;
   }
 };
 

@@ -134,6 +134,11 @@ class alignas(kCacheLineSize) CacheTracker {
   struct AccessOutcome {
     bool sampled = false;
     bool invalidated = false;
+    /// Retired on the sync-aware fast state: the owner word matched
+    /// (same thread, same epoch since its last sync event), so the access
+    /// skipped the sampling clock and the history table entirely. Counted
+    /// toward totals via the owner stripe's suppressed counters.
+    bool suppressed = false;
   };
 
   /// Records one access that already passed the runtime's fast path.
@@ -153,6 +158,86 @@ class alignas(kCacheLineSize) CacheTracker {
     }
     return handle_access_spinlock(addr, type, tid, sample_window,
                                   sample_interval);
+  }
+
+  /// Sync-aware variant (RuntimeConfig::sync_suppression): consults the
+  /// packed ownership word first. A fast hit needs three loads and no RMW:
+  /// the ownership word must name (tid, tid's current epoch) — i.e. this
+  /// thread claimed the line and has not synchronized since — and the
+  /// history automaton must be exactly {tid, W}, the state in which any
+  /// further access by tid is a provable no-op. The epoch/ownership word is
+  /// the *policy* gate (threads that never sync have epoch 0 and never
+  /// match, so sync-free workloads keep bit-identical PR 3 sampling
+  /// fidelity; a sync event rotates the epoch and forces one full-path
+  /// access per line to refresh sampling); the history confirmation is the
+  /// *soundness* gate (invalidation counts stay exact under every
+  /// interleaving — see PackedHistoryTable::owned_write_by). Suppressed
+  /// accesses are still counted, in owner-exclusive stripe counters, so
+  /// total_accesses() stays exact. Suppression is a lock-free-mode
+  /// optimization; the spinlock reference path ignores the epoch.
+  AccessOutcome handle_access(Address addr, AccessType type, ThreadId tid,
+                              std::uint64_t sample_window,
+                              std::uint64_t sample_interval,
+                              std::uint32_t epoch) {
+    if (!armed_.load(std::memory_order_acquire)) [[unlikely]] {
+      unarmed_accesses_.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    if (!lock_free_) {
+      return handle_access_spinlock(addr, type, tid, sample_window,
+                                    sample_interval);
+    }
+    const std::uint64_t want = pack_sync(tid, epoch);
+    if (want == 0) {
+      // Never-synced thread (or unrepresentable tid/epoch): exact PR 3
+      // behavior, no claims.
+      return handle_access_lock_free(addr, type, tid, sample_window,
+                                     sample_interval);
+    }
+    std::uint64_t seen = sync_word_.load(std::memory_order_relaxed);
+    if (seen == want && packed_history_.owned_write_by(tid)) [[likely]] {
+      Stripe& st = stripe_for_thread();
+      Stripe::bump(type == AccessType::kWrite ? st.suppressed_writes
+                                              : st.suppressed_reads);
+      AccessOutcome outcome;
+      outcome.suppressed = true;
+      return outcome;
+    }
+    AccessOutcome outcome = handle_access_lock_free(
+        addr, type, tid, sample_window, sample_interval);
+    // Claim ownership for the epoch we just recorded under. Losing the CAS
+    // race only means the next same-owner access falls through again —
+    // never a wrong suppression, since a hit re-confirms the history state.
+    sync_word_.compare_exchange_strong(seen, want, std::memory_order_relaxed,
+                                       std::memory_order_relaxed);
+    return outcome;
+  }
+
+  /// Synthetic ownership claim delivered at a handoff point
+  /// (Session::handoff): stands in for the receiving thread's first write
+  /// to the transferred line, which static sync-scoped pruning may have
+  /// removed. Runs the history automaton (so any invalidation the pruned
+  /// write would have caused is still counted) but touches neither the
+  /// sampling clock nor the word histogram — the claim is not a sampled
+  /// access. Returns true if the claim registered an invalidation.
+  bool claim_for_handoff(ThreadId tid, std::uint32_t epoch) {
+    bool invalidated = false;
+    if (lock_free_) {
+      if (packed_history_.access(tid, AccessType::kWrite) ==
+          HistoryOutcome::kInvalidation) {
+        Stripe::bump(stripe_for_thread().invalidations);
+        invalidated = true;
+      }
+    } else {
+      std::lock_guard<Spinlock> g(lock_);
+      if (history_.access(tid, AccessType::kWrite) ==
+          HistoryOutcome::kInvalidation) {
+        ++invalidations_;
+        invalidated = true;
+      }
+    }
+    sync_word_.store(pack_sync(tid, epoch), std::memory_order_relaxed);
+    return invalidated;
   }
 
   /// Completes escalation: from here on accesses advance the sampling clock.
@@ -178,7 +263,8 @@ class alignas(kCacheLineSize) CacheTracker {
     return invalidations_;
   }
   std::uint64_t total_accesses() const {
-    std::uint64_t n = unarmed_accesses_.load(std::memory_order_relaxed);
+    std::uint64_t n = unarmed_accesses_.load(std::memory_order_relaxed) +
+                      suppressed_accesses();
     if (lock_free_) {
       for_each_stripe([&](const Stripe& s) {
         n += s.clock.count.load(std::memory_order_relaxed);
@@ -186,6 +272,16 @@ class alignas(kCacheLineSize) CacheTracker {
       return n;
     }
     return n + access_counter_.load(std::memory_order_relaxed);
+  }
+  /// Accesses retired on the sync-aware ownership word (both modes; the
+  /// counters live in the per-thread stripes either way).
+  std::uint64_t suppressed_accesses() const {
+    std::uint64_t n = 0;
+    for_each_stripe([&](const Stripe& s) {
+      n += s.suppressed_reads.load(std::memory_order_relaxed) +
+           s.suppressed_writes.load(std::memory_order_relaxed);
+    });
+    return n;
   }
   std::uint64_t sampled_accesses() const {
     if (lock_free_) return lf_sampled_reads() + lf_sampled_writes();
@@ -287,9 +383,12 @@ class alignas(kCacheLineSize) CacheTracker {
         s->sampled_reads.store(0, std::memory_order_relaxed);
         s->sampled_writes.store(0, std::memory_order_relaxed);
         s->invalidations.store(0, std::memory_order_relaxed);
+        s->suppressed_reads.store(0, std::memory_order_relaxed);
+        s->suppressed_writes.store(0, std::memory_order_relaxed);
       }
     }
     unarmed_accesses_.store(0, std::memory_order_relaxed);
+    sync_word_.store(0, std::memory_order_relaxed);
   }
 
   /// Marks that the predictor already analyzed this line (step 3 of the
@@ -309,6 +408,11 @@ class alignas(kCacheLineSize) CacheTracker {
     std::atomic<std::uint64_t> sampled_reads{0};
     std::atomic<std::uint64_t> sampled_writes{0};
     std::atomic<std::uint64_t> invalidations{0};
+    /// Accesses retired on the sync-aware ownership word. Kept here — in
+    /// owner-exclusive memory — rather than in the shared word itself, so
+    /// total_accesses() stays exact without any RMW on the fast hit.
+    std::atomic<std::uint64_t> suppressed_reads{0};
+    std::atomic<std::uint64_t> suppressed_writes{0};
 
     /// Owner-exclusive increment: no lock-prefixed RMW.
     static void bump(std::atomic<std::uint64_t>& c) {
@@ -442,7 +546,28 @@ class alignas(kCacheLineSize) CacheTracker {
   std::deque<Stripe> stripes_;  ///< stable addresses; one per OS thread
   std::vector<std::unique_ptr<std::vector<Stripe*>>> dir_published_;
 
+  /// Packed sync-aware ownership word:
+  ///   bit 63        valid
+  ///   bits 62..40   owner thread id (23 bits; wider tids never fast-hit)
+  ///   bits 39..24   owner epoch (low 16 bits of the thread's sync counter)
+  ///   bits 23..0    zero (reserved)
+  /// A zero return means "never matches": unrepresentable tids, and —
+  /// deliberately — epoch 0, the state of a thread that has never issued a
+  /// sync event. Sync-free code therefore never claims and never fast-hits,
+  /// keeping its sampling stream byte-identical to the suppression-off
+  /// build; the 16-bit epoch wrap re-enters the never-match state for one
+  /// epoch every 65536 syncs, which merely costs full-path accesses.
+  static constexpr std::uint64_t kSyncValid = 1ull << 63;
+  static constexpr std::uint64_t kSyncMaxTid = 0x7fffffull;
+  static std::uint64_t pack_sync(ThreadId tid, std::uint32_t epoch) {
+    const auto t = static_cast<std::uint64_t>(tid);
+    if (t > kSyncMaxTid || (epoch & 0xffffu) == 0) return 0;
+    return kSyncValid | (t << 40) |
+           (static_cast<std::uint64_t>(epoch & 0xffffu) << 24);
+  }
+
   // --- mode-independent ---
+  std::atomic<std::uint64_t> sync_word_{0};
   std::atomic<std::uint64_t> unarmed_accesses_{0};
   std::atomic<bool> armed_;
   std::atomic<bool> prediction_done_{false};

@@ -183,8 +183,15 @@ void Runtime::handle_access_one_word(ShadowSpace& region, Address addr,
     return;
   }
 
-  const auto outcome = track->handle_access(
-      addr, type, tid, config_.sample_window, config_.sample_interval);
+  // Sync-aware suppression applies only while no virtual line covers this
+  // line: prediction verification (Section 3.4) is fed by sampled-access
+  // fan-out, which suppressed accesses would starve.
+  const auto outcome =
+      config_.sync_suppression && !track->has_virtual_lines()
+          ? track->handle_access(addr, type, tid, config_.sample_window,
+                                 config_.sample_interval, thread_epoch(tid))
+          : track->handle_access(addr, type, tid, config_.sample_window,
+                                 config_.sample_interval);
   if (outcome.sampled) {
     if (track->has_virtual_lines()) {
       track->update_virtual_lines(addr, type, tid);
@@ -342,6 +349,29 @@ void Runtime::escalate(ShadowSpace& region, std::size_t line_index) {
     if (line_index + 1 < region.num_lines()) {
       ensure_tracked_line(region, line_index + 1);
     }
+  }
+}
+
+void Runtime::handle_handoff(Address addr, std::size_t len, ThreadId tid) {
+  handle_sync(tid);
+  if (len == 0) return;
+  ShadowSpace* region = find_region(addr);
+  if (region == nullptr) return;
+  const std::uint32_t epoch = thread_epoch(tid);
+  const std::size_t first = region->line_index(addr);
+  const Address last_addr = addr + len - 1;
+  const std::size_t last = region->contains(last_addr)
+                               ? region->line_index(last_addr)
+                               : region->num_lines() - 1;
+  // Claiming escalates: the claim stands in for the receiver's first write
+  // to each line — which sync-scoped pruning may have dropped from the
+  // instrumented stream — so the line must have a history automaton to
+  // receive it. Left untracked, a pruned first write would make the next
+  // cross-thread access look like the first ever and an invalidation would
+  // be lost.
+  for (std::size_t i = first; i <= last && i < region->num_lines(); ++i) {
+    ensure_tracked_line(*region, i);
+    region->tracker(i)->claim_for_handoff(tid, epoch);
   }
 }
 

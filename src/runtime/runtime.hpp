@@ -90,6 +90,32 @@ class Runtime {
     return next_thread_.load(std::memory_order_relaxed);
   }
 
+  // --- synchronization events (sync-aware suppression) ---
+
+  /// Records a synchronization event (lock acquire/release, barrier) by
+  /// `tid`: bumps its epoch counter, so ownership words claimed before the
+  /// event no longer match and the next access per line falls through to
+  /// the full tracked path. Cheap enough to call unconditionally — one
+  /// relaxed fetch_add on a line-padded slot.
+  void handle_sync(ThreadId tid) {
+    epoch_slot(tid).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Ownership handoff: bumps the receiving thread's epoch, then delivers a
+  /// synthetic ownership claim (CacheTracker::claim_for_handoff) to every
+  /// line overlapping [addr, addr+len), escalating untracked lines first.
+  /// The claim stands in for the receiver's first write to the range when
+  /// static sync-scoped pruning removed it, so no invalidation is lost; it
+  /// runs regardless of RuntimeConfig::sync_suppression so reports stay
+  /// comparable across knob settings.
+  void handle_handoff(Address addr, std::size_t len, ThreadId tid);
+
+  /// Current epoch of `tid`'s slot (slots are hashed by tid; collisions
+  /// only cause extra fall-throughs, never wrong suppression).
+  std::uint32_t thread_epoch(ThreadId tid) const {
+    return epoch_slot(tid).load(std::memory_order_relaxed);
+  }
+
   // --- prediction plumbing ---
 
   /// Callback invoked (once per line) when a line's write count crosses
@@ -194,6 +220,23 @@ class Runtime {
   ShadowSpace* find_region_slow(Address addr) const;
 
   RuntimeConfig config_;
+
+  /// Per-thread epoch counters for sync-aware suppression, hashed by tid
+  /// into line-padded slots so two hot threads never bump the same host
+  /// line. A collision merges two threads' epochs — sound (their accesses
+  /// fall through more often), never unsound (a fast hit still requires the
+  /// exact tid in the ownership word).
+  static constexpr std::size_t kEpochSlots = 256;
+  struct alignas(kCacheLineSize) EpochSlot {
+    std::atomic<std::uint32_t> epoch{0};
+  };
+  std::atomic<std::uint32_t>& epoch_slot(ThreadId tid) {
+    return epochs_[static_cast<std::size_t>(tid) & (kEpochSlots - 1)].epoch;
+  }
+  const std::atomic<std::uint32_t>& epoch_slot(ThreadId tid) const {
+    return epochs_[static_cast<std::size_t>(tid) & (kEpochSlots - 1)].epoch;
+  }
+  EpochSlot epochs_[kEpochSlots];
 
   std::unique_ptr<ShadowSpace> regions_[kMaxRegions];  // slot-claimed owners
   std::atomic<ShadowSpace*> visible_[kMaxRegions];     // published to readers

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -197,13 +198,16 @@ alignas(64) std::int64_t g_buffer[1024];
 /// Executes the first `num_fns` functions of `m` (the originals — "$bare"
 /// clones run only when called) from two alternating logical threads
 /// against g_buffer under a fully deterministic runtime and returns the
-/// detector report as JSON.
+/// detector report as JSON. `sync_suppression` toggles the runtime's
+/// epoch/ownership fast path (on by default, as in production).
 std::string run_module_report(const Module& m, std::size_t num_fns,
-                              std::int64_t n, RunTotals* totals) {
+                              std::int64_t n, RunTotals* totals,
+                              bool sync_suppression = true) {
   SessionOptions opts;
   opts.runtime.tracking_threshold = 1;
   opts.runtime.report_invalidation_threshold = 1;
   opts.runtime.prediction_enabled = false;
+  opts.runtime.sync_suppression = sync_suppression;
   opts.runtime.set_sampling_rate(1.0);
   opts.heap_size = 4 * 1024 * 1024;
   Session session(opts);
@@ -718,6 +722,185 @@ TEST(DifferentialFuzz, InterproceduralPruningKeepsReportsBitIdentical) {
   EXPECT_GE(seeds_with_cycles, 10u);
   EXPECT_GT(total_exact, 0u);
   EXPECT_GT(total_top, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sync-intrinsic fuzz: the sync-aware layer over the same corpus
+// ---------------------------------------------------------------------------
+
+std::uint64_t count_sync_ops(const Module& m) {
+  std::uint64_t n = 0;
+  for (const Function& fn : m.functions) {
+    for (const BasicBlock& bb : fn.blocks) {
+      for (const Instr& in : bb.instrs) {
+        if (in.op == Opcode::kAcquire || in.op == Opcode::kRelease ||
+            in.op == Opcode::kHandoff) {
+          ++n;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+/// The generator's stability contract: with sync_segments = 0 the RNG
+/// stream is untouched by the sync machinery, so sync-free modules are
+/// deterministic and free of intrinsics — the 112-seed suite above keeps
+/// meaning what it meant before the intrinsics existed. With it enabled,
+/// every module gains sync structure.
+TEST(SyncFuzz, SyncFreeGenerationIsDeterministicAndIntrinsicFree) {
+  GeneratorOptions gopts;
+  gopts.segments = 3;
+  gopts.accesses_per_block = 2;
+  GeneratorOptions synced = gopts;
+  synced.sync_segments = 2;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    gopts.callees = synced.callees = 1 + static_cast<std::uint32_t>(seed % 4);
+    const Module a = generate_module(seed, gopts);
+    const Module b = generate_module(seed, gopts);
+    EXPECT_EQ(to_string(a), to_string(b)) << "seed " << seed;
+    EXPECT_EQ(count_sync_ops(a), 0u) << "seed " << seed;
+    const Module s = generate_module(seed, synced);
+    EXPECT_GT(count_sync_ops(s), 0u) << "seed " << seed;
+    EXPECT_EQ(verify(s), "") << "seed " << seed;
+  }
+}
+
+/// Collapses a report JSON to its invalidation content: the sorted multiset
+/// of every "total_invalidations", "finding_count", and per-entry
+/// "invalidations" counter. Word histograms and access totals are
+/// deliberately excluded — suppressed and sync-pruned accesses skip them by
+/// design (that IS the saved work) — so on synced streams only the
+/// invalidation accounting is comparable across modes, and it must match
+/// EXACTLY: the handoff claim stands in for every pruned first write.
+std::string invalidation_signature(const std::string& json) {
+  std::ostringstream sig;
+  const auto grab = [&](const char* key) {
+    std::vector<std::uint64_t> vals;
+    const std::string needle = std::string("\"") + key + "\":";
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+      vals.push_back(
+          std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10));
+    }
+    std::sort(vals.begin(), vals.end());
+    sig << key << '=';
+    for (const std::uint64_t v : vals) sig << v << ',';
+    sig << ';';
+  };
+  grab("total_invalidations");
+  grab("finding_count");
+  grab("invalidations");
+  return sig.str();
+}
+
+/// The tentpole differential property for synced streams: modules with
+/// acquire/release brackets and handoff runs, pruned with the sync-scoped
+/// layer (stacked on the full interprocedural pipeline), lose NO
+/// invalidations versus fully-instrumented ones — the runs are sequential
+/// and deterministic, so the invalidation accounting must be exactly
+/// equal, not merely bounded. Word histograms shrink by design: the static
+/// layer drops exactly the deliveries the runtime fast path would have
+/// suppressed (the handoff claim leaves each line's automaton in the
+/// {owner, W} state, where the dropped accesses are provable no-ops).
+TEST(SyncFuzz, SyncScopedPruningLosesNoInvalidations) {
+  GeneratorOptions gopts;
+  gopts.segments = 3;
+  gopts.accesses_per_block = 2;
+  gopts.sync_segments = 2;
+  std::uint64_t total_sync_skipped = 0;
+  std::uint64_t total_dropped = 0;
+  std::uint64_t total_syncing_exact = 0;
+
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    gopts.callees = 1 + static_cast<std::uint32_t>(seed % 4);
+    const Module generated = generate_module(seed, gopts);
+    {
+      // The syncs bit must actually occur on exact summaries, or the
+      // kCall held-range rule above is never exercised adversarially.
+      const CallGraph cg(generated);
+      const SummaryTable table = summarize_module(generated, cg);
+      for (const AccessSummary& s : table.per_function) {
+        if (s.exact && s.syncs) ++total_syncing_exact;
+      }
+    }
+
+    Module base = generated;
+    Module pruned = generated;
+    run_instrumentation_pass(base, {});
+    PassOptions popt = interproc_all();
+    popt.sync_scoped = true;
+    const PassStats pstats = run_instrumentation_pass(pruned, popt);
+    ASSERT_TRUE(pstats.reconciles()) << "seed " << seed;
+    total_sync_skipped += pstats.sync_scoped_skipped;
+
+    const std::int64_t n = 3 + static_cast<std::int64_t>(seed % 13);
+    RunTotals bt;
+    RunTotals pt;
+    const std::string bj =
+        run_module_report(base, base.functions.size(), n, &bt);
+    const std::string pj =
+        run_module_report(pruned, generated.functions.size(), n, &pt);
+
+    // Sync-scoped pruning genuinely drops deliveries (unlike batching,
+    // which conserves them), so only <= holds — never more, and the
+    // detector's invalidation accounting must not notice.
+    EXPECT_LE(pt.delivered, bt.delivered) << "seed " << seed;
+    total_dropped += bt.delivered - pt.delivered;
+    EXPECT_EQ(invalidation_signature(bj), invalidation_signature(pj))
+        << "seed " << seed;
+  }
+
+  EXPECT_GT(total_sync_skipped, 0u);   // the pruning pass actually fired
+  EXPECT_GT(total_dropped, 0u);        // and removed live deliveries
+  EXPECT_GT(total_syncing_exact, 0u);  // exact-but-syncing callees occurred
+}
+
+/// The runtime-level half of the same proof, split by the ISSUE contract:
+/// on SYNC-FREE streams every thread's epoch stays zero, pack_sync refuses
+/// to build an ownership word, and the knob must be completely invisible —
+/// reports bit-identical byte for byte. On SYNCED streams the fast path
+/// legitimately skips histogram work, so the requirement drops to
+/// soundness: identical delivered streams and exactly equal invalidation
+/// accounting. Sequential determinism makes both checks exact, not
+/// statistical.
+TEST(SyncFuzz, SuppressionKnobIsInvisibleWhereItMustBe) {
+  GeneratorOptions gopts;
+  gopts.segments = 3;
+  gopts.accesses_per_block = 2;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    gopts.callees = 1 + static_cast<std::uint32_t>(seed % 4);
+    const std::int64_t n = 3 + static_cast<std::int64_t>(seed % 13);
+
+    // Sync-free: bit-identical across modes (the epoch-0 policy end to
+    // end — no sync event ever happened, so nothing may be suppressed).
+    gopts.sync_segments = 0;
+    Module plain = generate_module(seed, gopts);
+    run_instrumentation_pass(plain, {});
+    RunTotals pon;
+    RunTotals poff;
+    const std::string plain_on = run_module_report(
+        plain, plain.functions.size(), n, &pon, /*sync_suppression=*/true);
+    const std::string plain_off = run_module_report(
+        plain, plain.functions.size(), n, &poff, /*sync_suppression=*/false);
+    EXPECT_EQ(pon.delivered, poff.delivered) << "seed " << seed;
+    EXPECT_EQ(plain_on, plain_off) << "seed " << seed;
+
+    // Synced: same deliveries, zero lost invalidations.
+    gopts.sync_segments = 2;
+    Module synced = generate_module(seed, gopts);
+    run_instrumentation_pass(synced, {});
+    RunTotals son;
+    RunTotals soff;
+    const std::string synced_on = run_module_report(
+        synced, synced.functions.size(), n, &son, /*sync_suppression=*/true);
+    const std::string synced_off = run_module_report(
+        synced, synced.functions.size(), n, &soff, /*sync_suppression=*/false);
+    EXPECT_EQ(son.delivered, soff.delivered) << "seed " << seed;
+    EXPECT_EQ(invalidation_signature(synced_on),
+              invalidation_signature(synced_off))
+        << "seed " << seed;
+  }
 }
 
 // ---------------------------------------------------------------------------

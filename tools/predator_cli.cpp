@@ -85,6 +85,7 @@ namespace {
 struct CliOptions {
   std::string workload;
   std::string save_trace;
+  std::string plan_file;  ///< repair plan applied to this run's allocator
   wl::Params params;
   SessionOptions session;
   bool list = false;
@@ -143,6 +144,11 @@ void usage(const char* argv0) {
       "  --json                 print the report as JSON\n"
       "  --advise               append fix-advisor prescriptions\n"
       "  --save-trace FILE      also save the captured trace\n"
+      "  --plan FILE            install a saved repair plan (a frame file\n"
+      "                         from repair --plan-out or serve\n"
+      "                         --emit-plan) into this run's allocator, so\n"
+      "                         the workload executes on the repaired\n"
+      "                         layout\n"
       "  --fail-on-findings     exit 2 when false sharing is reported\n"
       "  --diff-fix             also run the fixed variant and print the\n"
       "                         before/after report diff\n\n"
@@ -264,6 +270,10 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
       const char* s = next("--save-trace");
       if (!s) return false;
       opt->save_trace = s;
+    } else if (arg == "--plan") {
+      const char* s = next("--plan");
+      if (!s) return false;
+      opt->plan_file = s;
     } else if (arg == "--fail-on-findings") {
       opt->fail_on_findings = true;
     } else if (arg == "--diff-fix") {
@@ -781,6 +791,7 @@ int run_analyze(const char* path) {
   all.loop_batching = true;
   all.dominance_elim = true;
   all.interprocedural = true;
+  all.sync_scoped = true;
   ir::SummaryTable summaries;
   const ir::PassStats s1 =
       ir::run_instrumentation_pass(pruned, all, &summaries);
@@ -789,10 +800,11 @@ int run_analyze(const char* path) {
   for (std::size_t fi = 0; fi < parsed.module.functions.size(); ++fi) {
     const ir::AccessSummary& s = summaries.per_function[fi];
     if (s.exact) {
-      std::printf("  %-16s exact: %zu entr%s, %llu access(es)/invocation\n",
+      std::printf("  %-16s exact: %zu entr%s, %llu access(es)/invocation%s\n",
                   parsed.module.functions[fi].name.c_str(), s.entries.size(),
                   s.entries.size() == 1 ? "y" : "ies",
-                  static_cast<unsigned long long>(s.total_accesses()));
+                  static_cast<unsigned long long>(s.total_accesses()),
+                  s.syncs ? ", syncs" : "");
     } else {
       std::printf("  %-16s unsummarizable (T)\n",
                   parsed.module.functions[fi].name.c_str());
@@ -817,6 +829,8 @@ int run_analyze(const char* path) {
   std::printf("  calls batched        %8llu (bare clones %llu)\n",
               static_cast<unsigned long long>(s1.call_batched),
               static_cast<unsigned long long>(s1.bare_clones));
+  std::printf("  sync scoped          %8llu\n",
+              static_cast<unsigned long long>(s1.sync_scoped_skipped));
   if (s0.instrumented_accesses > 0) {
     std::printf("  static site reduction %.1f%%\n",
                 100.0 *
@@ -873,6 +887,23 @@ int main(int argc, char** argv) {
   if (opt.monitor_mode) return run_monitor(opt, w);
   if (opt.fleet_mode) return run_fleet(opt, w);
   Session session(opt.session);
+
+  // --plan: the saved plan must be live in the allocator before the
+  // workload allocates anything, or heap sites would miss their padding.
+  if (!opt.plan_file.empty()) {
+    repair::RepairPlan loaded;
+    if (!repair::load_plan_file(opt.plan_file, &loaded)) {
+      std::fprintf(stderr, "cannot load repair plan from %s\n",
+                   opt.plan_file.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "plan: %zu entr%s installed from %s\n",
+                 loaded.entries.size(),
+                 loaded.entries.size() == 1 ? "y" : "ies",
+                 opt.plan_file.c_str());
+    session.allocator().install_repair_plan(
+        std::make_shared<const repair::RepairPlan>(std::move(loaded)));
+  }
 
   // --emit-to: publish this run's snapshots to a `serve` collector. The
   // monitor must observe the replay, so start it before events flow.
