@@ -40,6 +40,14 @@ FLOORS = {
         0.7,
         "suppression fall-through cost exceeds ~30% on unstable ownership",
     ),
+    "predict_recall": (
+        1.0,
+        "static predictor missed a planted false-sharing line",
+    ),
+    "predict_modules_per_sec": (
+        20.0,
+        "whole-module static prediction throughput collapsed",
+    ),
 }
 
 

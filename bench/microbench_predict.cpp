@@ -1,0 +1,187 @@
+// Static-prediction microbench: what whole-module false-sharing prediction
+// costs and whether it keeps its accuracy at speed.
+//
+// Phase A — throughput: predict_static_fs over a pool of generated
+//   call-heavy modules with planted packed-slot regions (~1k instructions
+//   each), reporting modules/sec and IR instructions/sec — the cost of
+//   running the predictor over a whole build's modules in CI.
+//
+// Phase B — the static plan pipeline: predict + the static compile_plan
+//   lowering per module (the `repair --static` phase-1 path), plus the
+//   sweep's planted-line recall: every 64B line shared by two planted slots
+//   must be predicted. Recall is deterministic — 1.0 or the bench flags it.
+//
+// Usage: microbench_predict [iters] [--json FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "instrument/analysis/generator.hpp"
+#include "instrument/analysis/predict.hpp"
+#include "repair/planner.hpp"
+
+namespace {
+
+namespace ir = pred::ir;
+namespace repair = pred::repair;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::uint64_t count_instrs(const ir::Module& m) {
+  std::uint64_t n = 0;
+  for (const ir::Function& fn : m.functions) {
+    for (const ir::BasicBlock& bb : fn.blocks) n += bb.instrs.size();
+  }
+  return n;
+}
+
+struct Workload {
+  ir::Module module;
+  std::vector<ir::RoleSpec> roles;
+  std::uint32_t slots = 0;
+  std::uint32_t stride = 0;
+  std::uint32_t base_words = 0;
+};
+
+std::vector<Workload> make_pool() {
+  std::vector<Workload> pool;
+  ir::GeneratorOptions gopts;
+  gopts.segments = 3;
+  gopts.accesses_per_block = 2;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Workload w;
+    w.slots = 2 + static_cast<std::uint32_t>(seed % 4);
+    w.stride = 8u * (1u + static_cast<std::uint32_t>(seed % 2));
+    w.base_words = 16 + 8 * static_cast<std::uint32_t>(seed % 3);
+    gopts.callees = 1 + static_cast<std::uint32_t>(seed % 3);
+    gopts.planted_slots = w.slots;
+    gopts.planted_stride = w.stride;
+    gopts.planted_base_words = w.base_words;
+    gopts.planted_iters = 8;
+    w.module = ir::generate_module(seed * 0x9e3779b9ull, gopts);
+    for (std::uint32_t t = 0; t < w.slots; ++t) {
+      ir::RoleSpec spec;
+      spec.function = "slot" + std::to_string(t);
+      spec.role = t;
+      w.roles.push_back(spec);
+    }
+    pool.push_back(std::move(w));
+  }
+  return pool;
+}
+
+/// 64B lines of the planted region written by >= 2 slots: the lines the
+/// predictor must convict.
+std::set<std::int64_t> planted_shared_lines(const Workload& w) {
+  std::set<std::int64_t> expected;
+  for (std::int64_t line = 8 * w.base_words / 64;
+       line <= (8 * w.base_words + std::int64_t{w.slots} * w.stride - 1) / 64;
+       ++line) {
+    std::uint32_t slots_on_line = 0;
+    for (std::uint32_t t = 0; t < w.slots; ++t) {
+      const std::int64_t lo = 8 * w.base_words + std::int64_t{t} * w.stride;
+      const std::int64_t hi = lo + w.stride;
+      if (lo < 64 * (line + 1) && hi > 64 * line) ++slots_on_line;
+    }
+    if (slots_on_line >= 2) expected.insert(line);
+  }
+  return expected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iters = 40;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      iters = std::atoi(argv[i]);
+      if (iters <= 0) {
+        std::fprintf(stderr, "usage: %s [iters > 0] [--json FILE]\n",
+                     argv[0]);
+        return 1;
+      }
+    }
+  }
+
+  const std::vector<Workload> pool = make_pool();
+  std::uint64_t total_instrs = 0;
+  for (const Workload& w : pool) total_instrs += count_instrs(w.module);
+
+  // Phase A — raw prediction throughput.
+  std::uint64_t sink = 0;
+  const auto t_predict = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    for (const Workload& w : pool) {
+      sink += ir::predict_static_fs(w.module, w.roles).lines.size();
+    }
+  }
+  const double predict_s = seconds_since(t_predict);
+  const double modules = static_cast<double>(pool.size()) * iters;
+  const double modules_per_sec = modules / predict_s;
+  const double instrs_per_sec =
+      static_cast<double>(total_instrs) * iters / predict_s;
+
+  // Phase B — the full static plan pipeline, plus planted-line recall.
+  std::uint64_t expected_lines = 0;
+  std::uint64_t recalled_lines = 0;
+  std::uint64_t plan_entries = 0;
+  const auto t_plan = std::chrono::steady_clock::now();
+  for (const Workload& w : pool) {
+    const ir::StaticFsReport rep = ir::predict_static_fs(w.module, w.roles);
+    const repair::RepairPlan plan =
+        repair::compile_plan(rep, {{"planted_region", /*is_global=*/true}});
+    plan_entries += plan.entries.size();
+    std::set<std::int64_t> predicted;
+    for (const ir::PredictedLine& l : rep.lines) {
+      if (l.line_size == 64 && !l.latent) predicted.insert(l.line_index);
+    }
+    for (const std::int64_t line : planted_shared_lines(w)) {
+      ++expected_lines;
+      if (predicted.count(line)) ++recalled_lines;
+    }
+  }
+  const double plan_s = seconds_since(t_plan);
+  const double plans_per_sec = static_cast<double>(pool.size()) / plan_s;
+  const double recall =
+      expected_lines == 0
+          ? 1.0
+          : static_cast<double>(recalled_lines) /
+                static_cast<double>(expected_lines);
+
+  std::printf("modules: %zu (%llu instrs), iters %d (sink %llu)\n",
+              pool.size(), static_cast<unsigned long long>(total_instrs),
+              iters, static_cast<unsigned long long>(sink));
+  std::printf("predict:      %10.0f modules/s, %10.0f instrs/s\n",
+              modules_per_sec, instrs_per_sec);
+  std::printf("static plan:  %10.0f plans/s (%llu entries)\n", plans_per_sec,
+              static_cast<unsigned long long>(plan_entries));
+  std::printf("recall:       %llu/%llu planted shared lines (%.2f)\n",
+              static_cast<unsigned long long>(recalled_lines),
+              static_cast<unsigned long long>(expected_lines), recall);
+
+  if (!json_path.empty()) {
+    pred::bench::JsonWriter json;
+    json.add("predict_modules_per_sec", modules_per_sec);
+    json.add("predict_instrs_per_sec", instrs_per_sec);
+    json.add("static_plan_per_sec", plans_per_sec);
+    json.add("predict_recall", recall);
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return recall >= 1.0 ? 0 : 2;
+}

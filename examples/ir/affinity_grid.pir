@@ -1,0 +1,83 @@
+# Affinity grid: four worker roots, each hammering its own 16-byte slot of
+# one shared region — slot t lives at [16t, 16t+16), so all four slots pack
+# into a single 64-byte cache line. No worker ever touches another's slot:
+# textbook false sharing, invisible to any single-function view.
+#
+# Run `predator-cli analyze examples/ir/affinity_grid.pir --predict` to see
+# the static predictor assign each call-graph root a thread role, fold the
+# constant-bound loops into per-access weights (64 iterations each), overlay
+# the four footprints onto line geometry, and report region 0 line 0 as
+# false sharing with a detected 16-byte slot stride — the evidence
+# `repair --static` compiles into a pad-slots plan without running anything.
+
+# worker0(buf, n): 64 read-modify-write sweeps of slot 0 ([0, 16)).
+func worker0(2 args, 8 regs):
+bb0:
+  r2 = const 0
+  r3 = const 64
+  r4 = const 1
+  br bb1
+bb1:
+  r5 = r2 < r3
+  br r5 ? bb2 : bb3
+bb2:
+  r6 = load.8 [r0 + 8]
+  store.8 [r0], r6
+  r2 = r2 + r4
+  br bb1
+bb3:
+  ret r2
+
+# worker1(buf, n): slot 1 ([16, 32)).
+func worker1(2 args, 8 regs):
+bb0:
+  r2 = const 0
+  r3 = const 64
+  r4 = const 1
+  br bb1
+bb1:
+  r5 = r2 < r3
+  br r5 ? bb2 : bb3
+bb2:
+  r6 = load.8 [r0 + 24]
+  store.8 [r0 + 16], r6
+  r2 = r2 + r4
+  br bb1
+bb3:
+  ret r2
+
+# worker2(buf, n): slot 2 ([32, 48)).
+func worker2(2 args, 8 regs):
+bb0:
+  r2 = const 0
+  r3 = const 64
+  r4 = const 1
+  br bb1
+bb1:
+  r5 = r2 < r3
+  br r5 ? bb2 : bb3
+bb2:
+  r6 = load.8 [r0 + 40]
+  store.8 [r0 + 32], r6
+  r2 = r2 + r4
+  br bb1
+bb3:
+  ret r2
+
+# worker3(buf, n): slot 3 ([48, 64)).
+func worker3(2 args, 8 regs):
+bb0:
+  r2 = const 0
+  r3 = const 64
+  r4 = const 1
+  br bb1
+bb1:
+  r5 = r2 < r3
+  br r5 ? bb2 : bb3
+bb2:
+  r6 = load.8 [r0 + 56]
+  store.8 [r0 + 48], r6
+  r2 = r2 + r4
+  br bb1
+bb3:
+  ret r2

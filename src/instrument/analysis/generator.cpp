@@ -520,6 +520,15 @@ Function make_planted_slot(std::string name, std::uint32_t t,
   b.cond_br(b.cmp_lt(i, k), body, exit);
 
   b.set_block(body);
+  if (opts.planted_handoff) {
+    // Claim the whole planted region for this thread before touching it —
+    // every access below lands inside the held range.
+    const Reg region_len = b.const_val(
+        static_cast<std::int64_t>(opts.planted_slots) *
+        static_cast<std::int64_t>(opts.planted_stride));
+    b.handoff(b.arg(0), region_len,
+              8 * static_cast<std::int64_t>(opts.planted_base_words));
+  }
   for (std::uint32_t w = 0; w < words; ++w) {
     const std::int64_t off = slot_start + 8 * static_cast<std::int64_t>(w);
     Reg addr = b.arg(0);

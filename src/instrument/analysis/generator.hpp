@@ -71,6 +71,16 @@ struct GeneratorOptions {
   std::uint32_t planted_stride = 8;     ///< bytes per slot (multiple of 8)
   std::uint32_t planted_base_words = 0; ///< region start, words from buf
   std::uint32_t planted_iters = 8;      ///< RMW sweeps per slot function
+
+  /// Pipeline-shaped planted slots: each slot function opens every RMW
+  /// sweep by handing off the WHOLE planted region to the executing thread
+  /// (a kHandoff covering all slots), the shape where the region migrates
+  /// between threads only through explicit ownership transfer. Every slot
+  /// access then sits inside a block-held handoff claim: sync-scoped
+  /// pruning elides it, and the static predictor must treat the roles as
+  /// happens-ordered (zero conflict lines). Draws no RNG either way, so
+  /// modules with it disabled stay byte-identical.
+  bool planted_handoff = false;
 };
 
 /// Extra buffer headroom, in words, a call-enabled module may touch past

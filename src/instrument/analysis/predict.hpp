@@ -1,0 +1,179 @@
+// Static false-sharing prediction (the compile-time analogue of §3): given a
+// module and an assignment of entry functions to THREAD ROLES — "role r runs
+// this function against shared region g" — predict which cache lines the
+// roles will fight over WITHOUT executing anything.
+//
+// The predictor composes the whole analysis stack built underneath it:
+//
+//   * per-role ACCESS FOOTPRINTS — symbolic (region offset, width, r/w,
+//     trip-count weight) intervals collected by walking the role's entry
+//     function with local value numbering seeded from block-entry constant
+//     facts. Loop trip counts come from the canonical counted-loop shape
+//     (CondBr on CmpLt(induction, constant bound), init recovered by running
+//     the constant transfer over the preheader, step recovered by value
+//     numbering the latch update); unprovable trips fall back to an assumed
+//     constant, so weights are a RANKING signal, never a soundness claim.
+//     Exact callee summaries are rebased through call sites so footprints
+//     see through calls; escape-proven confined headroom drops provably
+//     thread-private accesses; and sync/handoff intrinsics split footprints
+//     into happens-ordered segments — an access inside a range the block
+//     just claimed via kHandoff carries its claim with it, so provably
+//     handed-off traffic can be excluded from conflicts below.
+//
+//   * a CONFLICT OVERLAY — footprints of distinct roles are folded onto
+//     cache-line geometry (parameterized line size, plus extra sizes so the
+//     report can flag lines that only conflict at, say, 128B — the static
+//     version of the paper's "potential false sharing" prediction). Each
+//     line is scored by conflict density: write×write overlap counts double
+//     write×read, weighted by the trip-count weights of both sides. A pair
+//     of handed-off footprints whose claim ranges overlap is happens-ordered
+//     by the handoff chain and does NOT conflict; handed-off traffic against
+//     un-synchronized traffic (or against a disjoint claim on the same line)
+//     still does. Byte masks distinguish TRUE sharing (some written byte is
+//     touched by both roles) from FALSE sharing (disjoint byte sets on one
+//     line).
+//
+//   * a PLAN LOWERING HOOK — per-region written-span stride detection
+//     (uniform slot starts, extents within the stride) gives the repair
+//     planner enough structure to compile kPadSlots entries from the report
+//     alone; see repair/planner.hpp's StaticFsReport overload of
+//     compile_plan. A module can thus go predict → plan → repair with the
+//     profiling run reduced to post-hoc verification.
+//
+// SOUNDNESS CAVEATS (documented, deliberate): addresses that do not value-
+// number to (stable pointer argument + constant) — loaded pointers, data-
+// dependent indexing, memset/memcpy with unprovable lengths, calls without
+// exact summaries — are counted in `opaque_sites` and otherwise ignored, so
+// the predictor can miss conflicts reached through them (it never invents
+// conflicts). Trip-count weights affect ranking only. Line-size geometry is
+// exact for offsets the analysis DID resolve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instrument/analysis/summaries.hpp"
+#include "instrument/ir.hpp"
+
+namespace pred::ir {
+
+/// One thread role: logical thread `role` repeatedly invokes `function`
+/// with argument `arg` pointing `region_offset` bytes into shared region
+/// `region`. Roles are the static stand-in for the per-thread entry
+/// assignment a pthread_create call site fixes in real code.
+struct RoleSpec {
+  std::string function;
+  std::uint32_t role = 0;          ///< logical thread id (distinct per role)
+  std::uint32_t region = 0;        ///< shared-region id the argument aims at
+  std::uint32_t arg = 0;           ///< argument index carrying the pointer
+  std::int64_t region_offset = 0;  ///< argument value minus region start
+  /// Escape-proven thread-private headroom from the argument (bytes):
+  /// accesses wholly inside [arg, arg + confined_len) are dropped from the
+  /// footprint, exactly like the pass's escape skipping. 0 = no promise.
+  std::uint64_t confined_len = 0;
+};
+
+struct PredictOptions {
+  /// Base cache-line geometry the conflict overlay uses.
+  std::size_t line_size = 64;
+  /// Additional geometries (§3 static analogue): lines reported at these
+  /// sizes are marked `latent` when no base-size sub-line conflicts — the
+  /// conflict only exists on hardware with the larger line.
+  std::vector<std::size_t> extra_line_sizes = {128};
+  /// Trip-count weight for loops whose bound does not fold to a constant.
+  std::uint64_t assumed_trip = 16;
+  /// Ranked lines kept in the report (per module, after sorting).
+  std::size_t max_lines = 64;
+};
+
+/// One resolved access interval of a role's footprint. Offsets are bytes
+/// relative to the region start (argument offset + RoleSpec::region_offset).
+struct FootprintInterval {
+  std::int64_t lo = 0;         ///< first byte touched
+  std::int64_t hi = 0;         ///< one past the last byte touched
+  std::uint32_t width = 0;     ///< single-access width in bytes
+  bool is_write = false;
+  /// Executed inside a block-held kHandoff claim: the access is happens-
+  /// ordered after the claiming thread's synthetic ownership write over
+  /// [claim_lo, claim_hi).
+  bool handed_off = false;
+  std::int64_t claim_lo = 0;
+  std::int64_t claim_hi = 0;
+  std::uint32_t segment = 0;   ///< happens-ordered segment index (informational)
+  std::uint64_t weight = 1;    ///< trip-count weight (dynamic access estimate)
+};
+
+struct RoleFootprint {
+  std::uint32_t role = 0;
+  std::uint32_t region = 0;
+  std::string function;
+  std::vector<FootprintInterval> intervals;
+  std::uint64_t resolved_weight = 0;   ///< sum of interval weights
+  std::uint64_t opaque_sites = 0;      ///< accesses/calls the analysis gave up on
+  std::uint64_t confined_skipped = 0;  ///< dropped inside confined headroom
+  std::uint64_t segments = 1;          ///< happens-ordered segments seen
+};
+
+/// Per-line, per-role evidence attached to a prediction.
+struct RoleSpan {
+  std::uint32_t role = 0;
+  std::uint32_t lo = 0;               ///< first touched byte within the line
+  std::uint32_t hi = 0;               ///< one past the last touched byte
+  std::uint64_t write_weight = 0;
+  std::uint64_t read_weight = 0;
+  bool handed_off_only = false;       ///< every contribution carried a claim
+};
+
+struct PredictedLine {
+  std::uint32_t region = 0;
+  std::uint32_t line_size = 64;
+  std::int64_t line_index = 0;        ///< region offset / line_size (floor)
+  bool false_sharing = false;         ///< conflicting roles touch disjoint bytes
+  bool true_sharing = false;          ///< some written byte is touched by both
+  bool latent = false;                ///< conflicts only at this (larger) geometry
+  std::uint64_t ww_weight = 0;        ///< summed write×write pair products
+  std::uint64_t wr_weight = 0;        ///< summed write×read pair products
+  double score = 0.0;                 ///< 2·ww + wr (conflict density)
+  std::vector<RoleSpan> spans;        ///< one per contributing role, role order
+};
+
+struct StaticFsReport {
+  std::vector<RoleFootprint> footprints;   ///< one per role, input order
+  std::vector<PredictedLine> lines;        ///< score-descending
+  std::uint64_t opaque_sites = 0;          ///< summed over footprints
+  /// Per region id: detected uniform written-slot stride in bytes (0 = no
+  /// slotted structure proven) and total written/touched extent in bytes.
+  std::vector<std::uint64_t> region_slot_stride;
+  std::vector<std::uint64_t> region_extent;
+
+  /// Predicted lines for `region` at the BASE line size, non-latent.
+  std::uint64_t predicted_line_count(std::uint32_t region,
+                                     std::size_t line_size) const {
+    std::uint64_t n = 0;
+    for (const PredictedLine& l : lines) {
+      if (l.region == region && l.line_size == line_size && !l.latent) ++n;
+    }
+    return n;
+  }
+};
+
+/// Runs the predictor. `summaries` is optional: when null, an exact summary
+/// table is computed internally (callers that already ran the pass can share
+/// theirs). Role functions missing from the module are skipped with an empty
+/// footprint.
+StaticFsReport predict_static_fs(const Module& module,
+                                 const std::vector<RoleSpec>& roles,
+                                 const PredictOptions& options = {});
+
+/// Default role assignment when the harness gave none: every call-graph ROOT
+/// (a function no other function calls, excluding "$bare" clones) becomes
+/// one role, in module order, all sharing region 0 through argument 0. This
+/// mirrors the generator's per-thread entry functions and the CLI's
+/// "analyze a module cold" use case.
+std::vector<RoleSpec> default_roles(const Module& module);
+
+/// Human-readable report (predator-cli `analyze --predict`).
+std::string format_static_report(const StaticFsReport& report);
+
+}  // namespace pred::ir

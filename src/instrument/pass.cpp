@@ -440,10 +440,24 @@ void apply_escape(Function& fn, const std::vector<std::uint64_t>& confined,
 /// (base, [lo, hi)) intervals, so aliased registers and offsets split
 /// between register and immediate cannot defeat the membership test, and a
 /// redefined register simply stops resolving to the held base value.
+/// `transfer` (optional) is the function's per-argument handoff-managed
+/// headroom from EscapeFacts::transfer_len: the harness promised — verified
+/// at bind time and propagated through call sites — that every invocation
+/// receives the argument's pointee through a kHandoff ownership transfer to
+/// the invoking thread. That transfer IS the claim the block-local rule
+/// needs, already standing when the function is entered, so the ENTRY block
+/// opens with a held range per stable transferable argument: cross-call
+/// handoff evidence prunes accesses no local kHandoff could cover. The
+/// ranges obey the same lifetime rules as local claims (they die at syncs,
+/// unsummarized calls, and the entry block's end — later blocks may execute
+/// after an in-function epoch rotation, so the entry promise cannot reach
+/// them).
 void apply_sync_scoped(Function& fn, const SummaryTable* summaries,
+                       const std::vector<std::uint64_t>* transfer,
                        PassStats& stats) {
   const Cfg cfg(fn);
   const ConstantFacts consts = analyze_constants(fn, cfg);
+  const std::vector<bool> stable = stable_args(fn);
 
   struct Held {
     ValueNumbering::Value::Base base;
@@ -456,6 +470,15 @@ void apply_sync_scoped(Function& fn, const SummaryTable* summaries,
     ValueNumbering vn(fn);
     vn.seed_constants(consts.block_entry[b]);
     std::vector<Held> held;
+    if (b == Cfg::kEntry && transfer != nullptr) {
+      for (std::uint32_t a = 0; a < fn.num_args && a < transfer->size();
+           ++a) {
+        if ((*transfer)[a] > 0 && stable[a]) {
+          held.push_back({ValueNumbering::Value::Base::kEntryReg, a, 0,
+                          static_cast<std::int64_t>((*transfer)[a])});
+        }
+      }
+    }
     for (Instr& in : fn.blocks[b].instrs) {
       switch (in.op) {
         case Opcode::kHandoff: {
@@ -633,7 +656,15 @@ PassStats run_instrumentation_pass(Module& module, const PassOptions& options,
       // on, callee summaries are final here (bottom-up order) so held
       // ranges can survive exact sync-free calls.
       if (options.sync_scoped) {
-        apply_sync_scoped(fn, interproc ? &summaries : nullptr, stats);
+        // Harness-verified transfer facts extend the held-range rule across
+        // calls: a transferable argument arrives pre-claimed (see
+        // apply_sync_scoped).
+        const std::vector<std::uint64_t>* transfer =
+            options.escape != nullptr && f < escape_facts.transfer_len.size()
+                ? &escape_facts.transfer_len[f]
+                : nullptr;
+        apply_sync_scoped(fn, interproc ? &summaries : nullptr, transfer,
+                          stats);
       }
       // Batching runs before merging so hoisted accesses are out of the way:
       // merging an access and then multiplying its extras by a trip count

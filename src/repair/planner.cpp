@@ -115,6 +115,66 @@ RepairPlan compile_plan(const Report& report,
   return plan;
 }
 
+RepairPlan compile_plan(const ir::StaticFsReport& report,
+                        const std::vector<StaticRegion>& regions,
+                        const PlannerOptions& options) {
+  RepairPlan plan;
+  for (std::size_t g = 0; g < regions.size(); ++g) {
+    if (regions[g].name.empty()) continue;
+
+    // Non-latent false-sharing lines of this region at the base geometry,
+    // already score-descending (report order).
+    std::vector<const ir::PredictedLine*> lines;
+    for (const ir::PredictedLine& l : report.lines) {
+      if (l.region == g && !l.latent &&
+          l.line_size == options.line_size && l.false_sharing) {
+        lines.push_back(&l);
+      }
+    }
+    if (lines.empty()) continue;  // true sharing only: no layout remedy
+
+    PlanEntry e;
+    e.is_global = regions[g].is_global;
+    e.site_key = regions[g].name;
+    e.slot_stride =
+        g < report.region_slot_stride.size() ? report.region_slot_stride[g]
+                                             : 0;
+    e.object_size =
+        g < report.region_extent.size() ? report.region_extent[g] : 0;
+    e.alignment = options.line_size;
+    if (e.slot_stride > 0) {
+      e.action = PlanAction::kPadSlots;
+      e.pad_to = round_up_to(e.slot_stride, options.line_size);
+    } else {
+      e.action = PlanAction::kAlignStart;
+      e.pad_to = options.line_size;
+    }
+    for (const ir::PredictedLine* l : lines) {
+      e.expected_eliminated += l->ww_weight + l->wr_weight;
+      for (const ir::RoleSpan& s : l->spans) {
+        OffsetEvidence ev;
+        ev.offset = s.lo;  // span bounds are already line-relative
+        ev.owner = s.role;
+        ev.writes = s.write_weight;
+        e.evidence.push_back(ev);
+      }
+    }
+    std::sort(e.evidence.begin(), e.evidence.end(),
+              [](const OffsetEvidence& a, const OffsetEvidence& b) {
+                return a.writes > b.writes ||
+                       (a.writes == b.writes && a.offset < b.offset);
+              });
+    if (e.evidence.size() > options.max_evidence) {
+      e.evidence.resize(options.max_evidence);
+    }
+
+    RepairPlan one;
+    one.entries.push_back(std::move(e));
+    merge_plans(plan, one);
+  }
+  return plan;
+}
+
 std::string format_plan(const RepairPlan& plan) {
   if (plan.empty()) return "repair plan: empty (nothing to apply)\n";
   std::string out;

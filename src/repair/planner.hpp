@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "advice/fix_advisor.hpp"
+#include "instrument/analysis/predict.hpp"
 #include "repair/plan.hpp"
 #include "runtime/callsite.hpp"
 #include "runtime/report.hpp"
@@ -33,5 +34,28 @@ RepairPlan compile_plan(const Report& report,
 
 /// Human-readable plan listing (one block per entry).
 std::string format_plan(const RepairPlan& plan);
+
+// ---------------------------------------------------------------------------
+// Static lowering: StaticFsReport -> RepairPlan (no profiling run)
+// ---------------------------------------------------------------------------
+
+/// Names a shared region of a static prediction so its plan entry carries a
+/// stable site identity (index == ir::RoleSpec::region).
+struct StaticRegion {
+  std::string name;
+  bool is_global = true;
+};
+
+/// Lowers a static prediction into plan entries, one per named region with
+/// at least one non-latent FALSE-sharing line at the planner's line size.
+/// A region whose written footprints form uniform slots (detected stride)
+/// compiles to kPadSlots with the stride padded to a line; anything else to
+/// kAlignStart. Evidence words come from the hottest predicted lines' role
+/// spans (owner = role id, writes = predicted write weight), so downstream
+/// consumers see the same evidence shape a profiled plan carries. True-
+/// sharing-only regions compile to nothing — padding cannot fix them.
+RepairPlan compile_plan(const ir::StaticFsReport& report,
+                        const std::vector<StaticRegion>& regions,
+                        const PlannerOptions& options = {});
 
 }  // namespace pred::repair

@@ -73,15 +73,28 @@ class GlobalGridTarget final : public RepairTarget {
     return "packed 16B global slots hammered by mini-IR kernels";
   }
 
+  bool static_spec(StaticModuleSpec* out, std::uint32_t threads,
+                   std::uint64_t scale) const override {
+    // The exact module run() executes, BEFORE any repair rewrite, plus the
+    // harness's role assignment: thread t runs slot-t against the one
+    // shared region registered as "grid_slots".
+    out->module = ir::generate_module(0x67726964u, grid_options(threads,
+                                                                scale));
+    out->roles.clear();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      ir::RoleSpec spec;
+      spec.function = "slot" + std::to_string(t);
+      spec.role = t;
+      spec.region = 0;
+      out->roles.push_back(std::move(spec));
+    }
+    out->regions = {{"grid_slots", /*is_global=*/true}};
+    return true;
+  }
+
   RunResult run(Session& session, const RepairPlan* plan,
                 std::uint32_t threads, std::uint64_t scale) const override {
-    ir::GeneratorOptions gopts;
-    gopts.segments = 1;
-    gopts.allow_intrinsics = false;
-    gopts.planted_slots = threads;
-    gopts.planted_stride = 16;
-    gopts.planted_base_words = 0;
-    gopts.planted_iters = static_cast<std::uint32_t>(32 * (scale ? scale : 1));
+    const ir::GeneratorOptions gopts = grid_options(threads, scale);
     ir::Module module = ir::generate_module(0x67726964u, gopts);
 
     const std::uint64_t stride = gopts.planted_stride;
@@ -137,6 +150,20 @@ class GlobalGridTarget final : public RepairTarget {
       out.traces.push_back(std::move(trace));
     }
     return out;
+  }
+
+ private:
+  static ir::GeneratorOptions grid_options(std::uint32_t threads,
+                                           std::uint64_t scale) {
+    ir::GeneratorOptions gopts;
+    gopts.segments = 1;
+    gopts.allow_intrinsics = false;
+    gopts.planted_slots = threads;
+    gopts.planted_stride = 16;
+    gopts.planted_base_words = 0;
+    gopts.planted_iters =
+        static_cast<std::uint32_t>(32 * (scale ? scale : 1));
+    return gopts;
   }
 };
 

@@ -21,10 +21,23 @@
 #include <vector>
 
 #include "api/predator.hpp"
+#include "instrument/analysis/predict.hpp"
 #include "repair/plan.hpp"
+#include "repair/planner.hpp"
 #include "sim/executor.hpp"
 
 namespace pred::repair {
+
+/// Everything the STATIC repair path needs to compile a plan without
+/// running: the target's mini-IR module, the thread-role assignment its
+/// harness would use, and names for the shared regions the roles touch
+/// (indexed by ir::RoleSpec::region) so plan entries carry the same site
+/// keys the dynamic detector would report.
+struct StaticModuleSpec {
+  ir::Module module;
+  std::vector<ir::RoleSpec> roles;
+  std::vector<StaticRegion> regions;
+};
 
 /// One target run: the per-thread traces to replay/simulate, the workload's
 /// observable result, and whatever memory backs the traced addresses.
@@ -51,6 +64,20 @@ class RepairTarget {
   /// the matching entry directly.
   virtual RunResult run(Session& session, const RepairPlan* plan,
                         std::uint32_t threads, std::uint64_t scale) const = 0;
+
+  /// Fills `*out` with the module/roles/regions a static predict→plan pass
+  /// needs and returns true; the default says the target has no static
+  /// description (heap targets whose defect lives in allocator behavior,
+  /// not analyzable IR). The spec must describe the SAME program run()
+  /// executes for the given (threads, scale) so the verifier's measurement
+  /// runs measure what the plan was compiled against.
+  virtual bool static_spec(StaticModuleSpec* out, std::uint32_t threads,
+                           std::uint64_t scale) const {
+    (void)out;
+    (void)threads;
+    (void)scale;
+    return false;
+  }
 };
 
 /// The built-in targets, in a stable order.

@@ -126,6 +126,66 @@ RepairOutcome run_repair_loop(const RepairTarget& target,
   return out;
 }
 
+RepairOutcome run_static_repair_loop(const RepairTarget& target,
+                                     const VerifierOptions& options) {
+  RepairOutcome out;
+
+  // Phase 1 — plan, statically: no session exists yet, nothing has run.
+  const auto t_plan = Clock::now();
+  StaticModuleSpec spec;
+  if (!target.static_spec(&spec, options.threads, options.scale)) {
+    out.plan_ms = ms_since(t_plan);
+    return out;
+  }
+  ir::PredictOptions popt;
+  popt.line_size = options.session.runtime.geometry.line_size;
+  popt.extra_line_sizes = {popt.line_size * 2};
+  const ir::StaticFsReport prediction =
+      ir::predict_static_fs(spec.module, spec.roles, popt);
+  PlannerOptions popts;
+  popts.line_size = options.session.runtime.geometry.line_size;
+  out.plan = compile_plan(prediction, spec.regions, popts);
+  out.plan_ms = ms_since(t_plan);
+
+  // Phase 2 — baseline measurement run. The plan above never saw it; it
+  // only establishes what the prediction claimed to eliminate.
+  const auto t_detect = Clock::now();
+  Session baseline(options.session);
+  RunResult base =
+      target.run(baseline, nullptr, options.threads, options.scale);
+  out.baseline_checksum = base.checksum;
+  wl::replay_into_session(baseline, base.traces, options.quantum);
+  out.baseline_report = baseline.report();
+  CacheSim base_sim(options.sim);
+  simulate_interleaved(base_sim, base.traces, options.quantum);
+  out.baseline_invalidations = site_invalidations(baseline, out.plan,
+                                                  base_sim);
+  out.detect_ms = ms_since(t_detect);
+
+  // Phases 3/4 — apply + verify, identical to the profiled loop.
+  const auto t_apply = Clock::now();
+  Session repaired(options.session);
+  repaired.allocator().install_repair_plan(
+      std::make_shared<const RepairPlan>(out.plan));
+  RunResult fixed = target.run(repaired, out.plan.empty() ? nullptr
+                                                          : &out.plan,
+                               options.threads, options.scale);
+  out.repaired_checksum = fixed.checksum;
+  out.apply_ms = ms_since(t_apply);
+
+  const auto t_verify = Clock::now();
+  wl::replay_into_session(repaired, fixed.traces, options.quantum);
+  out.repaired_report = repaired.report();
+  CacheSim fixed_sim(options.sim);
+  simulate_interleaved(fixed_sim, fixed.traces, options.quantum);
+  out.repaired_invalidations = site_invalidations(repaired, out.plan,
+                                                  fixed_sim);
+  out.repaired_site_findings = surviving_site_findings(
+      out.repaired_report, out.plan, repaired.runtime().callsites());
+  out.verify_ms = ms_since(t_verify);
+  return out;
+}
+
 std::string format_outcome(const RepairOutcome& outcome,
                            double drop_threshold) {
   char buf[512];

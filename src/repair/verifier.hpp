@@ -87,6 +87,16 @@ struct RepairOutcome {
 RepairOutcome run_repair_loop(const RepairTarget& target,
                               const VerifierOptions& options = {});
 
+/// The PURELY STATIC loop: the plan is compiled from the target's
+/// StaticModuleSpec through predict_static_fs + the static compile_plan
+/// overload BEFORE anything runs — no profiling informs it. The target is
+/// then executed only to MEASURE: a baseline run (detect phase timing)
+/// establishes invalidations and checksum, a repaired run verifies the
+/// drop, exactly as in run_repair_loop. Targets without a static spec
+/// return an empty outcome (plan empty, never `repaired()`).
+RepairOutcome run_static_repair_loop(const RepairTarget& target,
+                                     const VerifierOptions& options = {});
+
 /// Human-readable outcome block (the `predator-cli repair` output body).
 std::string format_outcome(const RepairOutcome& outcome,
                            double drop_threshold);

@@ -5,9 +5,13 @@
 // detection runtime.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "instrument/access.hpp"
+#include "instrument/analyze_tool.hpp"
 #include "instrument/interp.hpp"
 #include "instrument/pass.hpp"
 
@@ -451,6 +455,101 @@ TEST(InstrumentedExecution, DetectsFalseSharingFromIR) {
   const Report rep = session.report();
   ASSERT_FALSE(rep.findings.empty());
   EXPECT_EQ(rep.findings[0].kind, SharingKind::kFalseSharing);
+}
+
+// ---------------------------------------------------------------------------
+// The analyze tool's argument contract (predator-cli delegates to it, so
+// these ARE the CLI's guarantees): unknown flags, missing operands, and
+// malformed values must be rejected with a diagnostic, never half-applied.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeArgs, AcceptsPathAndKnownFlags) {
+  AnalyzeOptions opt;
+  std::string err;
+  EXPECT_TRUE(parse_analyze_args({"m.pir"}, &opt, &err)) << err;
+  EXPECT_EQ(opt.path, "m.pir");
+  EXPECT_FALSE(opt.json);
+  EXPECT_FALSE(opt.predict);
+  EXPECT_EQ(opt.line_size, 64u);
+
+  opt = {};
+  EXPECT_TRUE(parse_analyze_args(
+      {"m.pir", "--json", "--predict", "--line-size", "128"}, &opt, &err))
+      << err;
+  EXPECT_TRUE(opt.json);
+  EXPECT_TRUE(opt.predict);
+  EXPECT_EQ(opt.line_size, 128u);
+}
+
+TEST(AnalyzeArgs, RejectsUnknownFlag) {
+  AnalyzeOptions opt;
+  std::string err;
+  EXPECT_FALSE(parse_analyze_args({"m.pir", "--bogus"}, &opt, &err));
+  EXPECT_NE(err.find("--bogus"), std::string::npos) << err;
+}
+
+TEST(AnalyzeArgs, RejectsMissingPathAndExtraPositional) {
+  AnalyzeOptions opt;
+  std::string err;
+  EXPECT_FALSE(parse_analyze_args({}, &opt, &err));
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_FALSE(parse_analyze_args({"a.pir", "b.pir"}, &opt, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(AnalyzeArgs, RejectsMalformedLineSize) {
+  AnalyzeOptions opt;
+  std::string err;
+  EXPECT_FALSE(parse_analyze_args({"m.pir", "--line-size"}, &opt, &err));
+  EXPECT_FALSE(parse_analyze_args({"m.pir", "--line-size", "0"}, &opt, &err));
+  EXPECT_FALSE(parse_analyze_args({"m.pir", "--line-size", "48"}, &opt, &err));
+  EXPECT_FALSE(
+      parse_analyze_args({"m.pir", "--line-size", "pony"}, &opt, &err));
+}
+
+TEST(AnalyzeTool, MissingFileFailsAndJsonRunEmitsLedgerAndPrediction) {
+  AnalyzeOptions opt;
+  opt.path = "/nonexistent/predator-test.pir";
+  std::string out;
+  std::string err;
+  EXPECT_NE(run_analyze(opt, &out, &err), 0);
+  EXPECT_FALSE(err.empty());
+
+  // A real module through the JSON path: the document must carry the
+  // ledger and, with --predict, the prediction block.
+  const char* path = "predator_analyze_tool_test.pir";
+  std::FILE* f = std::fopen(path, "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "func w0(2 args, 4 regs):\n"
+      "bb0:\n"
+      "  r2 = const 1\n"
+      "  store.8 [r0], r2\n"
+      "  ret r2\n\n"
+      "func w1(2 args, 4 regs):\n"
+      "bb0:\n"
+      "  r2 = const 1\n"
+      "  store.8 [r0 + 8], r2\n"
+      "  ret r2\n",
+      f);
+  std::fclose(f);
+  opt.path = path;
+  opt.json = true;
+  opt.predict = true;
+  out.clear();
+  err.clear();
+  EXPECT_EQ(run_analyze(opt, &out, &err), 0) << err;
+  EXPECT_NE(out.find("\"ledger\""), std::string::npos);
+  EXPECT_NE(out.find("\"candidate_accesses\""), std::string::npos);
+  EXPECT_NE(out.find("\"predict\""), std::string::npos);
+  EXPECT_NE(out.find("\"false_sharing\":true"), std::string::npos);
+  // Text mode on the same module mentions the prediction header.
+  opt.json = false;
+  out.clear();
+  EXPECT_EQ(run_analyze(opt, &out, &err), 0) << err;
+  EXPECT_NE(out.find("static prediction:"), std::string::npos);
+  std::remove(path);
 }
 
 }  // namespace

@@ -903,6 +903,85 @@ TEST(SyncFuzz, SuppressionKnobIsInvisibleWhereItMustBe) {
   }
 }
 
+/// Cross-call handoff evidence: a transferable root argument's verified
+/// headroom propagates as a TRANSFER fact into its callees, where it seeds
+/// the sync-scoped pass's held set at function entry — so a receiver whose
+/// own body contains no kHandoff still gets its claimed accesses pruned.
+/// caller(buf, n) hands off [buf, buf+32) and passes buf to recv, whose
+/// four 8-byte accesses all land inside the claim.
+TEST(SyncFuzz, TransferFactSeedsCrossCallHandoffPruning) {
+  Module m;
+  {
+    FunctionBuilder b("caller", 2);
+    b.handoff(b.arg(0), b.const_val(32), 0);
+    const Reg a0 = b.fresh_reg();
+    const Reg a1 = b.fresh_reg();
+    b.move(a0, b.arg(0));
+    b.move(a1, b.arg(1));
+    b.call(1, a0, 2);
+    b.ret(b.const_val(0));
+    m.functions.push_back(b.take());
+  }
+  {
+    FunctionBuilder b("recv", 2);
+    b.store(b.arg(0), b.const_val(1), 0);
+    b.store(b.arg(0), b.const_val(2), 8);
+    (void)b.load(b.arg(0), 16);
+    (void)b.load(b.arg(0), 24);
+    b.ret(b.const_val(0));
+    m.functions.push_back(b.take());
+  }
+  ASSERT_EQ(verify(m), "");
+
+  // Harness promise, verified against the ownership map: caller's arg0 is
+  // handoff-managed over a 32-byte span — binds from BOTH threads record
+  // headroom instead of poisoning.
+  OwnershipMap omap;
+  omap.record_span(reinterpret_cast<Address>(g_buffer), 32, 0);
+  EscapeBindings eb;
+  eb.declare_root("caller");
+  eb.mark_transferable("caller", 0);
+  ASSERT_TRUE(
+      eb.bind(omap, "caller", 0, reinterpret_cast<Address>(g_buffer), 0));
+  ASSERT_TRUE(
+      eb.bind(omap, "caller", 0, reinterpret_cast<Address>(g_buffer), 1));
+  EXPECT_EQ(eb.transfer_len("caller", 0), 32u);
+  EXPECT_EQ(eb.bound_len("caller", 0), 0u);  // never licenses escape skipping
+
+  // Without the escape layer there is no transfer fact to seed recv's entry:
+  // nothing in recv is inside a held range, so nothing prunes.
+  Module plain = m;
+  PassOptions sync_only = interproc_all();
+  sync_only.sync_scoped = true;
+  const PassStats s_plain = run_instrumentation_pass(plain, sync_only);
+  ASSERT_TRUE(s_plain.reconciles());
+  EXPECT_EQ(s_plain.sync_scoped_skipped, 0u);
+
+  // With it, recv inherits transfer_len = 32 through the call site and all
+  // four of its accesses fall to the entry-seeded claim.
+  Module pruned = m;
+  PassOptions opt = interproc_all();
+  opt.sync_scoped = true;
+  opt.escape = &eb;
+  const PassStats s = run_instrumentation_pass(pruned, opt);
+  ASSERT_TRUE(s.reconciles());
+  EXPECT_EQ(s.sync_scoped_skipped, 4u);
+  EXPECT_EQ(s.escape_skipped, 0u);
+
+  // Soundness: running caller (the only harness-invoked function, honoring
+  // the promise) from both threads, the pruned module drops exactly recv's
+  // deliveries while the invalidation accounting stays exactly equal — the
+  // runtime handoff claim stands in for every pruned access.
+  Module base = m;
+  run_instrumentation_pass(base, {});
+  RunTotals bt;
+  RunTotals pt;
+  const std::string bj = run_module_report(base, 1, 5, &bt);
+  const std::string pj = run_module_report(pruned, 1, 5, &pt);
+  EXPECT_EQ(bt.delivered, pt.delivered + 16);  // 4 accesses x 2 tids x 2 rounds
+  EXPECT_EQ(invalidation_signature(bj), invalidation_signature(pj));
+}
+
 // ---------------------------------------------------------------------------
 // Escape soundness oracle
 // ---------------------------------------------------------------------------

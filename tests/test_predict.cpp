@@ -1,0 +1,449 @@
+// Tests for the static false-sharing predictor (§ static prediction layer):
+// per-role footprints with trip-count weights, the conflict overlay across
+// cache-line geometries (including latent conflicts at larger lines),
+// sync/handoff claim exclusion, slot-stride structure detection, the static
+// compile_plan lowering — and two closed-loop proofs:
+//
+//   * a differential fuzz suite over 64+ generator seeds: every cache line
+//     the DYNAMIC detector convicts of false sharing on a planted-slot
+//     module is also predicted statically (100% recall), predictions never
+//     leave the planted region, and confined or whole-region-handed-off
+//     variants predict NOTHING;
+//   * the purely static repair loop: global_grid goes report -> plan ->
+//     repair with a >= 90% simulated invalidation drop from a plan compiled
+//     before anything ran.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/predator.hpp"
+#include "instrument/analysis/generator.hpp"
+#include "instrument/analysis/predict.hpp"
+#include "instrument/interp.hpp"
+#include "instrument/ir.hpp"
+#include "instrument/pass.hpp"
+#include "repair/plan.hpp"
+#include "repair/planner.hpp"
+#include "repair/targets.hpp"
+#include "repair/verifier.hpp"
+#include "runtime/report.hpp"
+
+namespace pred {
+namespace {
+
+using ir::Function;
+using ir::FunctionBuilder;
+using ir::Module;
+using ir::PredictedLine;
+using ir::PredictOptions;
+using ir::Reg;
+using ir::RoleSpec;
+using ir::StaticFsReport;
+
+/// worker NAME(buf, n): `trips` counted RMW sweeps writing
+/// [buf+wr_off, +8) and reading [buf+rd_off, +8).
+Function make_worker(const std::string& name, std::int64_t wr_off,
+                     std::int64_t rd_off, std::int64_t trips) {
+  FunctionBuilder b(name, 2);
+  const Reg i = b.fresh_reg();
+  b.move(i, b.const_val(0));
+  const Reg bound = b.const_val(trips);
+  const std::uint32_t header = b.new_block();
+  const std::uint32_t body = b.new_block();
+  const std::uint32_t exit = b.new_block();
+  b.br(header);
+  b.set_block(header);
+  b.cond_br(b.cmp_lt(i, bound), body, exit);
+  b.set_block(body);
+  const Reg v = b.load(b.arg(0), rd_off);
+  b.store(b.arg(0), v, wr_off);
+  b.move(i, b.add(i, b.const_val(1)));
+  b.br(header);
+  b.set_block(exit);
+  b.ret(i);
+  return b.take();
+}
+
+Module two_workers(std::int64_t off0, std::int64_t off1, std::int64_t trips) {
+  Module m;
+  m.functions.push_back(make_worker("w0", off0, off0, trips));
+  m.functions.push_back(make_worker("w1", off1, off1, trips));
+  EXPECT_EQ(ir::verify(m), "");
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Footprints and trip weighting
+// ---------------------------------------------------------------------------
+
+TEST(Predict, CountedLoopsWeightFootprintsByEstimatedTrips) {
+  const Module m = two_workers(0, 8, 64);
+  const StaticFsReport rep =
+      ir::predict_static_fs(m, ir::default_roles(m));
+  ASSERT_EQ(rep.footprints.size(), 2u);
+  for (const auto& fp : rep.footprints) {
+    EXPECT_EQ(fp.opaque_sites, 0u);
+    ASSERT_FALSE(fp.intervals.empty());
+    for (const auto& iv : fp.intervals) {
+      EXPECT_EQ(iv.weight, 64u) << fp.function;  // trip count, not 1
+    }
+  }
+
+  ASSERT_EQ(rep.lines.size(), 1u);
+  const PredictedLine& l = rep.lines[0];
+  EXPECT_EQ(l.region, 0u);
+  EXPECT_EQ(l.line_size, 64u);
+  EXPECT_EQ(l.line_index, 0);
+  EXPECT_TRUE(l.false_sharing);
+  EXPECT_FALSE(l.true_sharing);
+  EXPECT_FALSE(l.latent);
+  EXPECT_GT(l.ww_weight, 0u);
+  EXPECT_GT(l.wr_weight, 0u);
+  EXPECT_DOUBLE_EQ(l.score, 2.0 * static_cast<double>(l.ww_weight) +
+                                static_cast<double>(l.wr_weight));
+  ASSERT_EQ(l.spans.size(), 2u);
+  EXPECT_EQ(l.spans[0].role, 0u);
+  EXPECT_EQ(l.spans[1].role, 1u);
+  EXPECT_EQ(rep.predicted_line_count(0, 64), 1u);
+}
+
+TEST(Predict, SameWordIsTrueSharingNotFalse) {
+  const Module m = two_workers(0, 0, 16);
+  const StaticFsReport rep =
+      ir::predict_static_fs(m, ir::default_roles(m));
+  ASSERT_EQ(rep.lines.size(), 1u);
+  EXPECT_TRUE(rep.lines[0].true_sharing);
+  EXPECT_FALSE(rep.lines[0].false_sharing);
+}
+
+TEST(Predict, ConflictOnlyAtLargerGeometryIsLatent) {
+  // Slots at 0 and 64: clean at 64B, colliding at 128B.
+  const Module m = two_workers(0, 64, 16);
+  const StaticFsReport rep =
+      ir::predict_static_fs(m, ir::default_roles(m));
+  ASSERT_EQ(rep.lines.size(), 1u);
+  EXPECT_EQ(rep.lines[0].line_size, 128u);
+  EXPECT_TRUE(rep.lines[0].latent);
+  EXPECT_TRUE(rep.lines[0].false_sharing);
+  EXPECT_EQ(rep.predicted_line_count(0, 64), 0u);   // nothing at base size
+  EXPECT_EQ(rep.predicted_line_count(0, 128), 0u);  // latent excluded
+}
+
+TEST(Predict, ConfinedHeadroomSuppressesTheRoleEntirely) {
+  const Module m = two_workers(0, 8, 16);
+  std::vector<RoleSpec> roles = ir::default_roles(m);
+  for (RoleSpec& r : roles) r.confined_len = 64;
+  const StaticFsReport rep = ir::predict_static_fs(m, roles);
+  EXPECT_TRUE(rep.lines.empty());
+  for (const auto& fp : rep.footprints) {
+    EXPECT_TRUE(fp.intervals.empty()) << fp.function;
+    EXPECT_GT(fp.confined_skipped, 0u) << fp.function;
+  }
+}
+
+TEST(Predict, DefaultRolesAreUncalledNonBareRoots) {
+  Module m;
+  m.functions.push_back(make_worker("leaf", 0, 0, 4));  // @0, called below
+  {
+    FunctionBuilder b("driver", 2);
+    const Reg a0 = b.fresh_reg();
+    const Reg a1 = b.fresh_reg();
+    b.move(a0, b.arg(0));
+    b.move(a1, b.arg(1));
+    b.call(0, a0, 2);
+    b.ret(b.const_val(0));
+    m.functions.push_back(b.take());
+  }
+  m.functions.push_back(make_worker("ghost$bare", 8, 8, 4));
+  ASSERT_EQ(ir::verify(m), "");
+  const std::vector<RoleSpec> roles = ir::default_roles(m);
+  ASSERT_EQ(roles.size(), 1u);
+  EXPECT_EQ(roles[0].function, "driver");
+  EXPECT_EQ(roles[0].role, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sync/handoff claims
+// ---------------------------------------------------------------------------
+
+/// worker that hands off [buf+claim_lo, +claim_len) then does one RMW of
+/// [buf+off, +8) inside the claim.
+Function make_handoff_worker(const std::string& name, std::int64_t claim_lo,
+                             std::int64_t claim_len, std::int64_t off) {
+  FunctionBuilder b(name, 2);
+  b.handoff(b.arg(0), b.const_val(claim_len), claim_lo);
+  const Reg v = b.load(b.arg(0), off);
+  b.store(b.arg(0), v, off);
+  b.ret(b.const_val(0));
+  return b.take();
+}
+
+TEST(Predict, OverlappingHandoffClaimsAreHappensOrdered) {
+  // Both roles claim the SAME [0, 64) range before touching it: one
+  // ownership chain, so their traffic is ordered and nothing conflicts.
+  Module m;
+  m.functions.push_back(make_handoff_worker("p0", 0, 64, 0));
+  m.functions.push_back(make_handoff_worker("p1", 0, 64, 8));
+  ASSERT_EQ(ir::verify(m), "");
+  const StaticFsReport rep =
+      ir::predict_static_fs(m, ir::default_roles(m));
+  EXPECT_TRUE(rep.lines.empty());
+  for (const auto& fp : rep.footprints) {
+    for (const auto& iv : fp.intervals) EXPECT_TRUE(iv.handed_off);
+  }
+}
+
+TEST(Predict, DisjointClaimsOnOneLineStillConflict) {
+  // Each role claims only its own slot: two independent ownership chains
+  // whose writes still collide on the line — a real pipeline hazard.
+  Module m;
+  m.functions.push_back(make_handoff_worker("p0", 0, 16, 0));
+  m.functions.push_back(make_handoff_worker("p1", 16, 16, 16));
+  ASSERT_EQ(ir::verify(m), "");
+  const StaticFsReport rep =
+      ir::predict_static_fs(m, ir::default_roles(m));
+  ASSERT_EQ(rep.predicted_line_count(0, 64), 1u);
+  EXPECT_TRUE(rep.lines[0].false_sharing);
+  for (const auto& s : rep.lines[0].spans) EXPECT_TRUE(s.handed_off_only);
+}
+
+// ---------------------------------------------------------------------------
+// Structure detection and the static plan lowering
+// ---------------------------------------------------------------------------
+
+Module four_slot_grid() {
+  Module m;
+  for (int t = 0; t < 4; ++t) {
+    // Slot t: write [16t, +8), read [16t+8, +8).
+    m.functions.push_back(
+        make_worker("slot" + std::to_string(t), 16 * t, 16 * t + 8, 32));
+  }
+  EXPECT_EQ(ir::verify(m), "");
+  return m;
+}
+
+TEST(Predict, DetectsUniformSlotStrideAndExtent) {
+  const StaticFsReport rep =
+      ir::predict_static_fs(four_slot_grid(), ir::default_roles(four_slot_grid()));
+  ASSERT_EQ(rep.region_slot_stride.size(), 1u);
+  EXPECT_EQ(rep.region_slot_stride[0], 16u);
+  EXPECT_EQ(rep.region_extent[0], 64u);
+  EXPECT_EQ(rep.predicted_line_count(0, 64), 1u);
+}
+
+TEST(Predict, StaticReportCompilesIntoPadSlotsPlan) {
+  const Module m = four_slot_grid();
+  const StaticFsReport rep = ir::predict_static_fs(m, ir::default_roles(m));
+  const repair::RepairPlan plan =
+      repair::compile_plan(rep, {{"grid", /*is_global=*/true}});
+  ASSERT_EQ(plan.entries.size(), 1u);
+  const repair::PlanEntry& e = plan.entries[0];
+  EXPECT_TRUE(e.is_global);
+  EXPECT_EQ(e.site_key, "grid");
+  EXPECT_EQ(e.action, repair::PlanAction::kPadSlots);
+  EXPECT_EQ(e.slot_stride, 16u);
+  EXPECT_EQ(e.pad_to, 64u);
+  EXPECT_EQ(e.alignment, 64u);
+  EXPECT_EQ(e.object_size, 64u);
+  EXPECT_GT(e.expected_eliminated, 0u);
+  EXPECT_FALSE(e.evidence.empty());
+}
+
+TEST(Predict, TrueSharingOnlyReportCompilesToNothing) {
+  const Module m = two_workers(0, 0, 16);
+  const StaticFsReport rep = ir::predict_static_fs(m, ir::default_roles(m));
+  const repair::RepairPlan plan =
+      repair::compile_plan(rep, {{"grid", /*is_global=*/true}});
+  EXPECT_TRUE(plan.empty());  // padding cannot fix a real data race
+}
+
+TEST(Predict, FormatReportNamesTheConflict) {
+  const Module m = four_slot_grid();
+  const std::string text =
+      ir::format_static_report(ir::predict_static_fs(m, ir::default_roles(m)));
+  EXPECT_NE(text.find("static prediction:"), std::string::npos);
+  EXPECT_NE(text.find("false sharing"), std::string::npos);
+  EXPECT_NE(text.find("slot stride 16"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// StaticPredictFuzz: differential recall against the dynamic detector
+// ---------------------------------------------------------------------------
+
+alignas(64) std::int64_t g_fuzz_buffer[1024];
+
+/// Runs the module's planted slot kernels as distinct logical threads under
+/// a fully deterministic detector and returns the buffer-relative indices
+/// of every line convicted of (possibly mixed) false sharing.
+std::set<std::int64_t> dynamic_fs_lines(const Module& generated,
+                                        std::uint32_t slots) {
+  Module m = generated;
+  ir::run_instrumentation_pass(m, {});
+  SessionOptions opts;
+  opts.runtime.tracking_threshold = 1;
+  opts.runtime.report_invalidation_threshold = 1;
+  opts.runtime.prediction_enabled = false;
+  opts.runtime.set_sampling_rate(1.0);
+  opts.heap_size = 4 * 1024 * 1024;
+  Session session(opts);
+  std::memset(g_fuzz_buffer, 0, sizeof g_fuzz_buffer);
+  session.register_global(g_fuzz_buffer, sizeof g_fuzz_buffer, "gen_buffer");
+  ir::Interpreter interp(&session);
+  const std::int64_t args[] = {
+      static_cast<std::int64_t>(
+          reinterpret_cast<std::intptr_t>(g_fuzz_buffer)),
+      8};
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t t = 0; t < slots; ++t) {
+      const std::string want = "slot" + std::to_string(t);
+      const Function* fn = nullptr;
+      for (const Function& f : m.functions) {
+        if (f.name == want) fn = &f;
+      }
+      EXPECT_NE(fn, nullptr);
+      const auto res = interp.run(m, *fn, args, static_cast<ThreadId>(t));
+      EXPECT_FALSE(res.step_limit_exceeded);
+    }
+  }
+  std::set<std::int64_t> lines;
+  const Address base = reinterpret_cast<Address>(g_fuzz_buffer);
+  for (const ObjectFinding& f : session.report().findings) {
+    if (f.object.name != "gen_buffer") continue;
+    for (const LineFinding& l : f.lines) {
+      if (l.kind == SharingKind::kFalseSharing ||
+          l.kind == SharingKind::kMixed) {
+        lines.insert(static_cast<std::int64_t>((l.line_start - base) / 64));
+      }
+    }
+  }
+  return lines;
+}
+
+std::vector<RoleSpec> slot_roles(std::uint32_t slots) {
+  std::vector<RoleSpec> roles;
+  for (std::uint32_t t = 0; t < slots; ++t) {
+    RoleSpec spec;
+    spec.function = "slot" + std::to_string(t);
+    spec.role = t;
+    roles.push_back(spec);
+  }
+  return roles;
+}
+
+TEST(StaticPredictFuzz, FullRecallOfPlantedLinesAndSilenceWhenSafe) {
+  ir::GeneratorOptions gopts;
+  gopts.segments = 2;
+  gopts.accesses_per_block = 2;
+  std::uint64_t total_dynamic_lines = 0;
+  std::uint64_t total_predicted = 0;
+  std::uint64_t handoff_variants = 0;
+
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const std::uint32_t slots = 2 + static_cast<std::uint32_t>(seed % 3);
+    gopts.callees = static_cast<std::uint32_t>(seed % 3);
+    gopts.planted_slots = slots;
+    gopts.planted_stride = 8u * (1u + static_cast<std::uint32_t>(seed % 2));
+    gopts.planted_base_words = 16 + 8 * static_cast<std::uint32_t>(seed % 3);
+    gopts.planted_iters = 6;
+    gopts.planted_handoff = false;
+    const Module generated = generate_module(seed * 0x517cc1b7ull, gopts);
+    // Option plumbing must not disturb the RNG stream: regeneration is
+    // byte-identical.
+    EXPECT_EQ(to_string(generated),
+              to_string(generate_module(seed * 0x517cc1b7ull, gopts)))
+        << "seed " << seed;
+
+    const std::set<std::int64_t> dynamic = dynamic_fs_lines(generated, slots);
+    total_dynamic_lines += dynamic.size();
+
+    const StaticFsReport rep =
+        ir::predict_static_fs(generated, slot_roles(slots));
+    std::set<std::int64_t> predicted;
+    for (const PredictedLine& l : rep.lines) {
+      if (l.line_size == 64 && !l.latent) predicted.insert(l.line_index);
+    }
+    total_predicted += predicted.size();
+
+    // 100% recall: every dynamically convicted line was predicted.
+    for (const std::int64_t line : dynamic) {
+      EXPECT_TRUE(predicted.count(line))
+          << "seed " << seed << ": dynamic FS line " << line
+          << " not predicted statically";
+    }
+    // No prediction leaves the planted region.
+    const std::int64_t lo = 8 * gopts.planted_base_words / 64;
+    const std::int64_t hi =
+        (8 * gopts.planted_base_words + slots * gopts.planted_stride + 63) /
+        64;
+    for (const std::int64_t line : predicted) {
+      EXPECT_TRUE(line >= lo && line < hi)
+          << "seed " << seed << ": predicted line " << line
+          << " outside planted region [" << lo << "," << hi << ")";
+    }
+
+    // Confined variant: every role's headroom covers all its accesses —
+    // zero predictions.
+    std::vector<RoleSpec> confined = slot_roles(slots);
+    for (RoleSpec& r : confined) {
+      r.confined_len = 8ull * gopts.planted_base_words +
+                       std::uint64_t{slots} * gopts.planted_stride;
+    }
+    EXPECT_TRUE(ir::predict_static_fs(generated, confined).lines.empty())
+        << "seed " << seed;
+
+    // Handed-off variant: every sweep opens with a whole-region handoff, so
+    // all roles share one ownership chain — zero predictions.
+    gopts.planted_handoff = true;
+    const Module handed = generate_module(seed * 0x517cc1b7ull, gopts);
+    gopts.planted_handoff = false;
+    const StaticFsReport hrep =
+        ir::predict_static_fs(handed, slot_roles(slots));
+    EXPECT_TRUE(hrep.lines.empty()) << "seed " << seed;
+    ++handoff_variants;
+  }
+
+  // The sweep must exercise the property, not vacuously pass it.
+  EXPECT_GE(total_dynamic_lines, 16u);
+  EXPECT_GE(total_predicted, 16u);
+  EXPECT_EQ(handoff_variants, 64u);
+}
+
+// ---------------------------------------------------------------------------
+// The purely static repair loop
+// ---------------------------------------------------------------------------
+
+TEST(StaticRepairLoop, GlobalGridRepairsFromStaticallyCompiledPlan) {
+  const repair::RepairTarget* target =
+      repair::find_repair_target("global_grid");
+  ASSERT_NE(target, nullptr);
+  for (const std::uint32_t threads : {4u, 8u}) {
+    repair::VerifierOptions vopt;
+    vopt.threads = threads;
+    const repair::RepairOutcome out =
+        repair::run_static_repair_loop(*target, vopt);
+    ASSERT_FALSE(out.plan.empty()) << threads << " threads";
+    EXPECT_EQ(out.plan.entries[0].site_key, "grid_slots");
+    EXPECT_EQ(out.plan.entries[0].action, repair::PlanAction::kPadSlots);
+    EXPECT_EQ(out.plan.entries[0].slot_stride, 16u);
+    EXPECT_EQ(out.plan.entries[0].pad_to, 64u);
+    EXPECT_GT(out.baseline_invalidations, 0u) << threads << " threads";
+    EXPECT_GE(out.drop_pct(), 0.9) << threads << " threads";
+    EXPECT_TRUE(out.repaired(0.9)) << threads << " threads";
+    EXPECT_TRUE(out.checksums_match());
+  }
+}
+
+TEST(StaticRepairLoop, TargetWithoutStaticSpecNeverRepairs) {
+  const repair::RepairTarget* target =
+      repair::find_repair_target("counter_pool");
+  ASSERT_NE(target, nullptr);
+  const repair::RepairOutcome out = repair::run_static_repair_loop(*target);
+  EXPECT_TRUE(out.plan.empty());
+  EXPECT_FALSE(out.repaired(0.0));
+}
+
+}  // namespace
+}  // namespace pred

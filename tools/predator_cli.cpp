@@ -59,14 +59,7 @@
 #include "advice/fix_advisor.hpp"
 #include "collect/collector.hpp"
 #include "collect/transport.hpp"
-#include "instrument/analysis/callgraph.hpp"
-#include "instrument/analysis/cfg.hpp"
-#include "instrument/analysis/constants.hpp"
-#include "instrument/analysis/dominators.hpp"
-#include "instrument/analysis/loops.hpp"
-#include "instrument/analysis/summaries.hpp"
-#include "instrument/ir_parser.hpp"
-#include "instrument/pass.hpp"
+#include "instrument/analyze_tool.hpp"
 #include "repair/plan_codec.hpp"
 #include "repair/planner.hpp"
 #include "repair/targets.hpp"
@@ -111,6 +104,7 @@ struct CliOptions {
   std::uint64_t fleet_clients = 4;
   // `repair` subcommand state.
   bool repair_mode = false;
+  bool repair_static = false;  ///< compile the plan statically (no profiling)
   std::string plan_out;   ///< repair: persist the compiled plan frame file
   std::string emit_plan;  ///< serve: persist the merged fleet plan at exit
 };
@@ -119,7 +113,7 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s --workload NAME [options]\n"
       "       %s monitor NAME [--interval-ms N] [--repeat N] [options]\n"
-      "       %s analyze FILE.pir\n"
+      "       %s analyze FILE.pir [--json] [--predict] [--line-size N]\n"
       "       %s serve --socket PATH [--expect N] [options]\n"
       "       %s fleet NAME [--clients N] [options]\n"
       "       %s repair [TARGET] [--plan-out FILE] [options]\n"
@@ -158,7 +152,13 @@ void usage(const char* argv0) {
       "                         lengthen the observable window\n\n"
       "analyze subcommand (static analysis of a textual IR module):\n"
       "  prints per-function CFG/dominator/loop/constant statistics and\n"
-      "  the baseline vs. fully-pruned instrumentation ledger\n\n"
+      "  the baseline vs. fully-pruned instrumentation ledger\n"
+      "  --json                 emit the same data as one JSON document\n"
+      "  --predict              also run the static false-sharing predictor\n"
+      "                         (thread roles = call-graph root functions)\n"
+      "  --line-size N          base cache-line geometry for --predict\n"
+      "                         (default 64; latent conflicts reported at\n"
+      "                         2N)\n\n"
       "fleet aggregation:\n"
       "  serve --socket PATH    run a collector daemon on a unix socket\n"
       "    --expect N           exit once N clients said goodbye\n"
@@ -180,6 +180,9 @@ void usage(const char* argv0) {
       "                         planned sites, no surviving finding, and a\n"
       "                         bit-identical workload checksum)\n"
       "  --plan-out FILE        persist the compiled plan as a frame file\n"
+      "  --static               compile the plan from the static predictor\n"
+      "                         (no profiling run informs it); the runs\n"
+      "                         that follow only measure the drop\n"
       "  (--threads/--scale/--quantum/--json apply)\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
@@ -315,6 +318,8 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
       const char* s = next("--plan-out");
       if (!s) return false;
       opt->plan_out = s;
+    } else if (arg == "--static" && opt->repair_mode) {
+      opt->repair_static = true;
     } else if (arg == "--emit-plan") {
       const char* s = next("--emit-plan");
       if (!s) return false;
@@ -672,7 +677,18 @@ int run_repair(const CliOptions& opt) {
   vopt.threads = opt.params.threads;
   vopt.scale = opt.params.scale;
   vopt.quantum = opt.replay_quantum;
-  const repair::RepairOutcome outcome = repair::run_repair_loop(*target, vopt);
+  if (opt.repair_static) {
+    repair::StaticModuleSpec probe;
+    if (!target->static_spec(&probe, vopt.threads, vopt.scale)) {
+      std::fprintf(stderr, "target '%s' has no static module spec; "
+                           "--static needs an IR-describable target\n",
+                   opt.workload.c_str());
+      return 1;
+    }
+  }
+  const repair::RepairOutcome outcome =
+      opt.repair_static ? repair::run_static_repair_loop(*target, vopt)
+                        : repair::run_repair_loop(*target, vopt);
 
   if (!opt.plan_out.empty()) {
     if (!repair::save_plan_file(opt.plan_out, outcome.plan)) {
@@ -690,6 +706,7 @@ int run_repair(const CliOptions& opt) {
     JsonWriter w;
     w.begin_object();
     w.field("target", std::string(target->name()));
+    w.field("static", opt.repair_static);
     w.field("repaired", proven);
     w.field("baseline_invalidations", outcome.baseline_invalidations);
     w.field("repaired_invalidations", outcome.repaired_invalidations);
@@ -716,144 +733,33 @@ int run_repair(const CliOptions& opt) {
   return proven ? 0 : 2;
 }
 
-// `analyze` subcommand: static-analysis report for a textual IR module.
-// For every function, the CFG/dominator/loop/constant view the pruning
-// passes operate on; the call graph and each function's access summary;
-// then the module-wide instrumentation ledger comparing baseline selective
-// dedup against the full pipeline (loop batching + dominance/chain merging
-// + interprocedural call batching), whose report-equivalence is proven in
-// tests/test_analysis.cpp and tests/test_interprocedural.cpp.
-int run_analyze(const char* path) {
-  std::FILE* f = std::fopen(path, "rb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
+// `analyze` subcommand: delegates to the shared analyze tool (also the
+// library entry point the tests drive), which prints the per-function
+// CFG/dominator/loop/constant view, the call graph and access summaries,
+// and the module-wide instrumentation ledger -- plus the static
+// false-sharing prediction report under --predict, or everything as one
+// JSON document under --json.
+int run_analyze_cmd(const char* argv0, const std::vector<std::string>& args) {
+  ir::AnalyzeOptions aopt;
+  std::string err;
+  if (!ir::parse_analyze_args(args, &aopt, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    usage(argv0);
     return 1;
   }
-  std::string text;
-  char buf[4096];
-  for (std::size_t n = 0; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) {
-    text.append(buf, n);
-  }
-  std::fclose(f);
-
-  const ir::ParseResult parsed = ir::parse_module(text);
-  if (!parsed.ok) {
-    std::fprintf(stderr, "%s: %s\n", path, parsed.error.c_str());
-    return 1;
-  }
-
-  std::printf("%s: %zu function(s)\n", path, parsed.module.functions.size());
-  for (const ir::Function& fn : parsed.module.functions) {
-    const ir::Cfg cfg(fn);
-    const ir::DomTree dom(cfg);
-    const ir::ConstantFacts consts = ir::analyze_constants(fn, cfg);
-    const auto loops = ir::find_natural_loops(cfg, dom);
-    std::size_t max_depth = 0;
-    for (const auto& l : loops) max_depth = std::max<std::size_t>(max_depth, l.depth);
-    std::printf(
-        "\nfunc %s: %zu blocks (%zu reachable), dom tree height %zu, "
-        "%zu loop(s) (max depth %zu), %zu constant fact(s)\n",
-        fn.name.c_str(), cfg.num_blocks(), cfg.num_reachable(),
-        static_cast<std::size_t>(dom.tree_height()), loops.size(), max_depth,
-        static_cast<std::size_t>(consts.facts));
-    for (const auto& l : loops) {
-      std::printf("  loop @ bb%u: %zu block(s), depth %u, %zu latch(es), %s\n",
-                  l.header, l.blocks.size(), l.depth, l.latches.size(),
-                  l.preheader == ir::NaturalLoop::kNone
-                      ? "no preheader"
-                      : ("preheader bb" + std::to_string(l.preheader)).c_str());
-    }
-  }
-
-  const ir::CallGraph cg(parsed.module);
-  std::size_t recursive = 0;
-  for (std::uint32_t fi = 0; fi < cg.num_functions(); ++fi) {
-    if (cg.in_cycle(fi)) ++recursive;
-  }
-  std::printf(
-      "\ncall graph: %llu call site(s), %zu SCC(s), %zu recursive "
-      "function(s)\n",
-      static_cast<unsigned long long>(cg.num_call_sites()), cg.num_sccs(),
-      recursive);
-  for (std::uint32_t fi = 0; fi < cg.num_functions(); ++fi) {
-    if (cg.callees(fi).empty()) continue;
-    std::printf("  %s ->", parsed.module.functions[fi].name.c_str());
-    for (const std::uint32_t c : cg.callees(fi)) {
-      std::printf(" %s", parsed.module.functions[c].name.c_str());
-    }
-    std::printf("%s\n", cg.in_cycle(fi) ? "  [cycle]" : "");
-  }
-
-  ir::Module base = parsed.module;
-  ir::Module pruned = parsed.module;
-  const ir::PassStats s0 = ir::run_instrumentation_pass(base, {});
-  ir::PassOptions all;
-  all.loop_batching = true;
-  all.dominance_elim = true;
-  all.interprocedural = true;
-  all.sync_scoped = true;
-  ir::SummaryTable summaries;
-  const ir::PassStats s1 =
-      ir::run_instrumentation_pass(pruned, all, &summaries);
-
-  std::printf("\ncallee access summaries:\n");
-  for (std::size_t fi = 0; fi < parsed.module.functions.size(); ++fi) {
-    const ir::AccessSummary& s = summaries.per_function[fi];
-    if (s.exact) {
-      std::printf("  %-16s exact: %zu entr%s, %llu access(es)/invocation%s\n",
-                  parsed.module.functions[fi].name.c_str(), s.entries.size(),
-                  s.entries.size() == 1 ? "y" : "ies",
-                  static_cast<unsigned long long>(s.total_accesses()),
-                  s.syncs ? ", syncs" : "");
-    } else {
-      std::printf("  %-16s unsummarizable (T)\n",
-                  parsed.module.functions[fi].name.c_str());
-    }
-  }
-
-  std::printf("\ninstrumentation ledger (baseline -> pruned):\n");
-  std::printf("  candidate accesses   %8llu\n",
-              static_cast<unsigned long long>(s0.candidate_accesses));
-  std::printf("  intrinsic sites      %8llu\n",
-              static_cast<unsigned long long>(s0.intrinsic_accesses));
-  std::printf("  instrumented         %8llu -> %llu\n",
-              static_cast<unsigned long long>(s0.instrumented_accesses),
-              static_cast<unsigned long long>(s1.instrumented_accesses));
-  std::printf("  per-block duplicates %8llu\n",
-              static_cast<unsigned long long>(s0.skipped_duplicates));
-  std::printf("  loop batched         %8llu (reports inserted %llu)\n",
-              static_cast<unsigned long long>(s1.loop_batched),
-              static_cast<unsigned long long>(s1.reports_inserted));
-  std::printf("  chain merged         %8llu\n",
-              static_cast<unsigned long long>(s1.dominance_merged));
-  std::printf("  calls batched        %8llu (bare clones %llu)\n",
-              static_cast<unsigned long long>(s1.call_batched),
-              static_cast<unsigned long long>(s1.bare_clones));
-  std::printf("  sync scoped          %8llu\n",
-              static_cast<unsigned long long>(s1.sync_scoped_skipped));
-  if (s0.instrumented_accesses > 0) {
-    std::printf("  static site reduction %.1f%%\n",
-                100.0 *
-                    static_cast<double>(s0.instrumented_accesses -
-                                        s1.instrumented_accesses) /
-                    static_cast<double>(s0.instrumented_accesses));
-  }
-  if (!s0.reconciles() || !s1.reconciles()) {
-    std::fprintf(stderr, "pass statistics do not reconcile\n");
-    return 1;
-  }
-  return 0;
+  std::string out;
+  const int rc = ir::run_analyze(aopt, &out, &err);
+  if (!out.empty()) std::fputs(out.c_str(), stdout);
+  if (!err.empty()) std::fprintf(stderr, "%s\n", err.c_str());
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "analyze") == 0) {
-    if (argc != 3) {
-      usage(argv[0]);
-      return 1;
-    }
-    return run_analyze(argv[2]);
+    return run_analyze_cmd(argv[0],
+                           std::vector<std::string>(argv + 2, argv + argc));
   }
   CliOptions opt;
   opt.session.heap_size = 64 * 1024 * 1024;
