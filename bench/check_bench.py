@@ -48,6 +48,19 @@ FLOORS = {
         20.0,
         "whole-module static prediction throughput collapsed",
     ),
+    # Deterministic latency-model ratios from microbench_sim: modeled cycles
+    # are a pure function of the traces and topology, so these floors are
+    # immune to CI machine speed.
+    "sim_remote_local_ratio": (
+        2.0,
+        "two-level topology stopped pricing cross-socket ping-pong >= 2x",
+    ),
+    # The hierarchical model pays for 512-core sharer masks and directory
+    # lookups; ~0.2x of flat is expected, the floor catches a collapse.
+    "sim_numa_overhead_ratio": (
+        0.08,
+        "hierarchical simulator > ~12x slower than flat per access",
+    ),
 }
 
 

@@ -1,0 +1,158 @@
+// Two-level NUMA simulator microbench: what the hierarchical model costs
+// over the flat simulator, and whether the topology actually prices remote
+// traffic.
+//
+// Phase A — simulation throughput: replay the captured numa_pingpong traces
+//   through the flat CacheSim and through NumaCacheSim at 1 socket and at
+//   4x16 scatter, reporting accesses/sec each. The flat-vs-two-level ratio
+//   is the overhead of directory bookkeeping + socket mapping per access.
+//
+// Phase B — the latency model: modeled total cycles at 4x16 scatter over
+//   the 1-socket baseline on the same traces. The packed slots ping-pong
+//   across sockets, so remote_factor (3x) must show up in the ratio; the
+//   acceptance bar from the ISSUE is >= 2x.
+//
+// Usage: microbench_sim [iters] [--json FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/executor.hpp"
+#include "sim/numa_cache_sim.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::uint64_t trace_events(const std::vector<pred::ThreadTrace>& traces) {
+  std::uint64_t n = 0;
+  for (const auto& t : traces) n += t.size();
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iters = 20;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      iters = std::atoi(argv[i]);
+      if (iters <= 0) {
+        std::fprintf(stderr, "usage: %s [iters > 0] [--json FILE]\n", argv[0]);
+        return 1;
+      }
+    }
+  }
+
+  const pred::wl::Workload* w = pred::wl::find_workload("numa_pingpong");
+  if (w == nullptr) {
+    std::fprintf(stderr, "numa_pingpong workload missing from registry\n");
+    return 1;
+  }
+  pred::Session session(pred::bench::session_options());
+  pred::wl::Params p;
+  p.threads = 64;
+  const auto traces = w->capture(session, p);
+  const std::uint64_t events = trace_events(traces);
+
+  pred::SimConfig flat_cfg;
+  flat_cfg.num_cores = 64;
+
+  pred::NumaConfig one_socket;
+  one_socket.sockets = 1;
+  one_socket.cores_per_socket = 64;
+
+  pred::NumaConfig big;
+  big.sockets = 4;
+  big.cores_per_socket = 16;
+  big.placement = pred::NumaPlacement::kScatter;
+
+  // Phase A — replay throughput, flat vs hierarchical.
+  std::uint64_t sink = 0;
+  const auto t_flat = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    pred::CacheSim sim(flat_cfg);
+    sink += simulate_interleaved(sim, traces).total_cycles;
+  }
+  const double flat_s = seconds_since(t_flat);
+
+  const auto t_numa1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    pred::NumaCacheSim sim(one_socket);
+    sink += simulate_interleaved(sim, traces).total_cycles;
+  }
+  const double numa1_s = seconds_since(t_numa1);
+
+  const auto t_numa4 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    pred::NumaCacheSim sim(big);
+    sink += simulate_interleaved(sim, traces).total_cycles;
+  }
+  const double numa4_s = seconds_since(t_numa4);
+
+  const double evs = static_cast<double>(events) * iters;
+  const double flat_aps = evs / flat_s;
+  const double numa1_aps = evs / numa1_s;
+  const double numa4_aps = evs / numa4_s;
+  // >= 1.0 would mean the two-level model is free; the floor guards it from
+  // becoming pathologically expensive (directory work ballooning per access).
+  const double overhead_ratio = numa1_aps / flat_aps;
+
+  // Phase B — the modeled-latency ratio the topology exists to produce.
+  pred::NumaCacheSim local_sim(one_socket);
+  const pred::NumaStats local = simulate_interleaved(local_sim, traces);
+  pred::NumaCacheSim remote_sim(big);
+  const pred::NumaStats remote = simulate_interleaved(remote_sim, traces);
+  const double remote_local_ratio =
+      local.total_cycles == 0
+          ? 0.0
+          : static_cast<double>(remote.total_cycles) /
+                static_cast<double>(local.total_cycles);
+
+  std::printf("numa_pingpong: %zu traces, %llu events, iters %d (sink %llu)\n",
+              traces.size(), static_cast<unsigned long long>(events), iters,
+              static_cast<unsigned long long>(sink));
+  std::printf("flat CacheSim:        %12.0f accesses/s\n", flat_aps);
+  std::printf("NumaCacheSim 1x64:    %12.0f accesses/s (%.2fx of flat)\n",
+              numa1_aps, overhead_ratio);
+  std::printf("NumaCacheSim 4x16:    %12.0f accesses/s\n", numa4_aps);
+  std::printf("modeled cycles: 1-socket %llu, 4x16 scatter %llu "
+              "(remote/local %.2fx)\n",
+              static_cast<unsigned long long>(local.total_cycles),
+              static_cast<unsigned long long>(remote.total_cycles),
+              remote_local_ratio);
+  std::printf("remote traffic @4x16: coherence %llu, invalidations %llu, "
+              "directory transitions %llu\n",
+              static_cast<unsigned long long>(remote.remote_coherence_misses),
+              static_cast<unsigned long long>(
+                  remote.remote_invalidations_sent),
+              static_cast<unsigned long long>(remote.directory_transitions));
+
+  if (!json_path.empty()) {
+    pred::bench::JsonWriter json;
+    json.add("sim_flat_accesses_per_sec", flat_aps);
+    json.add("sim_numa1_accesses_per_sec", numa1_aps);
+    json.add("sim_numa4_accesses_per_sec", numa4_aps);
+    json.add("sim_numa_overhead_ratio", overhead_ratio);
+    json.add("sim_remote_local_ratio", remote_local_ratio);
+    if (!json.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  // The latency model is deterministic: a sub-2x ratio means the topology
+  // stopped pricing remote traffic — fail loudly even without check_bench.
+  return remote_local_ratio >= 2.0 ? 0 : 2;
+}

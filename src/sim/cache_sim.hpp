@@ -57,6 +57,8 @@ struct SimStats {
 
 class CacheSim {
  public:
+  using Stats = SimStats;
+
   explicit CacheSim(SimConfig config = {}) : config_(config) {
     PRED_CHECK(config.num_cores >= 1 && config.num_cores <= 64);
     core_cycles_.assign(config.num_cores, 0);
@@ -68,6 +70,7 @@ class CacheSim {
 
   const SimStats& stats() const { return stats_; }
   const SimConfig& config() const { return config_; }
+  std::uint32_t num_cores() const { return config_.num_cores; }
 
   /// Cycle count of the busiest core: the parallel-execution critical path.
   std::uint64_t max_core_cycles() const {

@@ -57,20 +57,41 @@ class TraceRecorder {
   std::uint32_t pending_think_ = 0;
 };
 
-/// Replays per-thread traces through the simulator, round-robin with the
-/// given quantum (thread i runs on core i % num_cores). Returns the
-/// simulator's stats; timing comes from sim.max_core_cycles(). Ignores
-/// think_cycles (pure coherence counting).
-SimStats simulate_interleaved(CacheSim& sim,
-                              std::span<const ThreadTrace> traces,
-                              std::size_t quantum = 1);
+/// Replays per-thread traces through a simulator, round-robin with the
+/// given quantum (thread i runs on core i % num_cores). Works for any sim
+/// exposing on_access/num_cores/stats — the flat CacheSim and the two-level
+/// NumaCacheSim run the same schedules unchanged. Returns the simulator's
+/// stats; timing comes from sim.max_core_cycles(). Ignores think_cycles
+/// (pure coherence counting).
+template <typename Sim>
+typename Sim::Stats simulate_interleaved(Sim& sim,
+                                         std::span<const ThreadTrace> traces,
+                                         std::size_t quantum = 1) {
+  if (quantum == 0) quantum = 1;
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const ThreadTrace& trace = traces[t];
+      const std::uint32_t core =
+          static_cast<std::uint32_t>(t % sim.num_cores());
+      for (std::size_t q = 0; q < quantum && cursor[t] < trace.size(); ++q) {
+        const TraceEvent& ev = trace[cursor[t]++];
+        sim.on_access(core, ev.addr, ev.type);
+        progressed = true;
+      }
+    }
+  }
+  return sim.stats();
+}
 
 /// Event-driven concurrent execution: each thread owns a clock; at every
 /// step the globally-earliest thread issues its next access and advances by
 /// its think time plus the access's modeled cost. This is the timing model
 /// used for the paper's runtime figures — threads suffering coherence
 /// misses fall behind exactly as real cores do. Returns the stats; modeled
-/// runtime is the maximum finishing clock, exposed via `finish_time`.
+/// runtime is the maximum finishing clock, exposed via `finish_cycles`.
 struct ConcurrentResult {
   SimStats stats;
   std::uint64_t finish_cycles = 0;
@@ -78,7 +99,33 @@ struct ConcurrentResult {
     return static_cast<double>(finish_cycles) / (clock_ghz * 1e9);
   }
 };
-ConcurrentResult simulate_concurrent(CacheSim& sim,
-                                     std::span<const ThreadTrace> traces);
+template <typename Sim>
+ConcurrentResult simulate_concurrent(Sim& sim,
+                                     std::span<const ThreadTrace> traces) {
+  const std::size_t n = traces.size();
+  std::vector<std::size_t> cursor(n, 0);
+  std::vector<std::uint64_t> clock(n, 0);
+
+  ConcurrentResult result;
+  while (true) {
+    // Pick the earliest thread that still has work.
+    std::size_t best = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (cursor[t] >= traces[t].size()) continue;
+      if (best == n || clock[t] < clock[best]) best = t;
+    }
+    if (best == n) break;
+    const TraceEvent& ev = traces[best][cursor[best]++];
+    const std::uint32_t core =
+        static_cast<std::uint32_t>(best % sim.num_cores());
+    const std::uint64_t cost = sim.on_access(core, ev.addr, ev.type);
+    clock[best] += ev.think_cycles + cost;
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    result.finish_cycles = std::max(result.finish_cycles, clock[t]);
+  }
+  result.stats = sim.stats();
+  return result;
+}
 
 }  // namespace pred

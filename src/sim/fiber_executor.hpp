@@ -1,0 +1,72 @@
+// Fiber-driven big-machine executor: replays per-thread traces through a
+// simulator with one cooperative fiber per logical thread, scheduled by the
+// fiber pool's seeded xorshift64 stream. This is how 64-256-"core"
+// interleavings run deterministically on a single-core build machine — the
+// schedule is a pure function of the seed, so every run (and every CI box)
+// sees byte-identical SimStats.
+//
+// Each fiber yields after every access, so the seeded scheduler decides the
+// global interleaving at single-access granularity — the finest-grained
+// adversary the directory-protocol property tests can face.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/executor.hpp"
+#include "tasking/fiber_pool.hpp"
+
+namespace pred {
+
+/// One entry of the global access order a fiber run produced, in the exact
+/// sequence the simulator consumed it. Folding this through a fresh
+/// simulator sequentially must reproduce the fiber run's counts — the
+/// sequential-oracle invariant the property tests assert.
+struct GlobalAccess {
+  std::uint32_t core = 0;
+  Address addr = 0;
+  AccessType type = AccessType::kRead;
+};
+
+/// Replays `traces` through `sim` under a seeded fiber interleaving (thread
+/// t runs on core t % sim.num_cores(), as in the other executors). When
+/// `global_order` is non-null the consumed access sequence is appended to it
+/// for sequential-oracle replay. Returns the simulator's stats.
+template <typename Sim>
+typename Sim::Stats simulate_fibers(Sim& sim,
+                                    std::span<const ThreadTrace> traces,
+                                    std::uint64_t seed,
+                                    std::vector<GlobalAccess>* global_order =
+                                        nullptr) {
+  FiberPool pool;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const std::uint32_t core = static_cast<std::uint32_t>(t % sim.num_cores());
+    pool.spawn([&sim, trace = &traces[t], core, global_order] {
+      for (const TraceEvent& ev : *trace) {
+        sim.on_access(core, ev.addr, ev.type);
+        if (global_order != nullptr) {
+          global_order->push_back({core, ev.addr, ev.type});
+        }
+        FiberPool::yield();
+      }
+    });
+  }
+  pool.run_seeded(seed);
+  return sim.stats();
+}
+
+/// Sequential-oracle fold: replays a recorded global access order through a
+/// fresh simulator one access at a time. Conservation invariants (per-line
+/// invalidation totals, event counts) must match the interleaved run that
+/// recorded the order.
+template <typename Sim>
+typename Sim::Stats replay_global_order(Sim& sim,
+                                        std::span<const GlobalAccess> order) {
+  for (const GlobalAccess& a : order) {
+    sim.on_access(a.core, a.addr, a.type);
+  }
+  return sim.stats();
+}
+
+}  // namespace pred

@@ -1,0 +1,256 @@
+#include "sim/numa_cache_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace pred {
+
+void NumaCacheSim::dir_update(DirState& dir, std::uint32_t socket_copies,
+                              std::int32_t owner_socket) {
+  if (dir.socket_copies != socket_copies ||
+      dir.owner_socket != owner_socket) {
+    ++stats_.directory_transitions;
+  }
+  dir.socket_copies = socket_copies;
+  dir.owner_socket = owner_socket;
+}
+
+std::uint64_t NumaCacheSim::kill_llc_siblings(std::size_t written_line,
+                                              std::size_t llc_index,
+                                              std::uint32_t socket) {
+  const std::size_t ratio = config_.llc_line_size / config_.line_size;
+  if (ratio == 1) return 0;
+  std::uint64_t cost = 0;
+  const std::size_t first = llc_index * ratio;
+  for (std::size_t line = first; line < first + ratio; ++line) {
+    if (line == written_line) continue;
+    const auto it = lines_.find(line);
+    if (it == lines_.end()) continue;
+    LineState& sib = it->second;
+    // Remote sockets drop the whole LLC line, so their cores lose every
+    // private line inside it; the writer's own socket keeps its copies.
+    std::uint64_t killed = 0;
+    for (std::uint32_t c = 0; c < num_cores(); ++c) {
+      if (config_.socket_of(c) == socket) continue;
+      if (sib.sharers.test(c)) {
+        sib.sharers.words[c / 64] &= ~(1ull << (c % 64));
+        ++killed;
+      }
+      if (sib.owner == static_cast<std::int32_t>(c)) {
+        sib.owner = -1;  // forced writeback + invalidate
+        ++killed;
+      }
+    }
+    if (killed != 0) {
+      sib.invalidations += killed;
+      sib.remote_invalidations += killed;
+      stats_.invalidations_sent += killed;
+      stats_.remote_invalidations_sent += killed;
+      stats_.llc_sibling_invalidations += killed;
+      cost += killed * scaled(config_.invalidation_cost, true);
+    }
+  }
+  return cost;
+}
+
+std::uint64_t NumaCacheSim::on_access(std::uint32_t core, Address addr,
+                                      AccessType type) {
+  PRED_CHECK(core < num_cores());
+  const std::size_t line = addr / config_.line_size;
+  const std::size_t llc = addr / config_.llc_line_size;
+  const std::uint32_t socket = config_.socket_of(core);
+  const std::uint32_t my_socket_bit = 1u << socket;
+  LineState& st = lines_[line];
+  DirState& dir = dirs_[llc];
+
+  ++stats_.accesses;
+  std::uint64_t cost = 0;
+
+  if (type == AccessType::kRead) {
+    if (st.owner == static_cast<std::int32_t>(core) || st.sharers.test(core)) {
+      ++stats_.hits;
+      cost = config_.hit_cost;
+    } else if (st.owner >= 0) {
+      // Dirty in another core's cache: ownership downgrade + transfer,
+      // crossing the interconnect when the owner sits on another socket.
+      const std::uint32_t owner_socket =
+          config_.socket_of(static_cast<std::uint32_t>(st.owner));
+      const bool remote = owner_socket != socket;
+      ++stats_.coherence_misses;
+      if (remote) ++stats_.remote_coherence_misses;
+      cost = scaled(config_.coherence_miss_cost, remote);
+      st.sharers.set(static_cast<std::uint32_t>(st.owner));
+      st.sharers.set(core);
+      st.owner = -1;
+      dir_update(dir,
+                 dir.socket_copies | (1u << owner_socket) | my_socket_bit, -1);
+    } else if (!st.touched) {
+      const bool remote = home_socket(llc) != socket;
+      ++stats_.cold_misses;
+      if (remote) ++stats_.remote_cold_misses;
+      cost = scaled(config_.cold_miss_cost, remote);
+      st.sharers.set(core);
+      dir_update(dir, dir.socket_copies | my_socket_bit, dir.owner_socket);
+    } else {
+      // Clean copy somewhere: the local LLC if this socket holds the line,
+      // otherwise a remote socket's LLC (or the home node).
+      const bool local_llc = (dir.socket_copies & my_socket_bit) != 0;
+      const bool remote = !local_llc;
+      ++stats_.shared_fetches;
+      if (remote) ++stats_.remote_shared_fetches;
+      cost = scaled(config_.shared_fetch_cost, remote);
+      st.sharers.set(core);
+      dir_update(dir, dir.socket_copies | my_socket_bit, dir.owner_socket);
+    }
+  } else {  // write
+    if (st.owner == static_cast<std::int32_t>(core)) {
+      ++stats_.hits;
+      cost = config_.hit_cost;
+    } else {
+      const bool remote_dirty = st.owner >= 0;
+      const bool had_own_copy = st.sharers.test(core);
+      // Kill every other core's copy, pricing each delivery by whether it
+      // crosses the interconnect.
+      std::uint64_t killed = 0;
+      std::uint64_t remote_killed = 0;
+      std::uint64_t invalidation_cycles = 0;
+      for (std::uint32_t c = 0; c < num_cores(); ++c) {
+        if (c == core) continue;
+        const bool holds =
+            st.sharers.test(c) || st.owner == static_cast<std::int32_t>(c);
+        if (!holds) continue;
+        const bool victim_remote = config_.socket_of(c) != socket;
+        ++killed;
+        if (victim_remote) ++remote_killed;
+        invalidation_cycles += scaled(config_.invalidation_cost,
+                                      victim_remote);
+      }
+      stats_.invalidations_sent += killed;
+      stats_.remote_invalidations_sent += remote_killed;
+      st.invalidations += killed;
+      st.remote_invalidations += remote_killed;
+
+      if (remote_dirty) {
+        const std::uint32_t owner_socket =
+            config_.socket_of(static_cast<std::uint32_t>(st.owner));
+        const bool remote = owner_socket != socket;
+        ++stats_.coherence_misses;
+        if (remote) ++stats_.remote_coherence_misses;
+        cost = scaled(config_.coherence_miss_cost, remote);
+      } else if (!st.touched) {
+        const bool remote = home_socket(llc) != socket;
+        ++stats_.cold_misses;
+        if (remote) ++stats_.remote_cold_misses;
+        cost = scaled(config_.cold_miss_cost, remote);
+      } else if (killed > 0) {
+        // Upgrade: line present somewhere clean; pay invalidation traffic,
+        // through the interconnect when any other socket held a copy.
+        const bool remote = (dir.socket_copies & ~my_socket_bit) != 0;
+        ++stats_.shared_fetches;
+        if (remote) ++stats_.remote_shared_fetches;
+        cost = scaled(config_.shared_fetch_cost, remote);
+      } else if (had_own_copy) {
+        ++stats_.hits;  // exclusive upgrade of our own clean copy
+        cost = config_.hit_cost;
+      } else {
+        const bool remote = home_socket(llc) != socket;
+        ++stats_.cold_misses;
+        if (remote) ++stats_.remote_cold_misses;
+        cost = scaled(config_.cold_miss_cost, remote);
+      }
+      cost += invalidation_cycles;
+
+      // Remote sockets drop the LLC line the directory tracks; at coarse
+      // LLC grain that also kills their copies of sibling private lines.
+      stats_.directory_invalidations +=
+          std::popcount(dir.socket_copies & ~my_socket_bit);
+      cost += kill_llc_siblings(line, llc, socket);
+
+      st.sharers.clear();
+      st.owner = static_cast<std::int32_t>(core);
+      dir_update(dir, my_socket_bit, static_cast<std::int32_t>(socket));
+    }
+  }
+
+  st.touched = true;
+  core_cycles_[core] += cost;
+  stats_.total_cycles += cost;
+  return cost;
+}
+
+std::uint64_t NumaCacheSim::line_invalidations(Address addr) const {
+  const auto it = lines_.find(addr / config_.line_size);
+  return it == lines_.end() ? 0 : it->second.invalidations;
+}
+
+std::uint64_t NumaCacheSim::line_remote_invalidations(Address addr) const {
+  const auto it = lines_.find(addr / config_.line_size);
+  return it == lines_.end() ? 0 : it->second.remote_invalidations;
+}
+
+std::uint64_t NumaCacheSim::invalidations_in(Address start,
+                                             std::size_t size) const {
+  if (size == 0) return 0;
+  const std::size_t first = start / config_.line_size;
+  const std::size_t last = (start + size - 1) / config_.line_size;
+  std::uint64_t total = 0;
+  for (std::size_t line = first; line <= last; ++line) {
+    const auto it = lines_.find(line);
+    if (it != lines_.end()) total += it->second.invalidations;
+  }
+  return total;
+}
+
+std::uint64_t NumaCacheSim::remote_invalidations_in(Address start,
+                                                    std::size_t size) const {
+  if (size == 0) return 0;
+  const std::size_t first = start / config_.line_size;
+  const std::size_t last = (start + size - 1) / config_.line_size;
+  std::uint64_t total = 0;
+  for (std::size_t line = first; line <= last; ++line) {
+    const auto it = lines_.find(line);
+    if (it != lines_.end()) total += it->second.remote_invalidations;
+  }
+  return total;
+}
+
+std::vector<NumaCacheSim::HotLine> NumaCacheSim::hottest_lines(
+    std::size_t top_k) const {
+  std::vector<HotLine> all;
+  all.reserve(lines_.size());
+  for (const auto& [line, st] : lines_) {
+    if (st.invalidations == 0) continue;
+    all.push_back({static_cast<Address>(line * config_.line_size),
+                   st.invalidations, st.remote_invalidations});
+  }
+  std::sort(all.begin(), all.end(), [](const HotLine& a, const HotLine& b) {
+    if (a.invalidations != b.invalidations) {
+      return a.invalidations > b.invalidations;
+    }
+    return a.line_start < b.line_start;
+  });
+  if (all.size() > top_k) all.resize(top_k);
+  return all;
+}
+
+std::optional<NumaCacheSim::LineProbe> NumaCacheSim::probe_line(
+    Address addr) const {
+  const auto it = lines_.find(addr / config_.line_size);
+  if (it == lines_.end()) return std::nullopt;
+  const LineState& st = it->second;
+  LineProbe probe;
+  for (std::uint32_t c = 0; c < num_cores(); ++c) {
+    if (st.sharers.test(c)) probe.sharer_cores.push_back(c);
+  }
+  probe.owner_core = st.owner;
+  probe.touched = st.touched;
+  probe.invalidations = st.invalidations;
+  const auto dit = dirs_.find(addr / config_.llc_line_size);
+  if (dit != dirs_.end()) {
+    probe.socket_copies = dit->second.socket_copies;
+    probe.owner_socket = dit->second.owner_socket;
+  }
+  return probe;
+}
+
+}  // namespace pred

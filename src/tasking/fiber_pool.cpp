@@ -35,16 +35,13 @@ void FiberPool::trampoline() {
 
 void FiberPool::switch_to(std::size_t index) {
   running_ = index;
+  schedule_.push_back(index);
   Fiber& fiber = *fibers_[index];
   swapcontext(&scheduler_context_, &fiber.context);
   running_ = static_cast<std::size_t>(-1);
 }
 
-void FiberPool::run() {
-  PRED_CHECK(g_active_pool == nullptr);  // no nested pools
-  g_active_pool = this;
-
-  // Prepare every fiber's initial context.
+void FiberPool::prepare_contexts() {
   for (auto& fiber : fibers_) {
     PRED_CHECK(getcontext(&fiber->context) == 0);
     fiber->context.uc_stack.ss_sp = fiber->stack.data();
@@ -53,6 +50,13 @@ void FiberPool::run() {
     makecontext(&fiber->context, reinterpret_cast<void (*)()>(&trampoline),
                 0);
   }
+}
+
+void FiberPool::run() {
+  PRED_CHECK(g_active_pool == nullptr);  // no nested pools
+  g_active_pool = this;
+  schedule_.clear();
+  prepare_contexts();
 
   bool any_running = true;
   while (any_running) {
@@ -62,6 +66,35 @@ void FiberPool::run() {
       any_running = true;
       switch_to(i);
     }
+  }
+  g_active_pool = nullptr;
+}
+
+void FiberPool::run_seeded(std::uint64_t seed) {
+  PRED_CHECK(g_active_pool == nullptr);  // no nested pools
+  g_active_pool = this;
+  schedule_.clear();
+  prepare_contexts();
+
+  // xorshift64: fully deterministic, no library RNG whose stream could
+  // change underneath a pinned-schedule regression test.
+  std::uint64_t state = seed != 0 ? seed : 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  std::vector<std::size_t> runnable;
+  runnable.reserve(fibers_.size());
+  while (true) {
+    runnable.clear();
+    for (std::size_t i = 0; i < fibers_.size(); ++i) {
+      if (!fibers_[i]->finished) runnable.push_back(i);
+    }
+    if (runnable.empty()) break;
+    switch_to(runnable[next() % runnable.size()]);
   }
   g_active_pool = nullptr;
 }

@@ -12,6 +12,7 @@
 #include <ucontext.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -32,6 +33,18 @@ class FiberPool {
   /// Runs all fibers round-robin until every one has finished. Fibers call
   /// FiberPool::yield() to hand the processor to the next fiber.
   void run();
+
+  /// Runs all fibers with a seeded pseudo-random scheduler: at every step a
+  /// xorshift64 stream picks which unfinished fiber resumes next. The same
+  /// seed always produces the same schedule — this is what makes 256-"core"
+  /// big-machine interleavings reproducible on one OS thread, and the
+  /// property tests replay many seeds to prove interleaving-independence of
+  /// the simulator's conservation invariants.
+  void run_seeded(std::uint64_t seed);
+
+  /// The exact resume order of the last run()/run_seeded() (one entry per
+  /// fiber resume). Regression tests pin this to freeze the RNG stream.
+  const std::vector<std::size_t>& schedule() const { return schedule_; }
 
   /// Yields from inside a fiber back to the scheduler. No-op if called
   /// outside a running pool.
@@ -54,9 +67,11 @@ class FiberPool {
   static void trampoline();
 
   void switch_to(std::size_t index);
+  void prepare_contexts();
 
   std::size_t stack_size_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<std::size_t> schedule_;
   ucontext_t scheduler_context_{};
   std::size_t running_ = static_cast<std::size_t>(-1);
 };

@@ -1,0 +1,95 @@
+// blocked_matrix: an Eigen-ish blocked GEMM with a layout/partition
+// mismatch. C (row-major, 16x16 doubles: each row exactly two cache lines)
+// is accumulated over the inner dimension with k as the outer loop, and the
+// buggy variant parallelizes over *columns* — every thread updates a short
+// column strip of every row, so all threads write adjacent segments of the
+// same C lines in lockstep on every k iteration. The fix re-partitions by
+// rows (each thread owns whole, line-aligned rows), which eliminates the
+// sharing without touching the arithmetic: C[i][j] is the same dot product
+// either way, so the checksum is unchanged.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+constexpr std::uint64_t kDim = 16;    // C is kDim x kDim, row = 128 bytes
+constexpr std::uint64_t kInner = 32;  // inner (k) dimension of A x B
+
+class BlockedMatrix final : public WorkloadImpl<BlockedMatrix> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "blocked_matrix",
+        .suite = "numa",
+        .sites = {{.where = "blocked_matrix.cc:C",
+                   .needs_prediction = false,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 0.0}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint64_t n = p.threads;
+    const std::uint64_t inner = kInner * p.scale;
+    const bool by_rows = p.site_fixed(0);
+
+    auto* a = static_cast<double*>(
+        h.alloc(kDim * inner * sizeof(double), {"blocked_matrix.cc:A"}));
+    auto* b = static_cast<double*>(
+        h.alloc(inner * kDim * sizeof(double), {"blocked_matrix.cc:B"}));
+    auto* c = static_cast<double*>(
+        h.alloc(kDim * kDim * sizeof(double), {"blocked_matrix.cc:C"}));
+    PRED_CHECK(a != nullptr && b != nullptr && c != nullptr);
+
+    Xorshift64 rng(p.seed);
+    for (std::uint64_t i = 0; i < kDim * inner; ++i) {
+      a[i] = static_cast<double>(rng.next_below(16));
+    }
+    for (std::uint64_t i = 0; i < inner * kDim; ++i) {
+      b[i] = static_cast<double>(rng.next_below(16));
+    }
+    for (std::uint64_t i = 0; i < kDim * kDim; ++i) c[i] = 0.0;
+
+    h.parallel(static_cast<std::uint32_t>(n), [&](std::uint32_t t,
+                                                  auto& sink) {
+      // Buggy: thread t owns columns [j0, j1) of every row. Fixed: thread t
+      // owns rows [i0, i1) in full — rows are two whole cache lines, so row
+      // partitioning shares nothing.
+      const std::uint64_t j0 = by_rows ? 0 : kDim * t / n;
+      const std::uint64_t j1 = by_rows ? kDim : kDim * (t + 1) / n;
+      const std::uint64_t i0 = by_rows ? kDim * t / n : 0;
+      const std::uint64_t i1 = by_rows ? kDim * (t + 1) / n : kDim;
+      for (std::uint64_t k = 0; k < inner; ++k) {
+        for (std::uint64_t i = i0; i < i1; ++i) {
+          sink.read(&a[i * inner + k], 8);
+          const double aik = a[i * inner + k];
+          for (std::uint64_t j = j0; j < j1; ++j) {
+            sink.think(3);  // fused multiply-add + index arithmetic
+            sink.read(&b[k * kDim + j], 8);
+            sink.read(&c[i * kDim + j], 8);
+            c[i * kDim + j] += aik * b[k * kDim + j];
+            sink.write(&c[i * kDim + j], 8);
+          }
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint64_t i = 0; i < kDim * kDim; ++i) {
+      r.checksum += static_cast<std::uint64_t>(c[i]) * (i + 1);
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_blocked_matrix() {
+  return std::make_unique<BlockedMatrix>();
+}
+
+}  // namespace pred::wl

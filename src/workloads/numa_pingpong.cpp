@@ -1,0 +1,72 @@
+// numa_pingpong: the pathological remote-line ping-pong kernel for the
+// two-level NUMA simulator. Every thread tight-loops read-modify-writes on
+// its own 8-byte slot, but all slots are packed into one cache-line region —
+// each write invalidates every other thread's copy. On the flat simulator
+// this is ordinary (severe) false sharing; on a multi-socket topology with
+// scatter placement the same trace pays the remote_factor on nearly every
+// transfer, which is the ≥2x remote-vs-local cycle ratio the bench and CI
+// smoke assert. The fix pads slots to 128 bytes (a full line pair), after
+// which detection goes silent and the simulated cost collapses.
+#include "common/check.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+class NumaPingpong final : public WorkloadImpl<NumaPingpong> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "numa_pingpong",
+        .suite = "numa",
+        .sites = {{.where = "numa_pingpong.cc:slots",
+                   .needs_prediction = false,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 0.0}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t iters = 400 * p.scale;
+    // Buggy: one 8-byte counter slot per thread, densely packed so eight
+    // threads share each 64-byte line. Fixed: each slot on its own line
+    // pair, immune even to 128-byte-grain geometry.
+    const std::size_t stride = p.site_fixed(0) ? 128 : 8;
+
+    auto* base = static_cast<char*>(
+        h.alloc(stride * n, {"numa_pingpong.cc:slots"}));
+    PRED_CHECK(base != nullptr);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      *reinterpret_cast<std::uint64_t*>(base + stride * t) = 0;
+    }
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      auto* slot = reinterpret_cast<std::uint64_t*>(base + stride * t);
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        // Pure ping-pong: no think() — the loop is nothing but the RMW, so
+        // modeled time is dominated entirely by coherence cost.
+        sink.read(slot, 8);
+        *slot += t + i;
+        sink.write(slot, 8);
+      }
+    });
+
+    Result r;
+    for (std::uint32_t t = 0; t < n; ++t) {
+      r.checksum ^= *reinterpret_cast<std::uint64_t*>(base + stride * t) *
+                    (t + 1);
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_numa_pingpong() {
+  return std::make_unique<NumaPingpong>();
+}
+
+}  // namespace pred::wl

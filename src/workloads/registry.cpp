@@ -45,6 +45,9 @@ std::unique_ptr<Workload> make_memcached_like();
 std::unique_ptr<Workload> make_aget_like();
 std::unique_ptr<Workload> make_pbzip2_like();
 std::unique_ptr<Workload> make_pfscan_like();
+std::unique_ptr<Workload> make_numa_pingpong();
+std::unique_ptr<Workload> make_tensor_parallel();
+std::unique_ptr<Workload> make_blocked_matrix();
 
 const std::vector<std::unique_ptr<Workload>>& all_workloads() {
   static const std::vector<std::unique_ptr<Workload>> registry = [] {
@@ -74,6 +77,11 @@ const std::vector<std::unique_ptr<Workload>>& all_workloads() {
     v.push_back(make_mysql_like());
     v.push_back(make_pbzip2_like());
     v.push_back(make_pfscan_like());
+    // Big-machine / NUMA scenario kernels (beyond the paper's Table 1 —
+    // these exercise the two-level simulator's topology path).
+    v.push_back(make_blocked_matrix());
+    v.push_back(make_numa_pingpong());
+    v.push_back(make_tensor_parallel());
     return v;
   }();
   return registry;

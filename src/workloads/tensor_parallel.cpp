@@ -1,0 +1,74 @@
+// tensor_parallel: a Huron-style affinity-repair case. A shared output
+// tensor is updated over repeated sweeps; the buggy variant assigns element
+// i to thread i % threads (round-robin ownership, the "obvious" parallel
+// loop), so every cache line of the tensor is written by many threads every
+// sweep. The repaired variant blocks ownership into contiguous per-thread
+// ranges — the Huron affinity fix: change which thread touches which data,
+// not the data layout. Element values depend only on the element index, so
+// the checksum is identical across variants.
+#include "common/check.hpp"
+#include "workloads/workload.hpp"
+
+namespace pred::wl {
+namespace {
+
+constexpr std::uint64_t kSweeps = 64;
+constexpr std::uint64_t kElemsPerThread = 32;
+
+class TensorParallel final : public WorkloadImpl<TensorParallel> {
+ public:
+  const Traits& traits() const override {
+    static const Traits t{
+        .name = "tensor_parallel",
+        .suite = "numa",
+        .sites = {{.where = "tensor_parallel.cc:out",
+                   .needs_prediction = false,
+                   .newly_discovered = false,
+                   .paper_improvement_pct = 0.0}},
+    };
+    return t;
+  }
+
+  template <class H>
+  static Result kernel(H& h, const Params& p) {
+    const std::uint32_t n = p.threads;
+    const std::uint64_t elems = kElemsPerThread * n;
+    const std::uint64_t sweeps = kSweeps * p.scale;
+    const bool blocked = p.site_fixed(0);
+
+    auto* out = static_cast<std::uint64_t*>(
+        h.alloc(elems * sizeof(std::uint64_t), {"tensor_parallel.cc:out"}));
+    PRED_CHECK(out != nullptr);
+    for (std::uint64_t i = 0; i < elems; ++i) out[i] = 0;
+
+    h.parallel(n, [&](std::uint32_t t, auto& sink) {
+      for (std::uint64_t s = 0; s < sweeps; ++s) {
+        for (std::uint64_t k = 0; k < kElemsPerThread; ++k) {
+          // Buggy: element ownership interleaves threads across every line.
+          // Fixed: thread t owns the contiguous block [t*bpt, (t+1)*bpt) —
+          // 256 bytes per thread, line-aligned, so no line is ever shared.
+          const std::uint64_t i =
+              blocked ? t * kElemsPerThread + k : k * n + t;
+          sink.think(4);  // index arithmetic + the multiply below
+          sink.read(&out[i], 8);
+          out[i] += i * 31 + s;
+          sink.write(&out[i], 8);
+        }
+      }
+    });
+
+    Result r;
+    for (std::uint64_t i = 0; i < elems; ++i) {
+      r.checksum ^= out[i] + i;
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_tensor_parallel() {
+  return std::make_unique<TensorParallel>();
+}
+
+}  // namespace pred::wl

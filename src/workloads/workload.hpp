@@ -220,7 +220,7 @@ struct Site {
 
 struct Traits {
   std::string name;
-  std::string suite;  ///< "phoenix" | "parsec" | "real"
+  std::string suite;  ///< "phoenix" | "parsec" | "real" | "numa"
   std::vector<Site> sites;  ///< empty: no false sharing expected
 };
 

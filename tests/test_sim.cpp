@@ -4,8 +4,16 @@
 // costs more modeled time than a padded layout.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <unordered_set>
+
+#include "api/predator.hpp"
+#include "common/prng.hpp"
 #include "sim/cache_sim.hpp"
 #include "sim/executor.hpp"
+#include "sim/fiber_executor.hpp"
+#include "sim/numa_cache_sim.hpp"
+#include "workloads/workload.hpp"
 
 namespace pred {
 namespace {
@@ -172,6 +180,347 @@ TEST(Executor, FalseSharingCostsMoreThanPaddedLayout) {
   simulate_interleaved(shared_sim, make_traces(8), 1);   // one line
   simulate_interleaved(padded_sim, make_traces(64), 1);  // one line each
   EXPECT_GT(shared_sim.max_core_cycles(), 10 * padded_sim.max_core_cycles());
+}
+
+// ---------------------------------------------------------------------------
+// Two-level NUMA simulator: unit behavior
+// ---------------------------------------------------------------------------
+
+NumaConfig one_socket(std::uint32_t cores) {
+  NumaConfig c;
+  c.sockets = 1;
+  c.cores_per_socket = cores;
+  return c;
+}
+
+NumaConfig two_by_four(NumaPlacement placement = NumaPlacement::kCompact,
+                       double remote_factor = 3.0) {
+  NumaConfig c;
+  c.sockets = 2;
+  c.cores_per_socket = 4;
+  c.placement = placement;
+  c.remote_factor = remote_factor;
+  return c;
+}
+
+TEST(NumaCacheSim, PlacementMapsCoresToSockets) {
+  NumaConfig compact = two_by_four(NumaPlacement::kCompact);
+  EXPECT_EQ(compact.socket_of(0), 0u);
+  EXPECT_EQ(compact.socket_of(3), 0u);
+  EXPECT_EQ(compact.socket_of(4), 1u);
+  EXPECT_EQ(compact.socket_of(7), 1u);
+  NumaConfig scatter = two_by_four(NumaPlacement::kScatter);
+  EXPECT_EQ(scatter.socket_of(0), 0u);
+  EXPECT_EQ(scatter.socket_of(1), 1u);
+  EXPECT_EQ(scatter.socket_of(6), 0u);
+  EXPECT_EQ(scatter.socket_of(7), 1u);
+}
+
+TEST(NumaCacheSim, RemoteDirtyTransferCostsRemoteFactorMore) {
+  // Cores 0/1 share a socket; cores 0/4 sit on different sockets (compact).
+  NumaCacheSim local(two_by_four());
+  local.on_access(0, 64, W);
+  const std::uint64_t local_read = local.on_access(1, 64, R);
+
+  NumaCacheSim remote(two_by_four());
+  remote.on_access(0, 64, W);
+  const std::uint64_t remote_read = remote.on_access(4, 64, R);
+
+  EXPECT_EQ(local_read, remote.config().coherence_miss_cost);
+  EXPECT_EQ(remote_read, 3 * local_read);
+  EXPECT_EQ(remote.stats().remote_coherence_misses, 1u);
+  EXPECT_EQ(local.stats().remote_coherence_misses, 0u);
+}
+
+TEST(NumaCacheSim, CrossSocketInvalidationsAreCountedAndPriced) {
+  NumaCacheSim sim(two_by_four());
+  sim.on_access(0, 64, R);   // socket 0
+  sim.on_access(4, 64, R);   // socket 1
+  const std::uint64_t cost = sim.on_access(1, 64, W);  // socket 0 writes
+  EXPECT_EQ(sim.stats().invalidations_sent, 2u);
+  EXPECT_EQ(sim.stats().remote_invalidations_sent, 1u);  // core 4's copy
+  EXPECT_EQ(sim.line_remote_invalidations(64), 1u);
+  // The upgrade pays the remote shared-fetch (socket 1 held a copy, so the
+  // invalidation round-trip crosses the interconnect: 3 * 80), plus one
+  // local kill (100) and one remote kill (300).
+  EXPECT_EQ(cost, 3 * sim.config().shared_fetch_cost + 100 + 300);
+}
+
+TEST(NumaCacheSim, DirectoryTracksSocketEntryAndWriteTakeover) {
+  NumaCacheSim sim(two_by_four());
+  sim.on_access(0, 64, R);
+  const auto p1 = sim.probe_line(64);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->socket_copies, 0b01u);
+  sim.on_access(4, 64, R);
+  const auto p2 = sim.probe_line(64);
+  EXPECT_EQ(p2->socket_copies, 0b11u);
+  sim.on_access(4, 64, W);
+  const auto p3 = sim.probe_line(64);
+  EXPECT_EQ(p3->socket_copies, 0b10u);  // socket 0 dropped by the write
+  EXPECT_EQ(p3->owner_socket, 1);
+  EXPECT_GE(sim.stats().directory_transitions, 3u);
+  EXPECT_GE(sim.stats().directory_invalidations, 1u);
+}
+
+TEST(NumaCacheSim, CoarseLlcGrainKillsSiblingLines) {
+  // 128-byte LLC lines over 64-byte private lines: a write to the first
+  // private line evicts remote sockets' copies of the second one too.
+  NumaConfig cfg = two_by_four();
+  cfg.llc_line_size = 128;
+  NumaCacheSim sim(cfg);
+  sim.on_access(4, 64, R);  // socket 1 caches the sibling private line
+  sim.on_access(0, 0, W);   // socket 0 writes the other half of the LLC line
+  EXPECT_EQ(sim.stats().llc_sibling_invalidations, 1u);
+  // Core 4 lost its copy: the next read is a miss, not a hit.
+  const std::uint64_t hits_before = sim.stats().hits;
+  sim.on_access(4, 64, R);
+  EXPECT_EQ(sim.stats().hits, hits_before);
+}
+
+TEST(NumaCacheSim, NoSiblingKillsAtMatchedLineSizes) {
+  NumaCacheSim sim(two_by_four());
+  sim.on_access(4, 64, R);
+  sim.on_access(0, 0, W);
+  EXPECT_EQ(sim.stats().llc_sibling_invalidations, 0u);
+  sim.on_access(4, 64, R);
+  EXPECT_GT(sim.stats().hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential regression: 1-socket NumaCacheSim ≡ flat CacheSim, bit for
+// bit, across the full workload registry (the ISSUE's flat-equivalence
+// guarantee — any divergence is a bug in the directory path).
+// ---------------------------------------------------------------------------
+
+TEST(NumaDifferential, OneSocketBitIdenticalToFlatAcrossRegistry) {
+  for (const auto& w : wl::all_workloads()) {
+    const std::string& name = w->traits().name;
+    SessionOptions o;
+    o.heap_size = 32 * 1024 * 1024;
+    Session session(o);
+    wl::Params p;
+    p.threads = 8;
+    const auto traces = w->capture(session, p);
+
+    CacheSim flat;  // 8 cores, default costs
+    NumaCacheSim numa(one_socket(8));
+    simulate_interleaved(flat, traces, 1);
+    simulate_interleaved(numa, traces, 1);
+
+    const SimStats& f = flat.stats();
+    const NumaStats& n = numa.stats();
+    EXPECT_EQ(f.accesses, n.accesses) << name;
+    EXPECT_EQ(f.hits, n.hits) << name;
+    EXPECT_EQ(f.cold_misses, n.cold_misses) << name;
+    EXPECT_EQ(f.shared_fetches, n.shared_fetches) << name;
+    EXPECT_EQ(f.coherence_misses, n.coherence_misses) << name;
+    EXPECT_EQ(f.invalidations_sent, n.invalidations_sent) << name;
+    EXPECT_EQ(f.total_cycles, n.total_cycles) << name;
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(flat.core_cycles(c), numa.core_cycles(c))
+          << name << " core " << c;
+    }
+    // Per-line invalidation counts over every line either sim touched.
+    std::unordered_set<std::size_t> lines;
+    for (const auto& t : traces) {
+      for (const auto& ev : t) lines.insert(ev.addr / 64);
+    }
+    for (const std::size_t line : lines) {
+      EXPECT_EQ(flat.line_invalidations(line * 64),
+                numa.line_invalidations(line * 64))
+          << name << " line " << line;
+    }
+    // At one socket nothing can be remote.
+    EXPECT_EQ(n.remote_coherence_misses, 0u) << name;
+    EXPECT_EQ(n.remote_shared_fetches, 0u) << name;
+    EXPECT_EQ(n.remote_cold_misses, 0u) << name;
+    EXPECT_EQ(n.remote_invalidations_sent, 0u) << name;
+    EXPECT_EQ(n.llc_sibling_invalidations, 0u) << name;
+  }
+}
+
+TEST(NumaDifferential, ConcurrentExecutorAgreesAtOneSocketToo) {
+  const wl::Workload* w = wl::find_workload("numa_pingpong");
+  ASSERT_NE(w, nullptr);
+  SessionOptions o;
+  o.heap_size = 8 * 1024 * 1024;
+  Session session(o);
+  wl::Params p;
+  p.threads = 8;
+  const auto traces = w->capture(session, p);
+
+  CacheSim flat;
+  NumaCacheSim numa(one_socket(8));
+  const ConcurrentResult rf = simulate_concurrent(flat, traces);
+  const ConcurrentResult rn = simulate_concurrent(numa, traces);
+  EXPECT_EQ(rf.finish_cycles, rn.finish_cycles);
+  EXPECT_EQ(rf.stats.coherence_misses, rn.stats.coherence_misses);
+  EXPECT_EQ(rf.stats.total_cycles, rn.stats.total_cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Big-machine scenarios: the same trace costs ≥2x when the ping-pong
+// crosses sockets, while the *event counts* stay topology-invariant.
+// ---------------------------------------------------------------------------
+
+TEST(NumaBigMachine, PingPongCostsAtLeastTwiceAsMuchAcrossSockets) {
+  const wl::Workload* w = wl::find_workload("numa_pingpong");
+  ASSERT_NE(w, nullptr);
+  SessionOptions o;
+  o.heap_size = 8 * 1024 * 1024;
+  Session session(o);
+  wl::Params p;
+  p.threads = 8;
+  const auto traces = w->capture(session, p);
+
+  NumaCacheSim local(one_socket(8));
+  NumaCacheSim remote(two_by_four(NumaPlacement::kScatter, 3.0));
+  simulate_interleaved(local, traces, 1);
+  simulate_interleaved(remote, traces, 1);
+
+  // ≥2x cycle cost for remote vs local ping-pong (ISSUE acceptance bar).
+  EXPECT_GE(remote.max_core_cycles(), 2 * local.max_core_cycles());
+  EXPECT_GE(remote.stats().total_cycles, 2 * local.stats().total_cycles);
+  EXPECT_GT(remote.stats().remote_invalidations_sent, 0u);
+  EXPECT_GT(remote.stats().remote_coherence_misses, 0u);
+
+  // Topology scales costs, never event counts.
+  EXPECT_EQ(local.stats().coherence_misses, remote.stats().coherence_misses);
+  EXPECT_EQ(local.stats().invalidations_sent,
+            remote.stats().invalidations_sent);
+  EXPECT_EQ(local.stats().hits, remote.stats().hits);
+}
+
+TEST(NumaBigMachine, PaddedPingPongEscapesTheRemotePenalty) {
+  const wl::Workload* w = wl::find_workload("numa_pingpong");
+  ASSERT_NE(w, nullptr);
+  SessionOptions o;
+  o.heap_size = 8 * 1024 * 1024;
+  Session s_buggy(o), s_fixed(o);
+  wl::Params p;
+  p.threads = 8;
+  const auto buggy = w->capture(s_buggy, p);
+  p.fix_mask = ~0u;
+  const auto fixed = w->capture(s_fixed, p);
+
+  NumaCacheSim sim_buggy(two_by_four(NumaPlacement::kScatter, 3.0));
+  NumaCacheSim sim_fixed(two_by_four(NumaPlacement::kScatter, 3.0));
+  simulate_interleaved(sim_buggy, buggy, 1);
+  simulate_interleaved(sim_fixed, fixed, 1);
+  EXPECT_GT(sim_buggy.max_core_cycles(), 10 * sim_fixed.max_core_cycles());
+  EXPECT_EQ(sim_fixed.stats().remote_invalidations_sent, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Directory-protocol property tests: randomized access streams over ≥64
+// seeds, checked against a sequential oracle fold of the recorded global
+// access order.
+// ---------------------------------------------------------------------------
+
+std::vector<ThreadTrace> random_traces(std::uint64_t seed) {
+  Xorshift64 rng(seed * 7919 + 1);
+  std::vector<ThreadTrace> traces(8);
+  for (auto& t : traces) {
+    const std::size_t events = 40 + rng.next_below(40);
+    for (std::size_t i = 0; i < events; ++i) {
+      // Six hot lines with word-granular offsets; ~40% writes.
+      const Address addr = 4096 + rng.next_below(6) * 64 +
+                           rng.next_below(8) * 8;
+      const AccessType type = rng.next_below(10) < 4 ? W : R;
+      t.push_back({addr, 0, type, 8});
+    }
+  }
+  return traces;
+}
+
+TEST(DirectoryProperty, ConservationInvariantsHoldOver64Seeds) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const auto traces = random_traces(seed);
+    std::size_t total_events = 0;
+    for (const auto& t : traces) total_events += t.size();
+    const NumaConfig cfg = two_by_four(
+        seed % 2 ? NumaPlacement::kScatter : NumaPlacement::kCompact,
+        2.0 + static_cast<double>(seed % 3));
+
+    NumaCacheSim sim(cfg);
+    std::vector<GlobalAccess> order;
+    simulate_fibers(sim, traces, seed, &order);
+    ASSERT_EQ(order.size(), total_events) << "seed " << seed;
+
+    // Oracle fold: replaying the recorded order sequentially through a
+    // fresh simulator reproduces the fiber run exactly — per-line
+    // invalidation totals included, whatever the interleaving was.
+    NumaCacheSim oracle(cfg);
+    replay_global_order(oracle, order);
+    EXPECT_EQ(0, std::memcmp(&oracle.stats(), &sim.stats(),
+                             sizeof(NumaStats)))
+        << "seed " << seed;
+    for (int line = 0; line < 6; ++line) {
+      const Address a = 4096 + static_cast<Address>(line) * 64;
+      EXPECT_EQ(oracle.line_invalidations(a), sim.line_invalidations(a))
+          << "seed " << seed << " line " << line;
+      EXPECT_EQ(oracle.line_remote_invalidations(a),
+                sim.line_remote_invalidations(a))
+          << "seed " << seed << " line " << line;
+    }
+
+    // Cross-implementation oracle: the flat simulator folding the same
+    // order must agree on every topology-independent event count.
+    SimConfig flat_cfg;
+    flat_cfg.num_cores = 8;
+    CacheSim flat(flat_cfg);
+    for (const GlobalAccess& a : order) flat.on_access(a.core, a.addr, a.type);
+    EXPECT_EQ(flat.stats().hits, sim.stats().hits) << "seed " << seed;
+    EXPECT_EQ(flat.stats().cold_misses, sim.stats().cold_misses)
+        << "seed " << seed;
+    EXPECT_EQ(flat.stats().shared_fetches, sim.stats().shared_fetches)
+        << "seed " << seed;
+    EXPECT_EQ(flat.stats().coherence_misses, sim.stats().coherence_misses)
+        << "seed " << seed;
+    EXPECT_EQ(flat.stats().invalidations_sent, sim.stats().invalidations_sent)
+        << "seed " << seed;
+
+    // Per-access invariant: every cross-socket invalidation is matched by a
+    // directory state transition in the same access.
+    NumaCacheSim step(cfg);
+    for (const GlobalAccess& a : order) {
+      const NumaStats before = step.stats();
+      step.on_access(a.core, a.addr, a.type);
+      const NumaStats& after = step.stats();
+      if (after.remote_invalidations_sent > before.remote_invalidations_sent) {
+        ASSERT_GT(after.directory_transitions, before.directory_transitions)
+            << "seed " << seed
+            << ": cross-socket invalidation without a directory transition";
+      }
+    }
+
+    // Line-state consistency: a line is never dirty in two sockets, and the
+    // directory's socket mask covers every core holding a copy.
+    for (int line = 0; line < 6; ++line) {
+      const auto probe = sim.probe_line(4096 + static_cast<Address>(line) * 64);
+      if (!probe.has_value()) continue;
+      if (probe->owner_core >= 0) {
+        EXPECT_TRUE(probe->sharer_cores.empty())
+            << "seed " << seed << ": dirty line with clean sharers";
+        EXPECT_EQ(probe->owner_socket,
+                  static_cast<std::int32_t>(cfg.socket_of(
+                      static_cast<std::uint32_t>(probe->owner_core))))
+            << "seed " << seed;
+      }
+      std::uint32_t holder_sockets = 0;
+      for (const std::uint32_t c : probe->sharer_cores) {
+        holder_sockets |= 1u << cfg.socket_of(c);
+      }
+      if (probe->owner_core >= 0) {
+        holder_sockets |=
+            1u << cfg.socket_of(static_cast<std::uint32_t>(probe->owner_core));
+      }
+      EXPECT_EQ(holder_sockets & ~probe->socket_copies, 0u)
+          << "seed " << seed << ": core holds a copy its socket's directory "
+          << "entry does not record";
+    }
+  }
 }
 
 TEST(TraceRecorder, CapturesTypesSizesAndAddresses) {

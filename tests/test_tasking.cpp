@@ -4,8 +4,13 @@
 // detection consumes logical thread ids, not pthreads.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "api/predator.hpp"
+#include "sim/fiber_executor.hpp"
+#include "sim/numa_cache_sim.hpp"
 #include "tasking/fiber_pool.hpp"
+#include "workloads/workload.hpp"
 
 namespace pred {
 namespace {
@@ -71,6 +76,78 @@ TEST(FiberPool, FibersKeepPrivateStacks) {
   pool.run();
   EXPECT_EQ(results[0], 101);
   EXPECT_EQ(results[1], 202);
+}
+
+TEST(FiberPool, SeededScheduleIsAFrozenFunctionOfTheSeed) {
+  // Pins the scheduler's xorshift64 stream: if the RNG or the pick rule
+  // changes, every "deterministic" big-machine interleaving silently
+  // reorders — this regression makes that a loud failure instead.
+  auto run_with_seed = [](std::uint64_t seed) {
+    FiberPool pool;
+    for (int f = 0; f < 4; ++f) {
+      pool.spawn([] {
+        for (int step = 0; step < 20; ++step) FiberPool::yield();
+      });
+    }
+    pool.run_seeded(seed);
+    return pool.schedule();
+  };
+
+  const auto schedule = run_with_seed(1);
+  // First picks of xorshift64(state=1) mod 4 runnable fibers.
+  const std::size_t expected_prefix[] = {1, 1, 1, 1, 1, 1, 1, 1, 3, 2, 0, 1};
+  ASSERT_GE(schedule.size(), std::size(expected_prefix));
+  for (std::size_t i = 0; i < std::size(expected_prefix); ++i) {
+    EXPECT_EQ(schedule[i], expected_prefix[i]) << "resume " << i;
+  }
+
+  EXPECT_EQ(schedule, run_with_seed(1));   // same seed, same schedule
+  EXPECT_NE(schedule, run_with_seed(2));   // different seed, different order
+}
+
+TEST(FiberPool, SeededRunCompletesEveryFiber) {
+  FiberPool pool;
+  int done = 0;
+  for (int i = 0; i < 7; ++i) {
+    pool.spawn([&done] {
+      FiberPool::yield();
+      ++done;
+    });
+  }
+  pool.run_seeded(99);
+  EXPECT_EQ(done, 7);
+}
+
+TEST(FiberBigMachine, PingPong256FibersIsByteIdenticalAcrossRuns) {
+  // The ISSUE's determinism regression: a 256-fiber interleaving of
+  // numa_pingpong on a 4x64 topology, replayed twice, yields byte-identical
+  // SimStats (and the same per-core critical path).
+  const wl::Workload* w = wl::find_workload("numa_pingpong");
+  ASSERT_NE(w, nullptr);
+  SessionOptions opts;
+  opts.heap_size = 32 * 1024 * 1024;
+  Session session(opts);
+  wl::Params p;
+  p.threads = 256;
+  const auto traces = w->capture(session, p);
+  ASSERT_EQ(traces.size(), 256u);
+
+  NumaConfig cfg;
+  cfg.sockets = 4;
+  cfg.cores_per_socket = 64;
+  cfg.placement = NumaPlacement::kScatter;
+  NumaCacheSim run1(cfg), run2(cfg);
+  const NumaStats s1 = simulate_fibers(run1, traces, 0xfeedu);
+  const NumaStats s2 = simulate_fibers(run2, traces, 0xfeedu);
+
+  EXPECT_EQ(0, std::memcmp(&s1, &s2, sizeof(NumaStats)));
+  EXPECT_EQ(run1.max_core_cycles(), run2.max_core_cycles());
+  for (std::uint32_t c = 0; c < cfg.total_cores(); ++c) {
+    ASSERT_EQ(run1.core_cycles(c), run2.core_cycles(c)) << "core " << c;
+  }
+  // The packed slots really do ping-pong across sockets at this scale.
+  EXPECT_GT(s1.remote_invalidations_sent, 0u);
+  EXPECT_GT(s1.coherence_misses, 0u);
 }
 
 TEST(FiberDetection, FalseSharingBetweenFibersIsDetected) {

@@ -68,6 +68,7 @@
 #include "report_io/report_diff.hpp"
 #include "report_io/report_json.hpp"
 #include "report_io/snapshot_json.hpp"
+#include "sim/numa_cache_sim.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
 
@@ -107,6 +108,10 @@ struct CliOptions {
   bool repair_static = false;  ///< compile the plan statically (no profiling)
   std::string plan_out;   ///< repair: persist the compiled plan frame file
   std::string emit_plan;  ///< serve: persist the merged fleet plan at exit
+  // --topology: also replay the captured trace through the two-level NUMA
+  // simulator and report hot lines with remote/local cost attribution.
+  bool topology_set = false;
+  NumaConfig topology;
 };
 
 void usage(const char* argv0) {
@@ -134,6 +139,18 @@ void usage(const char* argv0) {
       "  --report-threshold N   invalidations before reporting "
       "(default 100)\n"
       "  --quantum N            replay interleaving quantum (default 1)\n\n"
+      "topology simulation:\n"
+      "  --topology SxC         also replay the trace through the two-level\n"
+      "                         NUMA simulator with S sockets x C cores per\n"
+      "                         socket (e.g. 2x4, 4x16) and print hot lines\n"
+      "                         with remote-traffic attribution\n"
+      "  --remote-factor F      cross-socket latency multiplier (default 3)\n"
+      "  --placement MODE       core numbering: compact | scatter\n"
+      "                         (default compact; scatter puts neighbor\n"
+      "                         threads on alternating sockets)\n"
+      "  --llc-line N           per-socket LLC line size (default 64; a\n"
+      "                         larger value models a coarser directory\n"
+      "                         grain that also kills sibling lines)\n\n"
       "output:\n"
       "  --json                 print the report as JSON\n"
       "  --advise               append fix-advisor prescriptions\n"
@@ -265,6 +282,39 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
       const char* s = next("--quantum");
       if (!s || !parse_u64(s, &v) || v == 0) return false;
       opt->replay_quantum = v;
+    } else if (arg == "--topology") {
+      const char* s = next("--topology");
+      unsigned sockets = 0, cores = 0;
+      if (!s || std::sscanf(s, "%ux%u", &sockets, &cores) != 2 ||
+          sockets < 1 || sockets > 16 || cores < 1 ||
+          sockets * cores > NumaCacheSim::kMaxCores) {
+        std::fprintf(stderr, "bad --topology (want SxC, e.g. 2x4)\n");
+        return false;
+      }
+      opt->topology_set = true;
+      opt->topology.sockets = sockets;
+      opt->topology.cores_per_socket = cores;
+    } else if (arg == "--remote-factor") {
+      const char* s = next("--remote-factor");
+      if (!s) return false;
+      const double f = std::atof(s);
+      if (f < 1.0) return false;
+      opt->topology.remote_factor = f;
+    } else if (arg == "--placement") {
+      const char* s = next("--placement");
+      if (!s) return false;
+      if (std::strcmp(s, "compact") == 0) {
+        opt->topology.placement = NumaPlacement::kCompact;
+      } else if (std::strcmp(s, "scatter") == 0) {
+        opt->topology.placement = NumaPlacement::kScatter;
+      } else {
+        std::fprintf(stderr, "bad --placement (compact | scatter)\n");
+        return false;
+      }
+    } else if (arg == "--llc-line") {
+      const char* s = next("--llc-line");
+      if (!s || !parse_u64(s, &v) || v < 64 || v % 64 != 0) return false;
+      opt->topology.llc_line_size = v;
     } else if (arg == "--json") {
       opt->json = true;
     } else if (arg == "--advise") {
@@ -336,6 +386,109 @@ bool parse_args(int argc, char** argv, CliOptions* opt) {
     }
   }
   return true;
+}
+
+// --topology: replay the same captured traces through the two-level NUMA
+// simulator plus a 1-socket baseline with identical core count and costs,
+// then print the big-machine verdict — remote/local cycle ratio, the
+// interconnect traffic breakdown, and the hottest lines attributed back to
+// their allocation sites. With `json_out` set, the verdict is serialized as
+// one JSON object (the value of the report document's "topology" key — the
+// whole --json output must stay a single parseable document) instead of
+// printed.
+void run_topology_sim(const CliOptions& opt, Session& session,
+                      const std::vector<ThreadTrace>& traces,
+                      std::string* json_out) {
+  const NumaConfig& cfg = opt.topology;
+  NumaConfig base = cfg;
+  base.sockets = 1;
+  base.cores_per_socket = cfg.total_cores();
+  base.llc_line_size = cfg.line_size;
+  NumaCacheSim local(base);
+  NumaCacheSim numa(cfg);
+  simulate_interleaved(local, traces, opt.replay_quantum);
+  simulate_interleaved(numa, traces, opt.replay_quantum);
+  const NumaStats& s = numa.stats();
+  const double ratio =
+      local.max_core_cycles() == 0
+          ? 1.0
+          : static_cast<double>(numa.max_core_cycles()) /
+                static_cast<double>(local.max_core_cycles());
+
+  auto site_of = [&](Address a) -> std::string {
+    const auto obj = session.runtime().objects().find(a);
+    if (!obj) return "?";
+    if (obj->is_global && !obj->name.empty()) return obj->name;
+    if (obj->callsite != kNoCallsite) {
+      const auto& frames =
+          session.runtime().callsites().get(obj->callsite).frames;
+      if (!frames.empty()) return frames.back();
+    }
+    return "?";
+  };
+  const auto hot = numa.hottest_lines(8);
+  const char* placement =
+      cfg.placement == NumaPlacement::kScatter ? "scatter" : "compact";
+
+  if (json_out != nullptr) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("sockets", static_cast<std::uint64_t>(cfg.sockets));
+    w.field("cores_per_socket",
+            static_cast<std::uint64_t>(cfg.cores_per_socket));
+    w.field("placement", placement);
+    w.field("remote_factor", cfg.remote_factor);
+    w.field("llc_line_size", static_cast<std::uint64_t>(cfg.llc_line_size));
+    w.field("max_core_cycles", numa.max_core_cycles());
+    w.field("local_max_core_cycles", local.max_core_cycles());
+    w.field("remote_ratio", ratio);
+    w.field("remote_coherence_misses", s.remote_coherence_misses);
+    w.field("remote_invalidations", s.remote_invalidations_sent);
+    w.field("directory_transitions", s.directory_transitions);
+    w.field("llc_sibling_invalidations", s.llc_sibling_invalidations);
+    w.key("hot_lines").begin_array();
+    for (const auto& h : hot) {
+      w.begin_object();
+      w.field("addr", static_cast<std::uint64_t>(h.line_start));
+      w.field("invalidations", h.invalidations);
+      w.field("remote_invalidations", h.remote_invalidations);
+      w.field("site", site_of(h.line_start));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    *json_out = w.str();
+    return;
+  }
+
+  std::printf("\n=== topology %ux%u (%s, remote x%.1f, llc %zuB) ===\n",
+              cfg.sockets, cfg.cores_per_socket, placement, cfg.remote_factor,
+              cfg.llc_line_size);
+  std::printf("modeled cycles: %llu (1-socket baseline %llu, "
+              "remote/local ratio %.2fx)\n",
+              static_cast<unsigned long long>(numa.max_core_cycles()),
+              static_cast<unsigned long long>(local.max_core_cycles()), ratio);
+  std::printf("remote traffic: coherence %llu, shared fetches %llu, "
+              "cold %llu, invalidations %llu\n",
+              static_cast<unsigned long long>(s.remote_coherence_misses),
+              static_cast<unsigned long long>(s.remote_shared_fetches),
+              static_cast<unsigned long long>(s.remote_cold_misses),
+              static_cast<unsigned long long>(s.remote_invalidations_sent));
+  std::printf("directory: transitions %llu, socket invalidations %llu, "
+              "llc sibling kills %llu\n",
+              static_cast<unsigned long long>(s.directory_transitions),
+              static_cast<unsigned long long>(s.directory_invalidations),
+              static_cast<unsigned long long>(s.llc_sibling_invalidations));
+  if (!hot.empty()) {
+    std::printf("hot lines (top %zu):\n", hot.size());
+    for (const auto& h : hot) {
+      std::printf("  0x%llx inv=%llu remote=%llu  %s\n",
+                  static_cast<unsigned long long>(h.line_start),
+                  static_cast<unsigned long long>(h.invalidations),
+                  static_cast<unsigned long long>(h.remote_invalidations),
+                  site_of(h.line_start).c_str());
+    }
+  }
 }
 
 int list_workloads() {
@@ -858,18 +1011,25 @@ int main(int argc, char** argv) {
   }
 
   if (opt.json) {
-    std::printf("%s\n",
-                report_to_json(report, session.runtime().callsites(),
-                               opt.advise_fixes ? &suggestions : nullptr,
-                               opt.advise_fixes && !plan.empty() ? &plan
-                                                                 : nullptr)
-                    .c_str());
+    std::string doc =
+        report_to_json(report, session.runtime().callsites(),
+                       opt.advise_fixes ? &suggestions : nullptr,
+                       opt.advise_fixes && !plan.empty() ? &plan : nullptr);
+    if (opt.topology_set) {
+      // Splice the topology verdict into the report document so --json
+      // still emits exactly one parseable JSON object.
+      std::string topo;
+      run_topology_sim(opt, session, traces, &topo);
+      doc.insert(doc.rfind('}'), ",\"topology\":" + topo);
+    }
+    std::printf("%s\n", doc.c_str());
   } else {
     std::printf("%s",
                 format_report(report, session.runtime().callsites()).c_str());
     if (opt.advise_fixes) {
       std::printf("\n%s", format_suggestions(suggestions).c_str());
     }
+    if (opt.topology_set) run_topology_sim(opt, session, traces, nullptr);
   }
 
   if (opt.diff_fix) {
